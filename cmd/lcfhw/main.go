@@ -1,0 +1,127 @@
+// Command lcfhw regenerates the implementation-cost side of the paper's
+// evaluation: Table 1 (gate and register counts of the central LCF
+// scheduler), Table 2 (scheduling-task cycle counts and times at 66 MHz),
+// and the Section 6.2 communication-cost comparison between the central
+// and distributed schedulers.
+//
+// Usage:
+//
+//	lcfhw -table 1            # Table 1 at n=16 (the published design)
+//	lcfhw -table 2 -n 32      # cycle decomposition for a 32-port design
+//	lcfhw -table comm         # signalling bits, central vs distributed
+//	lcfhw -table scaling      # Table 1 model across port counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lcf "repro"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "1", "which table: 1, 2, comm, scaling")
+		n     = flag.Int("n", 16, "switch port count")
+		clock = flag.Float64("clock", lcf.ClockHz, "scheduler clock in Hz")
+		iters = flag.Int("iterations", 4, "iterations for the distributed comm cost")
+	)
+	flag.Parse()
+
+	switch *table {
+	case "1":
+		printTable1(*n)
+	case "2":
+		printTable2(*n, *clock)
+	case "comm":
+		printComm(*iters)
+	case "scaling":
+		printScaling()
+	case "pins":
+		printPins(*iters)
+	case "arbiters":
+		printArbiters(*n, *iters)
+	default:
+		fmt.Fprintf(os.Stderr, "lcfhw: unknown -table %q\n", *table)
+		os.Exit(1)
+	}
+}
+
+func printTable1(n int) {
+	t := lcf.HardwareCostTable1(n)
+	fmt.Printf("Table 1 — gate and register counts of the LCF scheduler (n=%d)\n\n", n)
+	fmt.Printf("%-12s %18s %10s %10s\n", "", "Distributed", "Central", "Total")
+	fmt.Printf("%-12s %18s %10d %10d\n", "Gate count",
+		fmt.Sprintf("%d×%d=%d", n, t.Slice.Gates, n*t.Slice.Gates), t.Central.Gates, t.TotalGates)
+	fmt.Printf("%-12s %18s %10d %10d\n", "Reg. count",
+		fmt.Sprintf("%d×%d=%d", n, t.Slice.Registers, n*t.Slice.Registers), t.Central.Registers, t.TotalRegs)
+	if n == 16 {
+		fmt.Printf("\npaper (Xilinx XCV600): 16×450=7200 / 767 / 7967 gates, 16×86=1376 / 216 / 1592 registers\n")
+	}
+}
+
+func printTable2(n int, clock float64) {
+	fmt.Printf("Table 2 — scheduling tasks (n=%d, %.0f MHz)\n\n", n, clock/1e6)
+	fmt.Printf("%-24s %-14s %8s %10s\n", "Task", "Decomposition", "Cycles", "Time")
+	for _, task := range lcf.SchedulingTasksTable2(n, clock) {
+		fmt.Printf("%-24s %-14s %8d %9.0fns\n", task.Name, task.Decomposition, task.Cycles, task.Seconds*1e9)
+	}
+	if n == 16 && clock == lcf.ClockHz {
+		fmt.Printf("\npaper: 33 / 50 / 83 cycles, 500 / 758 / 1258 ns\n")
+	}
+}
+
+func printComm(iterations int) {
+	fmt.Printf("Section 6.2 — communication cost per scheduling cycle [bits]\n")
+	fmt.Printf("central: n(n+log2 n+1); distributed: i·n²(2·log2 n+3), i=%d\n\n", iterations)
+	fmt.Printf("%-6s %14s %14s %8s\n", "n", "central", "distributed", "ratio")
+	for n := 4; n <= 1024; n *= 2 {
+		c := lcf.CentralCommBits(n)
+		d := lcf.DistCommBits(n, iterations)
+		fmt.Printf("%-6d %14d %14d %8.1f\n", n, c, d, float64(d)/float64(c))
+	}
+}
+
+func printPins(iterations int) {
+	fmt.Printf("Section 6.2 — modularization: scheduling signal pins per packaging option\n")
+	fmt.Printf("central scheduler on the backplane vs distributed slices on the line cards\n\n")
+	fmt.Printf("%-6s %18s %18s %18s %18s\n", "n",
+		"central/card", "central/backplane", "dist/card", "dist/backplane")
+	for n := 4; n <= 256; n *= 2 {
+		p := lcf.PackagingPins(n, iterations)
+		fmt.Printf("%-6d %18d %18d %18d %18d\n", n,
+			p.CentralLineCardPins, p.CentralBackplanePins,
+			p.DistLineCardPins, p.DistBackplanePins)
+	}
+	fmt.Printf("\nreading: the central option keeps line cards thin (n+log2 n+1 pins)\n")
+	fmt.Printf("at the cost of centralizing all request wiring; the distributed mesh\n")
+	fmt.Printf("grows per-card pins linearly and backplane wires quadratically —\n")
+	fmt.Printf("Section 6.2's case for pairing the central scheduler with narrow\n")
+	fmt.Printf("switches and the distributed one with bit-sliced wide fabrics.\n")
+}
+
+func printArbiters(n, iterations int) {
+	fmt.Printf("Arbiter implementation comparison (n=%d)\n\n", n)
+	fmt.Printf("%-16s %-28s %12s %12s %14s\n", "scheduler", "cycles/schedule", "gates", "registers", "comm bits")
+	for _, r := range lcf.CompareArbiters(n, iterations) {
+		fmt.Printf("%-16s %-28s %12d %12d %14d\n", r.Name, r.Cycles, r.Gates, r.Registers, r.CommBits)
+	}
+	fmt.Printf("\nreading: the wave front array is the fastest and cheapest arbiter but\n")
+	fmt.Printf("produces the worst schedules of the three (Figure 12); the central LCF\n")
+	fmt.Printf("buys the best schedules at O(n) scheduling time; the distributed LCF\n")
+	fmt.Printf("drops the central chip and the O(n) time, paying in wiring — the\n")
+	fmt.Printf("paper's central-for-narrow / distributed-for-wide split in one table.\n")
+}
+
+func printScaling() {
+	fmt.Printf("Table 1 model across port counts (per-slice / central / total)\n\n")
+	fmt.Printf("%-6s %12s %12s %12s %12s %12s %12s\n",
+		"n", "slice gates", "slice regs", "centr gates", "centr regs", "total gates", "total regs")
+	for n := 4; n <= 256; n *= 2 {
+		t := lcf.HardwareCostTable1(n)
+		fmt.Printf("%-6d %12d %12d %12d %12d %12d %12d\n",
+			n, t.Slice.Gates, t.Slice.Registers, t.Central.Gates, t.Central.Registers,
+			t.TotalGates, t.TotalRegs)
+	}
+}

@@ -1,0 +1,99 @@
+// Command lcftrace runs a short simulation and prints one line per slot:
+// the request matrix population, the computed matching, and the packets
+// moved. It is the debugging companion to lcfsim — the view of Figure 3
+// extended over time.
+//
+// Usage:
+//
+//	lcftrace -sched lcf_central_rr -n 4 -load 0.8 -slots 20
+//	lcftrace -sched pim -matrix      # also dump the request matrix rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/matching"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+	"repro/internal/simswitch"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "lcf_central_rr", "scheduler name")
+		n         = flag.Int("n", 4, "switch port count")
+		load      = flag.Float64("load", 0.8, "offered load")
+		slots     = flag.Int64("slots", 20, "slots to trace")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		iters     = flag.Int("iterations", 4, "iterations for iterative schedulers")
+		matrix    = flag.Bool("matrix", false, "dump the request matrix rows each slot")
+		arrivals  = flag.String("arrivals", "", "replay arrivals from a trace file (format: slot input dst)")
+	)
+	flag.Parse()
+
+	s, err := registry.New(*schedName, *n, sched.Options{Iterations: *iters, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcftrace: %v\n", err)
+		os.Exit(1)
+	}
+	mode := simswitch.VOQ
+	if *schedName == "fifo" {
+		mode = simswitch.FIFO
+	}
+
+	gen := traffic.Generator(traffic.NewBernoulli(*n, *load, traffic.NewUniform(*n), *seed))
+	if *arrivals != "" {
+		f, err := os.Open(*arrivals)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lcftrace: %v\n", err)
+			os.Exit(1)
+		}
+		gen, err = traffic.ParseTrace(f, *n)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lcftrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s, n=%d, arrivals from %s\n", *schedName, *n, *arrivals)
+	} else {
+		fmt.Printf("trace: %s, n=%d, load=%.2f, seed=%d\n", *schedName, *n, *load, *seed)
+	}
+	fmt.Printf("%-6s %-9s %-28s %s\n", "slot", "requests", "matching (in→out)", "moved")
+
+	cfg := simswitch.Config{
+		N:            *n,
+		Mode:         mode,
+		Scheduler:    s,
+		Gen:          gen,
+		WarmupSlots:  0,
+		MeasureSlots: *slots,
+		Validate:     true,
+		Trace: func(ev simswitch.TraceEvent) {
+			var pairs []string
+			for i, j := range ev.Match.InToOut {
+				if j != matching.Unmatched {
+					pairs = append(pairs, fmt.Sprintf("%d→%d", i, j))
+				}
+			}
+			fmt.Printf("%-6d %-9d %-28s %d\n", ev.Slot, ev.Requests.PopCount(),
+				strings.Join(pairs, " "), ev.Moved)
+			if *matrix {
+				for i := 0; i < ev.Requests.N(); i++ {
+					fmt.Printf("       R[%d] %s\n", i, ev.Requests.Row(i))
+				}
+			}
+		},
+	}
+	res, err := simswitch.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcftrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d slots: %d generated, %d forwarded, %d dropped, %d still queued; mean delay %.2f slots\n",
+		*slots, res.Counters.Generated, res.Counters.Forwarded, res.Counters.DroppedPQ,
+		res.StillQueued, res.Delay.Mean())
+}

@@ -1,0 +1,76 @@
+// Fairness demonstrates the throughput/fairness trade-off at the heart of
+// Section 3: pure LCF starves a contested requester/resource pair
+// indefinitely, the interleaved round-robin diagonal of Figure 2 restores
+// a hard b/n² guarantee, and the prescheduled-diagonal variant raises it
+// to ≈b/n at a small throughput cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lcf "repro"
+)
+
+// adversarialMatrix builds the starvation pattern: input 0 requests every
+// output, while inputs 1..n-1 each persistently request the single output
+// matching their index — so at every contested output, input 0 always has
+// strictly more remaining choices and loses under pure LCF.
+func adversarialMatrix(n int) *lcf.RequestMatrix {
+	req := lcf.NewRequestMatrix(n)
+	for j := 0; j < n; j++ {
+		req.Set(0, j)
+	}
+	for i := 1; i < n; i++ {
+		req.Set(i, i)
+	}
+	return req
+}
+
+func main() {
+	const n = 8
+	const cycles = 10 * n * n
+	contested := n - 1 // the pair under test: (I0, T7)
+
+	fmt.Printf("adversarial demand, %d-port switch, %d scheduling cycles\n", n, cycles)
+	fmt.Printf("flow under test: the contested pair (I0,T%d)\n\n", contested)
+	fmt.Printf("%-22s %12s %14s %14s\n", "scheduler", "pair grants", "worst gap", "total grants")
+
+	for _, mode := range []lcf.CentralRRMode{lcf.RRNone, lcf.RRInterleaved, lcf.RRPrescheduled} {
+		s := lcf.NewCentralLCF(n, mode)
+		req := adversarialMatrix(n)
+		m := lcf.NewMatch(n)
+
+		pairGrants, totalGrants := 0, 0
+		worstGap, last := 0, -1
+		for c := 0; c < cycles; c++ {
+			lcf.Schedule(s, req, m)
+			if err := lcf.ValidateMatch(m, req); err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if m.InToOut[i] != lcf.Unmatched {
+					totalGrants++
+				}
+			}
+			if m.InToOut[0] == contested {
+				pairGrants++
+				if gap := c - last; last >= 0 && gap > worstGap {
+					worstGap = gap
+				}
+				last = c
+			}
+		}
+
+		gap := "never served"
+		if pairGrants > 0 {
+			gap = fmt.Sprintf("%d cycles", worstGap)
+		}
+		fmt.Printf("%-22s %12d %14s %14d\n", s.Name(), pairGrants, gap, totalGrants)
+	}
+
+	fmt.Println("\nreading: pure LCF never grants the contested pair (starvation);")
+	fmt.Printf("the Figure 2 diagonal guarantees it once per n² = %d cycles;\n", n*n)
+	fmt.Println("the prescheduled diagonal serves it once per ≈n cycles, trading a")
+	fmt.Println("few total grants for the stronger bound — Section 3's 0..b/n range.")
+}

@@ -1,0 +1,48 @@
+// Multicast compares the scheduling disciplines for multicast traffic —
+// the traffic class Clint's precalculated schedule (Section 4.3) serves
+// with an all-or-nothing reservation, against the fanout-splitting
+// schedulers studied in the paper's reference [11].
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lcf "repro"
+)
+
+func main() {
+	fmt.Println("multicast on a 16-port switch: copies delivered per output slot and")
+	fmt.Println("mean cell completion delay, at 90% offered copy load per output")
+	fmt.Println()
+	fmt.Printf("%-8s %-16s %18s %14s\n", "fanout", "policy", "copies/out/slot", "cell delay")
+
+	for _, fanout := range []int{2, 4, 8} {
+		load := 0.9 / float64(fanout)
+		for _, policy := range []lcf.MulticastPolicy{lcf.NoSplitting, lcf.FewestFirst, lcf.LargestFirst} {
+			res, err := lcf.SimulateMulticast(lcf.MulticastConfig{
+				N:       16,
+				Policy:  policy,
+				Load:    load,
+				Fanout:  fanout,
+				Seed:    1,
+				Warmup:  2000,
+				Measure: 20000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8d %-16s %18.3f %14.2f\n",
+				fanout, policy, res.CopiesPerOutputSlot, res.CellDelay)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("reading: an all-or-nothing reservation (what a precalculated schedule")
+	fmt.Println("implements) waits for its whole fanout to be free at once and loses")
+	fmt.Println("throughput as the fanout grows; splitting the fanout across slots —")
+	fmt.Println("finishing the cells with the fewest remaining destinations first, the")
+	fmt.Println("least-choice instinct again — sustains the load. Clint's precalc is")
+	fmt.Println("still the right tool for its purpose: hard real-time guarantees that")
+	fmt.Println("no online scheduler can promise.")
+}

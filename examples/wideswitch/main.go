@@ -1,0 +1,57 @@
+// Wideswitch explores the scalability trade-off of Section 6.2: the
+// central LCF scheduler computes better schedules (global knowledge) but
+// its scheduling time grows as O(n) and all request wiring converges on
+// one chip, while the distributed scheduler works from partial knowledge
+// in O(log n) iterations at the price of i·n²·(2·log₂n+3) signalling bits.
+// This example measures both sides at n = 16, 32 and 64.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lcf "repro"
+)
+
+func main() {
+	fmt.Println("central vs distributed LCF as the switch gets wider")
+	fmt.Println("(uniform Bernoulli traffic at load 0.9; delays in slots)")
+	fmt.Println()
+	fmt.Printf("%-5s %12s %12s %14s %14s %12s\n",
+		"n", "central", "distributed", "central bits", "dist bits", "LCF cycles")
+
+	for _, n := range []int{16, 32, 64} {
+		central, err := lcf.NewScheduler("lcf_central_rr", n, lcf.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist, err := lcf.NewScheduler("lcf_dist_rr", n, lcf.Options{Iterations: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		measure := func(s lcf.Scheduler) float64 {
+			res, err := lcf.Simulate(lcf.SimConfig{
+				N: n, Scheduler: s, Load: 0.9, Seed: 1,
+				WarmupSlots: 2000, MeasureSlots: 15000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.Delay.Mean()
+		}
+
+		tasks := lcf.SchedulingTasksTable2(n, lcf.ClockHz)
+		fmt.Printf("%-5d %12.2f %12.2f %14d %14d %12d\n",
+			n, measure(central), measure(dist),
+			lcf.CentralCommBits(n), lcf.DistCommBits(n, 4),
+			tasks[1].Cycles)
+	}
+
+	fmt.Println()
+	fmt.Println("reading: the central scheduler stays ahead on delay at every width,")
+	fmt.Println("but its pass takes 3n+2 clock cycles — 194 cycles at n=64 vs the")
+	fmt.Println("distributed scheduler's 4 iterations — while the distributed version")
+	fmt.Println("pays quadratically in signalling wires. This is exactly the")
+	fmt.Println("narrow-switch/wide-switch split the paper proposes in Section 5.")
+}

@@ -1,0 +1,59 @@
+package lcf
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenRegression pins bit-exact results of a fixed simulation per
+// scheduler. Every component is deterministic for a given seed, so any
+// drift here means the behaviour of a scheduler, the traffic model, or
+// the simulator changed — either a bug or an intentional semantic change,
+// in which case these constants are regenerated (see the table's comment)
+// and the change is called out in review.
+//
+// Setup: n=8, load 0.85 uniform Bernoulli, seed 12345, scheduler seed 99,
+// 4 iterations, 1000 warmup + 8000 measured slots, paper queue defaults.
+func TestGoldenRegression(t *testing.T) {
+	golden := []struct {
+		name      string
+		count     int64
+		meanDelay float64
+		forwarded int64
+	}{
+		{"lcf_central", 54329, 4.506820, 54375},
+		{"lcf_central_rr", 54326, 4.827891, 54379},
+		{"lcf_dist", 54328, 5.238441, 54379},
+		{"pim", 54316, 6.362435, 54373},
+		{"islip", 54319, 6.471290, 54375},
+		{"wfront", 54312, 6.970577, 54373},
+		{"fifo", 38146, 1334.242201, 39977},
+		{OutbufName, 54336, 3.569402, 54372},
+	}
+	for _, g := range golden {
+		var s Scheduler
+		if g.name != OutbufName {
+			var err error
+			s, err = NewScheduler(g.name, 8, Options{Iterations: 4, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := Simulate(SimConfig{
+			N: 8, Scheduler: s, Load: 0.85, Seed: 12345,
+			WarmupSlots: 1000, MeasureSlots: 8000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if res.Delay.Count() != g.count {
+			t.Errorf("%s: measured %d packets, golden %d", g.name, res.Delay.Count(), g.count)
+		}
+		if math.Abs(res.Delay.Mean()-g.meanDelay) > 5e-7 {
+			t.Errorf("%s: mean delay %.6f, golden %.6f", g.name, res.Delay.Mean(), g.meanDelay)
+		}
+		if res.Counters.Forwarded != g.forwarded {
+			t.Errorf("%s: forwarded %d, golden %d", g.name, res.Counters.Forwarded, g.forwarded)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package asciiplot renders small line charts as text, so cmd/lcfsim can
+// show the shape of Figure 12 directly in a terminal without external
+// plotting. It is deliberately minimal: linear or log₁₀ y-axis, one glyph
+// per series, nearest-cell rasterization.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve. X values across series may differ; the plot
+// uses the union of ranges.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Config controls rendering.
+type Config struct {
+	Width  int  // plot area columns (default 64)
+	Height int  // plot area rows (default 20)
+	LogY   bool // log10 y axis (values ≤ 0 are clamped to the axis floor)
+	// YMax caps the y axis (0 = auto). Useful when one saturated curve
+	// would flatten the others.
+	YMax float64
+	// Title is printed above the chart.
+	Title string
+}
+
+// glyphs assigned to series in order.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '=', '^', '$'}
+
+// Render draws the series into a string.
+func Render(cfg Config, series []Series) (string, error) {
+	if cfg.Width <= 0 {
+		cfg.Width = 64
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 20
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("asciiplot: no series")
+	}
+	if len(series) > len(glyphs) {
+		return "", fmt.Errorf("asciiplot: %d series exceeds %d glyphs", len(series), len(glyphs))
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("asciiplot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			x, y := s.X[i], s.Y[i]
+			if cfg.YMax > 0 && y > cfg.YMax {
+				y = cfg.YMax
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("asciiplot: all series empty")
+	}
+	if cfg.YMax > 0 {
+		ymax = cfg.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	yof := func(v float64) float64 {
+		if cfg.YMax > 0 && v > cfg.YMax {
+			v = cfg.YMax
+		}
+		if cfg.LogY {
+			floor := math.Max(ymin, 1e-9)
+			if v < floor {
+				v = floor
+			}
+			return (math.Log10(v) - math.Log10(floor)) / (math.Log10(ymax) - math.Log10(floor))
+		}
+		return (v - ymin) / (ymax - ymin)
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si]
+		for i := range s.X {
+			cx := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(cfg.Width-1)))
+			cy := int(math.Round(yof(s.Y[i]) * float64(cfg.Height-1)))
+			row := cfg.Height - 1 - cy
+			if row < 0 {
+				row = 0
+			}
+			if row >= cfg.Height {
+				row = cfg.Height - 1
+			}
+			grid[row][cx] = g
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	// Y labels on the left at top, middle, bottom.
+	label := func(frac float64) float64 {
+		if cfg.LogY {
+			floor := math.Max(ymin, 1e-9)
+			return math.Pow(10, math.Log10(floor)+frac*(math.Log10(ymax)-math.Log10(floor)))
+		}
+		return ymin + frac*(ymax-ymin)
+	}
+	for r := 0; r < cfg.Height; r++ {
+		var lab string
+		switch r {
+		case 0:
+			lab = fmt.Sprintf("%8.2f", label(1))
+		case cfg.Height / 2:
+			lab = fmt.Sprintf("%8.2f", label(0.5))
+		case cfg.Height - 1:
+			lab = fmt.Sprintf("%8.2f", label(0))
+		default:
+			lab = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", lab, grid[r])
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(&b, "%s  %-*.2f%*.2f\n", strings.Repeat(" ", 8), cfg.Width/2, xmin, cfg.Width-cfg.Width/2, xmax)
+
+	// Legend, in series order.
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = fmt.Sprintf("%c %s", glyphs[i], s.Name)
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(names, "   "))
+	return b.String(), nil
+}
+
+// SortSeriesByFinalY orders series by their last y value descending, so
+// the legend reads in the same vertical order as the right edge of the
+// chart.
+func SortSeriesByFinalY(series []Series) {
+	sort.SliceStable(series, func(a, b int) bool {
+		ya, yb := 0.0, 0.0
+		if n := len(series[a].Y); n > 0 {
+			ya = series[a].Y[n-1]
+		}
+		if n := len(series[b].Y); n > 0 {
+			yb = series[b].Y[n-1]
+		}
+		return ya > yb
+	})
+}

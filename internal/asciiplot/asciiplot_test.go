@@ -1,0 +1,122 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func line(name string, ys ...float64) Series {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return Series{Name: name, X: xs, Y: ys}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := Render(Config{Width: 20, Height: 8, Title: "demo"}, []Series{
+		line("up", 0, 1, 2, 3, 4),
+		line("down", 4, 3, 2, 1, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "legend:", "* up", "o down", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// title + 8 rows + axis + xlabel + legend + trailing newline
+	if len(lines) != 13 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderPlacement(t *testing.T) {
+	// A single rising series: its glyph must appear at the bottom-left
+	// and top-right corners of the plot area.
+	out, err := Render(Config{Width: 10, Height: 5}, []Series{line("s", 0, 1, 2, 3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(out, "\n")
+	top := rows[0]
+	bottom := rows[4]
+	if !strings.HasSuffix(top, "*") {
+		t.Fatalf("top row %q should end with the glyph", top)
+	}
+	if !strings.Contains(bottom, "|*") {
+		t.Fatalf("bottom row %q should start with the glyph", bottom)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	out, err := Render(Config{Width: 20, Height: 10, LogY: true}, []Series{
+		line("exp", 1, 10, 100, 1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a log axis an exponential is a straight diagonal: every row of
+	// the plot area should contain exactly one glyph.
+	rows := strings.Split(out, "\n")
+	hits := 0
+	for _, r := range rows[:10] {
+		if strings.Count(r, "*") == 1 {
+			hits++
+		}
+	}
+	if hits < 4 {
+		t.Fatalf("log plot not diagonal:\n%s", out)
+	}
+}
+
+func TestRenderYMaxClamp(t *testing.T) {
+	out, err := Render(Config{Width: 20, Height: 6, YMax: 10}, []Series{
+		line("sat", 1, 2, 3, 2000), // the outlier must clamp, not flatten the rest
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10.00") {
+		t.Fatalf("y axis not capped at 10:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Config{}, nil); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Render(Config{}, []Series{{Name: "bad", X: []float64{1}, Y: nil}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if _, err := Render(Config{}, []Series{{Name: "empty"}}); err == nil {
+		t.Error("empty series accepted")
+	}
+	many := make([]Series, 13)
+	for i := range many {
+		many[i] = line("s", 1)
+	}
+	if _, err := Render(Config{}, many); err == nil {
+		t.Error("13 series accepted with 12 glyphs")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	if _, err := Render(Config{}, []Series{line("flat", 5, 5, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Render(Config{}, []Series{{Name: "pt", X: []float64{2}, Y: []float64{3}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortSeriesByFinalY(t *testing.T) {
+	s := []Series{line("low", 1, 1), line("high", 1, 9), {Name: "empty"}}
+	SortSeriesByFinalY(s)
+	if s[0].Name != "high" || s[1].Name != "low" || s[2].Name != "empty" {
+		t.Fatalf("order: %s %s %s", s[0].Name, s[1].Name, s[2].Name)
+	}
+}

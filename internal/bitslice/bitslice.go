@@ -1,0 +1,181 @@
+// Package bitslice models the bit-sliced switch fabric Section 6.2 points
+// to for scalable wide switches ("particularly interesting when a
+// scalable design using a bit-sliced switch fabric is considered"): the
+// data path is split across k identical crossbar slices, each carrying
+// 1/k of every cell in parallel. One scheduler configures all slices
+// identically; the price is configuration fan-out (the schedule must
+// reach every slice) and a new failure mode (a dead or misconfigured
+// slice corrupts every cell it touches, which end-to-end CRCs catch and
+// the host protocol retransmits).
+//
+// The model answers the engineering questions the design raises:
+// configuration signal cost per slot, aggregate bandwidth scaling, and
+// delivery integrity under slice failure.
+package bitslice
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// Fabric is a k-slice bit-sliced crossbar for n ports.
+type Fabric struct {
+	n, k int
+
+	// healthy[s] marks slice s operational.
+	healthy []bool
+
+	// applied[s] is the schedule most recently configured into slice s;
+	// a misconfigured slice (skew, stuck register) can be modeled by
+	// poking ForceSliceSchedule.
+	applied []*matching.Match
+
+	// Cells and CorruptCells count whole-cell transfers and transfers
+	// with at least one damaged slice segment.
+	Cells        int64
+	CorruptCells int64
+}
+
+// New returns an n-port fabric of k slices, all healthy.
+func New(n, k int) *Fabric {
+	if n <= 0 || k <= 0 {
+		panic(fmt.Sprintf("bitslice: non-positive dimension n=%d k=%d", n, k))
+	}
+	f := &Fabric{n: n, k: k, healthy: make([]bool, k), applied: make([]*matching.Match, k)}
+	for s := range f.healthy {
+		f.healthy[s] = true
+		f.applied[s] = matching.NewMatch(n)
+	}
+	return f
+}
+
+// N returns the port count; K the slice count.
+func (f *Fabric) N() int { return f.n }
+
+// K returns the slice count.
+func (f *Fabric) K() int { return f.k }
+
+// FailSlice marks slice s dead (its outputs carry garbage).
+func (f *Fabric) FailSlice(s int) {
+	f.check(s)
+	f.healthy[s] = false
+}
+
+// RepairSlice restores slice s.
+func (f *Fabric) RepairSlice(s int) {
+	f.check(s)
+	f.healthy[s] = true
+}
+
+func (f *Fabric) check(s int) {
+	if s < 0 || s >= f.k {
+		panic(fmt.Sprintf("bitslice: slice %d out of [0,%d)", s, f.k))
+	}
+}
+
+// HealthySlices returns the number of operational slices.
+func (f *Fabric) HealthySlices() int {
+	c := 0
+	for _, h := range f.healthy {
+		if h {
+			c++
+		}
+	}
+	return c
+}
+
+// Configure distributes the schedule to every slice and returns the
+// number of configuration signal bits driven: each of the k slices
+// receives n crosspoint selections of ⌈log₂(n+1)⌉ bits (an input index or
+// "idle") — the fan-out cost that grows linearly with the slice count and
+// is the central scheduler's packaging burden in a bit-sliced design.
+func (f *Fabric) Configure(m *matching.Match) (bits int, err error) {
+	if m.N() != f.n {
+		return 0, fmt.Errorf("bitslice: schedule for %d ports on %d-port fabric", m.N(), f.n)
+	}
+	sel := 1
+	for 1<<uint(sel) < f.n+1 {
+		sel++
+	}
+	for s := range f.applied {
+		f.applied[s].Reset()
+		for i := 0; i < f.n; i++ {
+			if j := m.InToOut[i]; j != matching.Unmatched {
+				f.applied[s].Pair(i, j)
+			}
+		}
+		bits += f.n * sel
+	}
+	return bits, nil
+}
+
+// ForceSliceSchedule overrides one slice's configuration (fault
+// injection: a skewed or stuck slice applying yesterday's schedule).
+func (f *Fabric) ForceSliceSchedule(s int, m *matching.Match) {
+	f.check(s)
+	if m.N() != f.n {
+		panic("bitslice: dimension mismatch")
+	}
+	f.applied[s].Reset()
+	for i := 0; i < f.n; i++ {
+		if j := m.InToOut[i]; j != matching.Unmatched {
+			f.applied[s].Pair(i, j)
+		}
+	}
+}
+
+// Transfer moves the configured connections for one slot and reports, per
+// output, whether the cell arrived intact: every slice must be healthy
+// and configured with the same (input → output) connection, otherwise the
+// reassembled cell fails its CRC. intact[j] is meaningless where the
+// reference schedule leaves output j unmatched.
+func (f *Fabric) Transfer(reference *matching.Match) (intact []bool, err error) {
+	if reference.N() != f.n {
+		return nil, fmt.Errorf("bitslice: schedule for %d ports on %d-port fabric", reference.N(), f.n)
+	}
+	intact = make([]bool, f.n)
+	for j := 0; j < f.n; j++ {
+		in := reference.OutToIn[j]
+		if in == matching.Unmatched {
+			continue
+		}
+		ok := true
+		for s := 0; s < f.k; s++ {
+			if !f.healthy[s] || f.applied[s].OutToIn[j] != in {
+				ok = false
+				break
+			}
+		}
+		intact[j] = ok
+		f.Cells++
+		if !ok {
+			f.CorruptCells++
+		}
+	}
+	return intact, nil
+}
+
+// AggregateBandwidth returns the fabric's relative data bandwidth: each
+// healthy slice contributes 1/k of the cell width, and a cell needs all k
+// segments, so any dead slice zeroes effective goodput until repaired or
+// until the fabric is reconfigured to re-stripe across k−1 slices (which
+// halves... reduces per-cell width; re-striping is a control-plane action
+// outside this model). The returned value is 1 if all slices are healthy,
+// 0 otherwise — the brutal failure profile that makes slice sparing
+// (k+1 slices) standard practice, which the Spare* helpers quantify.
+func (f *Fabric) AggregateBandwidth() float64 {
+	if f.HealthySlices() == f.k {
+		return 1
+	}
+	return 0
+}
+
+// SpareOverhead returns the hardware overhead of provisioning one spare
+// slice: 1/k of the fabric.
+func SpareOverhead(k int) float64 {
+	if k <= 0 {
+		panic("bitslice: non-positive slice count")
+	}
+	return 1 / float64(k)
+}

@@ -1,0 +1,164 @@
+package bitslice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matching"
+)
+
+func perm(r *rand.Rand, n int) *matching.Match {
+	m := matching.NewMatch(n)
+	for i, j := range r.Perm(n) {
+		m.Pair(i, j)
+	}
+	return m
+}
+
+func TestHealthyFabricDeliversIntact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(12) + 2
+		k := r.Intn(8) + 1
+		fab := New(n, k)
+		m := perm(r, n)
+		if _, err := fab.Configure(m); err != nil {
+			return false
+		}
+		intact, err := fab.Transfer(m)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if !intact[j] {
+				return false
+			}
+		}
+		return fab.CorruptCells == 0 && fab.Cells == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigurationCost(t *testing.T) {
+	// n=16 needs 5-bit crosspoint selections (16 inputs + idle); k slices
+	// each take 16 of them.
+	fab := New(16, 4)
+	m := matching.NewMatch(16)
+	bits, err := fab.Configure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != 4*16*5 {
+		t.Fatalf("configuration bits = %d, want %d", bits, 4*16*5)
+	}
+}
+
+func TestDeadSliceCorruptsEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	fab := New(8, 4)
+	m := perm(r, 8)
+	fab.Configure(m)
+	fab.FailSlice(2)
+	if fab.HealthySlices() != 3 {
+		t.Fatalf("HealthySlices = %d", fab.HealthySlices())
+	}
+	if fab.AggregateBandwidth() != 0 {
+		t.Fatal("dead slice should zero effective bandwidth")
+	}
+	intact, err := fab.Transfer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, ok := range intact {
+		if ok {
+			t.Fatalf("output %d intact with a dead slice", j)
+		}
+	}
+	fab.RepairSlice(2)
+	if fab.AggregateBandwidth() != 1 {
+		t.Fatal("repair did not restore bandwidth")
+	}
+	intact, _ = fab.Transfer(m)
+	for _, ok := range intact {
+		if !ok {
+			t.Fatal("repaired fabric still corrupting")
+		}
+	}
+}
+
+func TestSkewedSliceCorruptsOnlyDivergentConnections(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 6
+	fab := New(n, 3)
+	current := perm(r, n)
+	fab.Configure(current)
+
+	// Slice 1 is stuck on a different (old) schedule.
+	old := perm(r, n)
+	fab.ForceSliceSchedule(1, old)
+
+	intact, err := fab.Transfer(current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		want := old.OutToIn[j] == current.OutToIn[j]
+		if intact[j] != want {
+			t.Fatalf("output %d intact=%v, want %v (old in %d, cur in %d)",
+				j, intact[j], want, old.OutToIn[j], current.OutToIn[j])
+		}
+	}
+}
+
+func TestPartialScheduleSkipsUnmatched(t *testing.T) {
+	fab := New(4, 2)
+	m := matching.NewMatch(4)
+	m.Pair(1, 3)
+	fab.Configure(m)
+	intact, err := fab.Transfer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !intact[3] {
+		t.Fatal("matched output corrupted")
+	}
+	if fab.Cells != 1 {
+		t.Fatalf("Cells = %d, want 1", fab.Cells)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 2) },
+		func() { New(2, 0) },
+		func() { New(4, 2).FailSlice(5) },
+		func() { New(4, 2).RepairSlice(-1) },
+		func() { SpareOverhead(0) },
+		func() { New(4, 2).ForceSliceSchedule(0, matching.NewMatch(5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid parameter did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	fab := New(4, 2)
+	if _, err := fab.Configure(matching.NewMatch(5)); err == nil {
+		t.Error("dimension mismatch configured")
+	}
+	if _, err := fab.Transfer(matching.NewMatch(5)); err == nil {
+		t.Error("dimension mismatch transferred")
+	}
+}
+
+func TestSpareOverhead(t *testing.T) {
+	if SpareOverhead(4) != 0.25 || SpareOverhead(16) != 0.0625 {
+		t.Fatal("spare overhead arithmetic")
+	}
+}

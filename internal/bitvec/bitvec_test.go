@@ -1,0 +1,354 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	for _, n := range []int{0, 1, 16, 63, 64, 65, 128, 200} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len() = %d, want %d", v.Len(), n)
+		}
+		if v.PopCount() != 0 {
+			t.Fatalf("n=%d: new vector has %d set bits", n, v.PopCount())
+		}
+		if v.Any() {
+			t.Fatalf("n=%d: new vector reports Any", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	v := New(10)
+	v.SetTo(3, true)
+	if !v.Get(3) {
+		t.Fatal("SetTo(3,true) did not set")
+	}
+	v.SetTo(3, false)
+	if v.Get(3) {
+		t.Fatal("SetTo(3,false) did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(8)
+	for _, i := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestSetAllAndTrim(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 65, 100} {
+		v := New(n)
+		v.SetAll()
+		if v.PopCount() != n {
+			t.Fatalf("n=%d: SetAll PopCount = %d", n, v.PopCount())
+		}
+		v.Reset()
+		if v.PopCount() != 0 {
+			t.Fatalf("n=%d: Reset left %d bits", n, v.PopCount())
+		}
+	}
+}
+
+func TestFirstNextSet(t *testing.T) {
+	v := FromIndices(200, 5, 64, 199)
+	if got := v.FirstSet(); got != 5 {
+		t.Fatalf("FirstSet = %d, want 5", got)
+	}
+	if got := v.NextSet(6); got != 64 {
+		t.Fatalf("NextSet(6) = %d, want 64", got)
+	}
+	if got := v.NextSet(65); got != 199 {
+		t.Fatalf("NextSet(65) = %d, want 199", got)
+	}
+	if got := v.NextSet(200); got != -1 {
+		t.Fatalf("NextSet(200) = %d, want -1", got)
+	}
+	if got := New(10).FirstSet(); got != -1 {
+		t.Fatalf("empty FirstSet = %d, want -1", got)
+	}
+}
+
+func TestFirstSetFromWraps(t *testing.T) {
+	v := FromIndices(8, 1, 5)
+	cases := []struct{ from, want int }{
+		{0, 1}, {1, 1}, {2, 5}, {5, 5}, {6, 1}, {7, 1},
+		// negative and overflowing offsets are normalized
+		{-1, 1}, {8, 1}, {13, 5},
+	}
+	for _, c := range cases {
+		if got := v.FirstSetFrom(c.from); got != c.want {
+			t.Errorf("FirstSetFrom(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(4).FirstSetFrom(2); got != -1 {
+		t.Fatalf("empty FirstSetFrom = %d, want -1", got)
+	}
+	if got := New(0).FirstSetFrom(0); got != -1 {
+		t.Fatalf("zero-width FirstSetFrom = %d, want -1", got)
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	a := FromIndices(70, 0, 3, 64)
+	b := FromIndices(70, 3, 64, 69)
+
+	and := a.Clone()
+	and.And(b)
+	if want := FromIndices(70, 3, 64); !and.Equal(want) {
+		t.Fatalf("And = %v, want %v", and.Indices(), want.Indices())
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if want := FromIndices(70, 0, 3, 64, 69); !or.Equal(want) {
+		t.Fatalf("Or = %v, want %v", or.Indices(), want.Indices())
+	}
+
+	andnot := a.Clone()
+	andnot.AndNot(b)
+	if want := FromIndices(70, 0); !andnot.Equal(want) {
+		t.Fatalf("AndNot = %v, want %v", andnot.Indices(), want.Indices())
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched width did not panic")
+		}
+	}()
+	New(8).And(New(9))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(64, 1, 2)
+	c := a.Clone()
+	c.Set(3)
+	if a.Get(3) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestIndicesAndString(t *testing.T) {
+	v := FromIndices(6, 0, 2, 5)
+	got := v.Indices()
+	want := []int{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	if s := v.String(); s != "101001" {
+		t.Fatalf("String = %q, want %q", s, "101001")
+	}
+}
+
+func TestPopCountMatchesNaive(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		r := rand.New(rand.NewSource(seed))
+		v := New(n)
+		naive := 0
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 1 {
+				v.Set(i)
+				naive++
+			}
+		}
+		return v.PopCount() == naive
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextSetConsistentWithGet(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(180) + 1
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				v.Set(i)
+			}
+		}
+		// Walk via NextSet and confirm we visit exactly the set bits.
+		seen := New(n)
+		for i := v.FirstSet(); i >= 0; i = v.NextSet(i + 1) {
+			if !v.Get(i) {
+				return false
+			}
+			seen.Set(i)
+		}
+		return seen.Equal(v)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(4)
+	if m.N() != 4 {
+		t.Fatalf("N = %d", m.N())
+	}
+	m.Set(1, 2)
+	m.Set(3, 0)
+	if !m.Get(1, 2) || !m.Get(3, 0) || m.Get(0, 0) {
+		t.Fatal("Set/Get mismatch")
+	}
+	if m.PopCount() != 2 {
+		t.Fatalf("PopCount = %d, want 2", m.PopCount())
+	}
+	if m.RowCount(1) != 1 || m.RowCount(0) != 0 {
+		t.Fatal("RowCount mismatch")
+	}
+	if m.ColCount(0) != 1 || m.ColCount(2) != 1 || m.ColCount(3) != 0 {
+		t.Fatal("ColCount mismatch")
+	}
+	m.ClearRow(1)
+	if m.Get(1, 2) {
+		t.Fatal("ClearRow did not clear")
+	}
+	m.Set(0, 0)
+	m.Set(2, 0)
+	m.ClearCol(0)
+	if m.ColCount(0) != 0 {
+		t.Fatal("ClearCol did not clear")
+	}
+}
+
+func TestMatrixFromRowsFigure3(t *testing.T) {
+	// The 4×4 request matrix of the paper's Figure 3 (step 1).
+	m := MatrixFromRows([][]int{
+		{0, 1, 1, 0},
+		{1, 0, 1, 1},
+		{1, 0, 1, 1},
+		{0, 1, 0, 0},
+	})
+	wantNRQ := []int{2, 3, 3, 1}
+	for i, w := range wantNRQ {
+		if got := m.RowCount(i); got != w {
+			t.Errorf("NRQ[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged MatrixFromRows did not panic")
+		}
+	}()
+	MatrixFromRows([][]int{{1, 0}, {1}})
+}
+
+func TestMatrixCloneEqualCopy(t *testing.T) {
+	m := NewMatrix(5)
+	m.Set(0, 4)
+	m.Set(4, 0)
+	c := m.Clone()
+	if !c.Equal(m) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(2, 2)
+	if m.Get(2, 2) {
+		t.Fatal("clone aliases original")
+	}
+	var d Matrix
+	_ = d
+	e := NewMatrix(5)
+	e.Copy(c)
+	if !e.Equal(c) {
+		t.Fatal("Copy mismatch")
+	}
+	if e.Equal(NewMatrix(4)) {
+		t.Fatal("Equal across dimensions")
+	}
+}
+
+func TestMatrixReset(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 1)
+	m.Reset()
+	if m.PopCount() != 0 {
+		t.Fatal("Reset left bits")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := MatrixFromRows([][]int{{1, 0}, {0, 1}})
+	if s := m.String(); s != "10\n01" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRowAliasing(t *testing.T) {
+	m := NewMatrix(3)
+	m.Row(1).Set(2)
+	if !m.Get(1, 2) {
+		t.Fatal("Row does not alias matrix storage")
+	}
+}
+
+func BenchmarkPopCount1024(b *testing.B) {
+	v := New(1024)
+	for i := 0; i < 1024; i += 3 {
+		v.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.PopCount()
+	}
+}
+
+func BenchmarkFirstSetFrom(b *testing.B) {
+	v := FromIndices(256, 200, 250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.FirstSetFrom(i % 256)
+	}
+}

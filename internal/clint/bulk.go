@@ -1,0 +1,170 @@
+package clint
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hwsched"
+	"repro/internal/packet"
+)
+
+// BulkScheduler is the switch-resident bulk-channel scheduler: it decodes
+// one configuration packet per host, assembles the request and
+// precalculated-schedule matrices (applying the ben enable masks), runs
+// the two-stage hardware LCF scheduler, and emits one grant packet per
+// host.
+type BulkScheduler struct {
+	hw *hwsched.Scheduler
+
+	// crcErr[i] latches that host i's last configuration packet was
+	// missing or corrupt, reported in its next grant packet.
+	crcErr [NumPorts]bool
+	// linkErr[i] latches a link error detected on host i's link.
+	linkErr [NumPorts]bool
+
+	req *bitvec.Matrix
+	pre *bitvec.Matrix
+}
+
+// NewBulkScheduler returns a 16-port bulk scheduler.
+func NewBulkScheduler() *BulkScheduler {
+	return &BulkScheduler{
+		hw:  hwsched.New(NumPorts),
+		req: bitvec.NewMatrix(NumPorts),
+		pre: bitvec.NewMatrix(NumPorts),
+	}
+}
+
+// HW exposes the underlying hardware model (for cycle accounting).
+func (b *BulkScheduler) HW() *hwsched.Scheduler { return b.hw }
+
+// ReportLinkError latches a link error for host i, to be flagged in its
+// next grant packet.
+func (b *BulkScheduler) ReportLinkError(i int) {
+	if i >= 0 && i < NumPorts {
+		b.linkErr[i] = true
+	}
+}
+
+// Cycle runs one bulk scheduling cycle. frames[i] is host i's encoded
+// configuration packet or nil if none arrived this cycle. It returns the
+// encoded grant packets (one per host) and the computed schedule.
+//
+// Error handling per Section 4.1: a missing or CRC-failing configuration
+// packet sets the host's CRCErr flag in its next grant and contributes no
+// requests this cycle. A host whose ben bit is cleared by every valid
+// configuration packet (the masks are ANDed: any functioning host can
+// vote a malfunctioning peer out) has its requests and precalculated
+// entries ignored.
+func (b *BulkScheduler) Cycle(frames [][]byte) ([][]byte, *hwsched.Result, error) {
+	if len(frames) != NumPorts {
+		return nil, nil, fmt.Errorf("clint: %d config frames, want %d", len(frames), NumPorts)
+	}
+
+	b.req.Reset()
+	b.pre.Reset()
+	ben := ^uint16(0)
+	cfgs := make([]*Config, NumPorts)
+	for i, frame := range frames {
+		if frame == nil {
+			b.crcErr[i] = true
+			continue
+		}
+		cfg, err := DecodeConfig(frame)
+		if err != nil {
+			b.crcErr[i] = true
+			continue
+		}
+		cfgs[i] = &cfg
+		ben &= cfg.Ben
+	}
+
+	for i, cfg := range cfgs {
+		if cfg == nil || ben&(1<<uint(i)) == 0 {
+			continue // disabled or silent host: no requests enter the matrix
+		}
+		for j := 0; j < NumPorts; j++ {
+			if cfg.Req&(1<<uint(j)) != 0 {
+				b.req.Set(i, j)
+			}
+			if cfg.Pre&(1<<uint(j)) != 0 {
+				b.pre.Set(i, j)
+			}
+		}
+	}
+
+	res := b.hw.ScheduleWithPrecalc(b.pre, b.req)
+
+	grants := make([][]byte, NumPorts)
+	for i := 0; i < NumPorts; i++ {
+		g := Grant{NodeID: uint8(i), LinkErr: b.linkErr[i], CRCErr: b.crcErr[i]}
+		// The grant field reports the LCF-stage grant; precalculated
+		// connections are known to their initiators a priori (the host
+		// computed them), so they are not echoed.
+		for j := 0; j < NumPorts; j++ {
+			if res.OutToIn[j] == i && !res.FromPrecalc[j] {
+				g.Gnt = uint8(j)
+				g.GntVal = true
+				break
+			}
+		}
+		grants[i] = g.Encode()
+		// Both flags report conditions "since the last grant packet":
+		// clear them now; the next cycle's decode re-latches as needed.
+		b.linkErr[i] = false
+		b.crcErr[i] = false
+	}
+	return grants, res, nil
+}
+
+// PipelineDepth is the bulk channel's pipeline depth (Figure 5): the
+// scheduling stage (configuration/grant exchange), the transfer stage
+// (bulk request packets), and the acknowledgment stage.
+const PipelineDepth = 3
+
+// StageRecord tracks one schedule through the bulk pipeline.
+type StageRecord struct {
+	// ScheduledAt is the slot the configuration/grant exchange happened
+	// (slot c of Figure 5); TransferAt = c+1 carries the bulk request
+	// packets; AckAt = c+2 returns the acknowledgments.
+	ScheduledAt, TransferAt, AckAt packet.Slot
+	Result                         *hwsched.Result
+}
+
+// Pipeline is the three-stage bulk pipeline. Scheduling of slot c+1's
+// transfers overlaps with slot c's transfers and slot c-1's
+// acknowledgments, which is how Clint hides the 1.3 µs scheduling latency
+// behind the 8.5 µs slot time.
+type Pipeline struct {
+	slot   packet.Slot
+	stages [PipelineDepth - 1]*StageRecord // in-flight: transfer, ack
+}
+
+// NewPipeline returns an empty pipeline starting at slot 0.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// Slot returns the current slot number.
+func (p *Pipeline) Slot() packet.Slot { return p.slot }
+
+// Advance injects the schedule computed in the current slot, advances time
+// by one slot, and returns the record whose acknowledgment stage completed
+// (nil while the pipeline fills).
+func (p *Pipeline) Advance(res *hwsched.Result) *StageRecord {
+	rec := &StageRecord{
+		ScheduledAt: p.slot,
+		TransferAt:  p.slot + 1,
+		AckAt:       p.slot + 2,
+		Result:      res,
+	}
+	done := p.stages[1]
+	p.stages[1] = p.stages[0]
+	p.stages[0] = rec
+	p.slot++
+	return done
+}
+
+// InFlight returns the records currently in the transfer and
+// acknowledgment stages (either may be nil during fill).
+func (p *Pipeline) InFlight() (transfer, ack *StageRecord) {
+	return p.stages[0], p.stages[1]
+}

@@ -1,0 +1,120 @@
+package clint
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crc16"
+)
+
+// Bulk-channel data framing. Section 4.1: "Data transmission follows a
+// request-acknowledgment protocol whereby the payload containing the data
+// is always part of the request packet and an acknowledgment packet is
+// returned for the receipt of every request packet." The paper does not
+// print these formats (only cfg/gnt); the layout below carries the fields
+// the protocol logic needs — addressing, a sequence number for
+// duplicate/reorder detection, and a CRC — with a fixed payload size
+// matching the fixed-size-cell switch model.
+
+// Packet type tags for the bulk channel.
+const (
+	TypeBulkData byte = 0xB0
+	TypeBulkAck  byte = 0xBA
+)
+
+// BulkPayloadLen is the fixed payload size of a bulk cell in this model.
+// (The Clint prototype's bulk packets are far larger — the bulk channel
+// exists to amortize per-packet cost — but the protocol logic is
+// size-independent.)
+const BulkPayloadLen = 32
+
+// BulkData is the bulk request packet breq of Figure 5.
+type BulkData struct {
+	Src, Dst uint8 // 4-bit port ids
+	Seq      uint16
+	Payload  [BulkPayloadLen]byte
+}
+
+// BulkDataLen is the encoded size: type + src|dst + seq + payload + CRC.
+const BulkDataLen = 1 + 1 + 2 + BulkPayloadLen + 2
+
+// Encode serializes the packet with its CRC.
+func (p BulkData) Encode() []byte {
+	if p.Src > 0xF || p.Dst > 0xF {
+		panic(fmt.Sprintf("clint: bulk data port out of 4-bit range: %+v", p.Src))
+	}
+	buf := make([]byte, BulkDataLen)
+	buf[0] = TypeBulkData
+	buf[1] = p.Src<<4 | p.Dst
+	binary.BigEndian.PutUint16(buf[2:], p.Seq)
+	copy(buf[4:], p.Payload[:])
+	binary.BigEndian.PutUint16(buf[4+BulkPayloadLen:], crc16.Checksum(buf[:4+BulkPayloadLen]))
+	return buf
+}
+
+// DecodeBulkData parses and verifies a bulk data packet.
+func DecodeBulkData(frame []byte) (BulkData, error) {
+	var p BulkData
+	if len(frame) != BulkDataLen {
+		return p, fmt.Errorf("clint: bulk data frame length %d, want %d", len(frame), BulkDataLen)
+	}
+	if frame[0] != TypeBulkData {
+		return p, fmt.Errorf("clint: bulk data frame has type %#02x", frame[0])
+	}
+	if !crc16.Verify(frame[:4+BulkPayloadLen], binary.BigEndian.Uint16(frame[4+BulkPayloadLen:])) {
+		return p, fmt.Errorf("clint: bulk data frame CRC mismatch")
+	}
+	p.Src = frame[1] >> 4
+	p.Dst = frame[1] & 0xF
+	p.Seq = binary.BigEndian.Uint16(frame[2:])
+	copy(p.Payload[:], frame[4:])
+	return p, nil
+}
+
+// BulkAck is the acknowledgment packet back of Figure 5, returned over
+// the quick channel.
+type BulkAck struct {
+	Src, Dst uint8 // acknowledger and addressee
+	Seq      uint16
+	// OK is false for a negative acknowledgment (payload CRC failure at
+	// the target) — the initiator retransmits in a later bulk slot.
+	OK bool
+}
+
+// BulkAckLen is the encoded size: type + src|dst + seq + flags + CRC.
+const BulkAckLen = 1 + 1 + 2 + 1 + 2
+
+// Encode serializes the ack with its CRC.
+func (a BulkAck) Encode() []byte {
+	if a.Src > 0xF || a.Dst > 0xF {
+		panic("clint: bulk ack port out of 4-bit range")
+	}
+	buf := make([]byte, BulkAckLen)
+	buf[0] = TypeBulkAck
+	buf[1] = a.Src<<4 | a.Dst
+	binary.BigEndian.PutUint16(buf[2:], a.Seq)
+	if a.OK {
+		buf[4] = 1
+	}
+	binary.BigEndian.PutUint16(buf[5:], crc16.Checksum(buf[:5]))
+	return buf
+}
+
+// DecodeBulkAck parses and verifies a bulk acknowledgment.
+func DecodeBulkAck(frame []byte) (BulkAck, error) {
+	var a BulkAck
+	if len(frame) != BulkAckLen {
+		return a, fmt.Errorf("clint: bulk ack frame length %d, want %d", len(frame), BulkAckLen)
+	}
+	if frame[0] != TypeBulkAck {
+		return a, fmt.Errorf("clint: bulk ack frame has type %#02x", frame[0])
+	}
+	if !crc16.Verify(frame[:5], binary.BigEndian.Uint16(frame[5:])) {
+		return a, fmt.Errorf("clint: bulk ack frame CRC mismatch")
+	}
+	a.Src = frame[1] >> 4
+	a.Dst = frame[1] & 0xF
+	a.Seq = binary.BigEndian.Uint16(frame[2:])
+	a.OK = frame[4]&1 != 0
+	return a, nil
+}

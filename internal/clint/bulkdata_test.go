@@ -1,0 +1,129 @@
+package clint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBulkDataRoundTrip(t *testing.T) {
+	f := func(src, dst uint8, seq uint16, payload []byte) bool {
+		p := BulkData{Src: src & 0xF, Dst: dst & 0xF, Seq: seq}
+		copy(p.Payload[:], payload)
+		got, err := DecodeBulkData(p.Encode())
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkAckRoundTrip(t *testing.T) {
+	f := func(src, dst uint8, seq uint16, ok bool) bool {
+		a := BulkAck{Src: src & 0xF, Dst: dst & 0xF, Seq: seq, OK: ok}
+		got, err := DecodeBulkAck(a.Encode())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkDataRejectsCorruption(t *testing.T) {
+	p := BulkData{Src: 2, Dst: 7, Seq: 42}
+	p.Payload[0] = 0xAB
+	frame := p.Encode()
+	for i := range frame {
+		frame[i] ^= 0x10
+		if _, err := DecodeBulkData(frame); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+		frame[i] ^= 0x10
+	}
+	if _, err := DecodeBulkData(frame[:10]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	frame[0] = TypeBulkAck
+	if _, err := DecodeBulkData(frame); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+}
+
+func TestBulkAckRejectsCorruption(t *testing.T) {
+	a := BulkAck{Src: 1, Dst: 2, Seq: 7, OK: true}
+	frame := a.Encode()
+	for i := range frame {
+		frame[i] ^= 0x01
+		if _, err := DecodeBulkAck(frame); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+		frame[i] ^= 0x01
+	}
+	if _, err := DecodeBulkAck(frame[:3]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestBulkEncodePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("5-bit src accepted")
+			}
+		}()
+		BulkData{Src: 16}.Encode()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("5-bit ack dst accepted")
+			}
+		}()
+		BulkAck{Dst: 16}.Encode()
+	}()
+}
+
+// TestClusterRetransmission drives the NACK path end to end: with 10% of
+// data frames corrupted in the fabric, cells are negatively acknowledged,
+// requeued at the VOQ head and eventually delivered; throughput converges
+// to arrivals minus the in-flight tail.
+func TestClusterRetransmission(t *testing.T) {
+	c := NewCluster(0.5, 256, 21)
+	c.DataCorruptRate = 0.1
+	const slots = 4000
+	for s := 0; s < slots; s++ {
+		if err := c.Step(); err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+	}
+	if c.NACKs == 0 {
+		t.Fatal("no NACKs at 10% data corruption")
+	}
+	if c.Retransmissions != c.NACKs {
+		t.Fatalf("retransmissions %d != NACKs %d", c.Retransmissions, c.NACKs)
+	}
+	if c.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Delivery rate ≈ offered load (retransmissions consume ~10% extra
+	// slots; at load 0.5 there is headroom to absorb them).
+	rate := float64(c.Delivered) / (slots * NumPorts)
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("delivered rate %.3f at load 0.5 with retransmissions", rate)
+	}
+	if c.DroppedFull != 0 {
+		t.Fatalf("unexpected retransmission drops: %d", c.DroppedFull)
+	}
+}
+
+// TestClusterNoCorruptionNoNACKs: the clean path must not invent NACKs.
+func TestClusterNoCorruptionNoNACKs(t *testing.T) {
+	c := NewCluster(0.7, 256, 3)
+	for s := 0; s < 1000; s++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.NACKs != 0 || c.Retransmissions != 0 {
+		t.Fatalf("clean run produced NACKs: %d/%d", c.NACKs, c.Retransmissions)
+	}
+}

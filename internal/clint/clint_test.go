@@ -1,0 +1,410 @@
+package clint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	f := func(req, pre, ben, qen uint16) bool {
+		c := Config{Req: req, Pre: pre, Ben: ben, Qen: qen}
+		got, err := DecodeConfig(c.Encode())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantRoundTrip(t *testing.T) {
+	f := func(node, gnt uint8, v, l, c bool) bool {
+		g := Grant{NodeID: node & 0xF, Gnt: gnt & 0xF, GntVal: v, LinkErr: l, CRCErr: c}
+		got, err := DecodeGrant(g.Encode())
+		return err == nil && got == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantEncodePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("5-bit NodeID did not panic")
+		}
+	}()
+	Grant{NodeID: 16}.Encode()
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	frame := Config{Req: 0xABCD, Ben: 0xFFFF}.Encode()
+	// Flip each bit: the CRC must catch every single-bit error.
+	for i := range frame {
+		for b := 0; b < 8; b++ {
+			frame[i] ^= 1 << b
+			if _, err := DecodeConfig(frame); err == nil {
+				t.Fatalf("corruption at byte %d bit %d undetected", i, b)
+			}
+			frame[i] ^= 1 << b
+		}
+	}
+	if _, err := DecodeConfig(frame); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	if _, err := DecodeConfig(frame[:5]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	g := Grant{NodeID: 3}.Encode()
+	g[0] = TypeConfig
+	if _, err := DecodeGrant(g); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	c := Config{}.Encode()
+	c[0] = TypeGrant
+	if _, err := DecodeConfig(c); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+}
+
+// TestDecodeNeverPanics fuzzes the decoders with arbitrary byte slices:
+// a malformed frame must yield an error, never a panic — the switch
+// decodes frames straight off the wire.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(frame []byte) bool {
+		cfg, err1 := DecodeConfig(frame)
+		g, err2 := DecodeGrant(frame)
+		// If either decoder accepted, re-encoding must reproduce a frame
+		// that decodes to the same value (self-consistency).
+		if err1 == nil {
+			back, err := DecodeConfig(cfg.Encode())
+			if err != nil || back != cfg {
+				return false
+			}
+		}
+		if err2 == nil {
+			back, err := DecodeGrant(g.Encode())
+			if err != nil || back != g {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// allFrames builds configuration frames for all 16 hosts from a request
+// matrix given as rows of target bitmasks.
+func allFrames(reqRows [NumPorts]uint16) [][]byte {
+	frames := make([][]byte, NumPorts)
+	for i := range frames {
+		frames[i] = Config{Req: reqRows[i], Ben: 0xFFFF, Qen: 0xFFFF}.Encode()
+	}
+	return frames
+}
+
+func TestBulkCycleGrantsRequests(t *testing.T) {
+	b := NewBulkScheduler()
+	var rows [NumPorts]uint16
+	// Every host requests its own index: a conflict-free permutation.
+	for i := range rows {
+		rows[i] = 1 << uint(i)
+	}
+	grants, res, err := b.Cycle(allFrames(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumPorts; i++ {
+		if res.OutToIn[i] != i {
+			t.Fatalf("target %d granted to %d", i, res.OutToIn[i])
+		}
+		g, err := DecodeGrant(grants[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.GntVal || int(g.Gnt) != i || int(g.NodeID) != i {
+			t.Fatalf("host %d grant %+v", i, g)
+		}
+		if g.CRCErr || g.LinkErr {
+			t.Fatalf("host %d spurious error flags %+v", i, g)
+		}
+	}
+}
+
+func TestBulkCycleMissingConfigSetsCRCErr(t *testing.T) {
+	b := NewBulkScheduler()
+	var rows [NumPorts]uint16
+	rows[0] = 0x0002
+	frames := allFrames(rows)
+	frames[5] = nil // host 5 silent this cycle
+
+	grants, _, err := b.Cycle(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g5, _ := DecodeGrant(grants[5])
+	if !g5.CRCErr {
+		t.Fatal("silent host not flagged CRCErr")
+	}
+	g0, _ := DecodeGrant(grants[0])
+	if g0.CRCErr {
+		t.Fatal("healthy host flagged CRCErr")
+	}
+
+	// Next cycle host 5 speaks again: the flag must clear.
+	grants, _, err = b.Cycle(allFrames(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g5, _ = DecodeGrant(grants[5])
+	if g5.CRCErr {
+		t.Fatal("CRCErr not cleared after a valid configuration packet")
+	}
+}
+
+func TestBulkCycleCorruptConfigSetsCRCErr(t *testing.T) {
+	b := NewBulkScheduler()
+	var rows [NumPorts]uint16
+	rows[2] = 0xFFFF // host 2 requests everything...
+	frames := allFrames(rows)
+	frames[2][3] ^= 0x40 // ...but its frame arrives corrupted
+
+	grants, res, err := b.Cycle(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := DecodeGrant(grants[2])
+	if !g2.CRCErr {
+		t.Fatal("corrupt config not flagged")
+	}
+	// Its requests must not have entered the matrix.
+	for j := 0; j < NumPorts; j++ {
+		if res.OutToIn[j] == 2 {
+			t.Fatalf("corrupt host granted target %d", j)
+		}
+	}
+}
+
+func TestBulkCycleBenDisablesHost(t *testing.T) {
+	b := NewBulkScheduler()
+	var rows [NumPorts]uint16
+	rows[7] = 0x0001 // host 7 wants target 0
+	rows[3] = 0x0001 // host 3 wants target 0 too
+	frames := allFrames(rows)
+	// Host 0 votes host 7 out of the bulk channel.
+	frames[0] = Config{Ben: ^uint16(1 << 7), Qen: 0xFFFF}.Encode()
+
+	_, res, err := b.Cycle(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutToIn[0] != 3 {
+		t.Fatalf("target 0 granted to %d, want 3 (host 7 disabled)", res.OutToIn[0])
+	}
+}
+
+func TestBulkCycleLinkErrorReporting(t *testing.T) {
+	b := NewBulkScheduler()
+	b.ReportLinkError(4)
+	b.ReportLinkError(-1) // out of range: ignored
+	b.ReportLinkError(99)
+	grants, _, err := b.Cycle(allFrames([NumPorts]uint16{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, _ := DecodeGrant(grants[4])
+	if !g4.LinkErr {
+		t.Fatal("link error not reported")
+	}
+	grants, _, _ = b.Cycle(allFrames([NumPorts]uint16{}))
+	g4, _ = DecodeGrant(grants[4])
+	if g4.LinkErr {
+		t.Fatal("link error not cleared after reporting")
+	}
+}
+
+func TestBulkCyclePrecalcMulticast(t *testing.T) {
+	// Figure 7 through the packet interface: host 3 precalculates a
+	// multicast to targets 1 and 3.
+	b := NewBulkScheduler()
+	frames := make([][]byte, NumPorts)
+	for i := range frames {
+		cfg := Config{Ben: 0xFFFF, Qen: 0xFFFF}
+		if i == 3 {
+			cfg.Pre = 1<<1 | 1<<3
+		}
+		frames[i] = cfg.Encode()
+	}
+	grants, res, err := b.Cycle(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutToIn[1] != 3 || res.OutToIn[3] != 3 {
+		t.Fatalf("multicast precalc not applied: %v", res.OutToIn[:4])
+	}
+	if !res.FromPrecalc[1] || !res.FromPrecalc[3] {
+		t.Fatal("grants not marked precalculated")
+	}
+	// The grant packet reports only LCF grants; host 3 already knows its
+	// precalculated connections.
+	g3, _ := DecodeGrant(grants[3])
+	if g3.GntVal {
+		t.Fatalf("precalc-only host got grant packet %+v", g3)
+	}
+}
+
+func TestBulkCycleWrongFrameCount(t *testing.T) {
+	b := NewBulkScheduler()
+	if _, _, err := b.Cycle(make([][]byte, 3)); err == nil {
+		t.Fatal("wrong frame count accepted")
+	}
+}
+
+func TestBulkCycleConsumes5N3Cycles(t *testing.T) {
+	b := NewBulkScheduler()
+	if _, _, err := b.Cycle(allFrames([NumPorts]uint16{})); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.HW().TotalCycles; got != 83 { // 5·16+3, Table 2
+		t.Fatalf("scheduling pass consumed %d cycles, want 83", got)
+	}
+}
+
+// TestFigure5Pipeline replays the channel timing of Figure 5: a schedule
+// computed in slot c is transferred in c+1 and acknowledged in c+2, with
+// three schedules in flight once the pipeline fills.
+func TestFigure5Pipeline(t *testing.T) {
+	p := NewPipeline()
+	if p.Slot() != 0 {
+		t.Fatal("pipeline not at slot 0")
+	}
+	var completed []*StageRecord
+	for c := 0; c < 6; c++ {
+		if done := p.Advance(nil); done != nil {
+			completed = append(completed, done)
+		}
+	}
+	// Records scheduled at slots 0..3 have completed (ack at 2..5).
+	if len(completed) != 4 {
+		t.Fatalf("%d records completed, want 4", len(completed))
+	}
+	for k, rec := range completed {
+		c := int64(k)
+		if int64(rec.ScheduledAt) != c || int64(rec.TransferAt) != c+1 || int64(rec.AckAt) != c+2 {
+			t.Fatalf("record %d stages %d/%d/%d, want %d/%d/%d",
+				k, rec.ScheduledAt, rec.TransferAt, rec.AckAt, c, c+1, c+2)
+		}
+	}
+	tr, ack := p.InFlight()
+	if tr == nil || ack == nil {
+		t.Fatal("pipeline not full after 6 advances")
+	}
+	if tr.ScheduledAt != 5 || ack.ScheduledAt != 4 {
+		t.Fatalf("in-flight records %d/%d, want 5/4", tr.ScheduledAt, ack.ScheduledAt)
+	}
+}
+
+func TestQuickSwitchCollision(t *testing.T) {
+	q := NewQuickSwitch(4)
+	// Inputs 0 and 2 both target output 1; input 3 targets 0.
+	delivered, dropped := q.Forward([]int{1, -1, 1, 0}, 0xFFFF)
+	if delivered[1] != 0 {
+		t.Fatalf("output 1 won by %d, want priority input 0", delivered[1])
+	}
+	if delivered[0] != 3 {
+		t.Fatalf("output 0 won by %d", delivered[0])
+	}
+	if len(dropped) != 1 || dropped[0] != 2 {
+		t.Fatalf("dropped %v, want [2]", dropped)
+	}
+	if q.Forwarded != 2 || q.Dropped != 1 {
+		t.Fatalf("counters %d/%d", q.Forwarded, q.Dropped)
+	}
+	// Priority rotates: next slot input 1 has top priority; a 0-vs-2
+	// collision on output 3 now resolves to 2 (first from pointer 1).
+	delivered, _ = q.Forward([]int{3, -1, 3, -1}, 0xFFFF)
+	if delivered[3] != 2 {
+		t.Fatalf("rotated priority: output 3 won by %d, want 2", delivered[3])
+	}
+}
+
+func TestQuickSwitchQenMask(t *testing.T) {
+	q := NewQuickSwitch(4)
+	delivered, dropped := q.Forward([]int{0, 1, -1, -1}, 0xFFFE) // host 0 disabled
+	if delivered[0] != -1 {
+		t.Fatal("disabled host's packet delivered")
+	}
+	if delivered[1] != 1 {
+		t.Fatal("enabled host's packet lost")
+	}
+	if len(dropped) != 1 || dropped[0] != 0 {
+		t.Fatalf("dropped %v", dropped)
+	}
+}
+
+func TestQuickSwitchValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewQuickSwitch(0) did not panic")
+			}
+		}()
+		NewQuickSwitch(0)
+	}()
+	q := NewQuickSwitch(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("wrong dst length did not panic")
+			}
+		}()
+		q.Forward([]int{0}, 0xFFFF)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range destination did not panic")
+			}
+		}()
+		q.Forward([]int{5, -1}, 0xFFFF)
+	}()
+}
+
+func TestQuickSwitchFairnessUnderSaturation(t *testing.T) {
+	// All 4 inputs always target output 0: the rotating priority must
+	// spread wins evenly.
+	q := NewQuickSwitch(4)
+	wins := make([]int, 4)
+	for slot := 0; slot < 400; slot++ {
+		delivered, _ := q.Forward([]int{0, 0, 0, 0}, 0xFFFF)
+		wins[delivered[0]]++
+	}
+	for i, w := range wins {
+		if w != 100 {
+			t.Fatalf("input %d won %d/400, want 100: %v", i, w, wins)
+		}
+	}
+}
+
+func TestQuickSwitchRandomizedConservation(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	q := NewQuickSwitch(8)
+	var sent int64
+	for slot := 0; slot < 1000; slot++ {
+		dst := make([]int, 8)
+		for i := range dst {
+			if r.Intn(2) == 0 {
+				dst[i] = r.Intn(8)
+				sent++
+			} else {
+				dst[i] = -1
+			}
+		}
+		q.Forward(dst, 0xFFFF)
+	}
+	if q.Forwarded+q.Dropped != sent {
+		t.Fatalf("forwarded %d + dropped %d != sent %d", q.Forwarded, q.Dropped, sent)
+	}
+}

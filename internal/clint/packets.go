@@ -1,0 +1,150 @@
+// Package clint models the system context the LCF scheduler shipped in:
+// the Clint cluster interconnect of Section 4 (the paper's reference [4]).
+// Clint segregates traffic onto two physically separate channels — a bulk
+// channel whose slots are allocated in advance by the central LCF
+// scheduler, and a best-effort quick channel whose packets collide in the
+// switch and are dropped on conflict. Hosts and the bulk scheduler talk
+// over the quick channel using two packet formats (Section 4.1):
+//
+//	configuration (host → switch):
+//	    {type=cfg | req[15..0] | pre[15..0] | ben[15..0] | qen[15..0] | CRC[15..0]}
+//	grant (switch → host):
+//	    {type=gnt | nodeId[3..0] | gnt[3..0] | gntVal | linkErr | CRCErr | CRC[15..0]}
+//
+// The paper fixes the field widths (a 16-port prototype) but not the byte
+// layout; this implementation packs fields big-endian in field order, one
+// flag per bit, and protects everything before the CRC field with
+// CRC-16/CCITT-FALSE (see internal/crc16 for the polynomial rationale).
+package clint
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crc16"
+)
+
+// NumPorts is Clint's port count: the prototype is a 16-host star.
+const NumPorts = 16
+
+// Packet type tags.
+const (
+	TypeConfig byte = 0xC0
+	TypeGrant  byte = 0x67
+)
+
+// Config is the host→switch configuration packet payload.
+type Config struct {
+	// Req marks the targets the host requests a bulk slot for (bit j =
+	// target j) — the host's row of the request matrix.
+	Req uint16
+	// Pre is the host's row of the precalculated schedule (Section 4.3):
+	// targets this host claims for real-time or multicast transfers.
+	Pre uint16
+	// Ben and Qen are the bulk/quick enable masks: bit k clear asks the
+	// switch to stop forwarding packets from (malfunctioning) host k.
+	Ben uint16
+	Qen uint16
+}
+
+// ConfigLen is the encoded length: type + 4×16-bit fields + CRC-16.
+const ConfigLen = 1 + 8 + 2
+
+// Encode serializes the packet with its CRC.
+func (c Config) Encode() []byte {
+	buf := make([]byte, ConfigLen)
+	buf[0] = TypeConfig
+	binary.BigEndian.PutUint16(buf[1:], c.Req)
+	binary.BigEndian.PutUint16(buf[3:], c.Pre)
+	binary.BigEndian.PutUint16(buf[5:], c.Ben)
+	binary.BigEndian.PutUint16(buf[7:], c.Qen)
+	binary.BigEndian.PutUint16(buf[9:], crc16.Checksum(buf[:9]))
+	return buf
+}
+
+// DecodeConfig parses and verifies a configuration packet.
+func DecodeConfig(frame []byte) (Config, error) {
+	var c Config
+	if len(frame) != ConfigLen {
+		return c, fmt.Errorf("clint: config frame length %d, want %d", len(frame), ConfigLen)
+	}
+	if frame[0] != TypeConfig {
+		return c, fmt.Errorf("clint: config frame has type %#02x", frame[0])
+	}
+	if !crc16.Verify(frame[:9], binary.BigEndian.Uint16(frame[9:])) {
+		return c, fmt.Errorf("clint: config frame CRC mismatch")
+	}
+	c.Req = binary.BigEndian.Uint16(frame[1:])
+	c.Pre = binary.BigEndian.Uint16(frame[3:])
+	c.Ben = binary.BigEndian.Uint16(frame[5:])
+	c.Qen = binary.BigEndian.Uint16(frame[7:])
+	return c, nil
+}
+
+// Grant is the switch→host grant packet payload.
+type Grant struct {
+	// NodeID assigns the receiving host its port number at initialization
+	// time and identifies the addressee afterwards.
+	NodeID uint8 // 4 bits
+	// Gnt is the granted target number; valid only when GntVal is set.
+	Gnt    uint8 // 4 bits
+	GntVal bool
+	// LinkErr reports a link error detected since the last grant packet.
+	LinkErr bool
+	// CRCErr reports that the host's last configuration packet had a CRC
+	// error or was missing.
+	CRCErr bool
+}
+
+// GrantLen is the encoded length: type + nodeId|gnt byte + flags byte +
+// CRC-16.
+const GrantLen = 1 + 1 + 1 + 2
+
+// Flag bit positions within the flags byte.
+const (
+	flagGntVal  = 1 << 0
+	flagLinkErr = 1 << 1
+	flagCRCErr  = 1 << 2
+)
+
+// Encode serializes the packet with its CRC. NodeID and Gnt must fit in
+// four bits.
+func (g Grant) Encode() []byte {
+	if g.NodeID > 0xF || g.Gnt > 0xF {
+		panic(fmt.Sprintf("clint: grant fields out of 4-bit range: %+v", g))
+	}
+	buf := make([]byte, GrantLen)
+	buf[0] = TypeGrant
+	buf[1] = g.NodeID<<4 | g.Gnt
+	if g.GntVal {
+		buf[2] |= flagGntVal
+	}
+	if g.LinkErr {
+		buf[2] |= flagLinkErr
+	}
+	if g.CRCErr {
+		buf[2] |= flagCRCErr
+	}
+	binary.BigEndian.PutUint16(buf[3:], crc16.Checksum(buf[:3]))
+	return buf
+}
+
+// DecodeGrant parses and verifies a grant packet.
+func DecodeGrant(frame []byte) (Grant, error) {
+	var g Grant
+	if len(frame) != GrantLen {
+		return g, fmt.Errorf("clint: grant frame length %d, want %d", len(frame), GrantLen)
+	}
+	if frame[0] != TypeGrant {
+		return g, fmt.Errorf("clint: grant frame has type %#02x", frame[0])
+	}
+	if !crc16.Verify(frame[:3], binary.BigEndian.Uint16(frame[3:])) {
+		return g, fmt.Errorf("clint: grant frame CRC mismatch")
+	}
+	g.NodeID = frame[1] >> 4
+	g.Gnt = frame[1] & 0xF
+	g.GntVal = frame[2]&flagGntVal != 0
+	g.LinkErr = frame[2]&flagLinkErr != 0
+	g.CRCErr = frame[2]&flagCRCErr != 0
+	return g, nil
+}

@@ -1,0 +1,74 @@
+package clint
+
+import "fmt"
+
+// QuickSwitch models Clint's best-effort quick channel (Section 4): hosts
+// transmit whenever they have a packet, without prior scheduling. When
+// several packets target the same output in a slot, one wins and is
+// forwarded while the others are dropped in the switch (the sender learns
+// of the loss by the absence of an acknowledgment and retransmits at a
+// higher layer). Collision resolution uses a rotating priority so no input
+// systematically loses.
+type QuickSwitch struct {
+	n   int
+	ptr int // input with the highest collision priority this slot
+
+	// Forwarded and Dropped count packets over the switch's lifetime.
+	Forwarded int64
+	Dropped   int64
+
+	winner []int
+}
+
+// NewQuickSwitch returns an n-port quick switch.
+func NewQuickSwitch(n int) *QuickSwitch {
+	if n <= 0 {
+		panic(fmt.Sprintf("clint: non-positive quick switch ports %d", n))
+	}
+	return &QuickSwitch{n: n, winner: make([]int, n)}
+}
+
+// N returns the port count.
+func (q *QuickSwitch) N() int { return q.n }
+
+// Forward resolves one slot: dst[i] is the output host i transmits to
+// this slot, or -1 if idle. It returns deliveredFrom (per output, the
+// winning input or -1) and dropped (the inputs whose packets were lost).
+// qen masks transmissions from disabled hosts (bit i clear drops host i's
+// packet at the switch input).
+func (q *QuickSwitch) Forward(dst []int, qen uint16) (deliveredFrom []int, dropped []int) {
+	if len(dst) != q.n {
+		panic(fmt.Sprintf("clint: %d destinations for %d-port quick switch", len(dst), q.n))
+	}
+	for j := range q.winner {
+		q.winner[j] = -1
+	}
+	for k := 0; k < q.n; k++ {
+		i := (q.ptr + k) % q.n
+		d := dst[i]
+		if d < 0 {
+			continue
+		}
+		if d >= q.n {
+			panic(fmt.Sprintf("clint: quick destination %d out of range", d))
+		}
+		// The qen mask covers the 16 protocol-addressable hosts; inputs
+		// beyond bit 15 (only possible in oversized test switches) are
+		// always enabled.
+		if i < 16 && qen&(uint16(1)<<uint(i)) == 0 {
+			dropped = append(dropped, i)
+			q.Dropped++
+			continue
+		}
+		if q.winner[d] == -1 {
+			q.winner[d] = i
+			q.Forwarded++
+		} else {
+			dropped = append(dropped, i)
+			q.Dropped++
+		}
+	}
+	q.ptr = (q.ptr + 1) % q.n
+	deliveredFrom = append([]int(nil), q.winner...)
+	return deliveredFrom, dropped
+}

@@ -1,0 +1,216 @@
+package clint
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// The quick channel is best-effort: colliding packets are dropped in the
+// switch (Section 4), and "an acknowledgment packet is returned for the
+// receipt of every request packet" (Section 4.1). Reliability is
+// therefore the sender's job. Transport implements the sender side for
+// one host: stop-and-wait per destination with a retransmission timeout —
+// the simplest protocol consistent with the paper's
+// request-acknowledgment description, and sufficient because a host can
+// have at most one quick packet in flight per slot anyway.
+//
+// QuickNetwork wires NumPorts transports through a QuickSwitch and delivers
+// acknowledgments, modelling the full lossy round trip.
+
+// TransportStats counts one endpoint's transport activity.
+type TransportStats struct {
+	Sent      int64 // first transmissions
+	Retries   int64 // retransmissions after timeout
+	Delivered int64 // acknowledged messages
+}
+
+// Transport is one host's reliable-delivery state machine over the quick
+// channel. It is single-outstanding-message (stop-and-wait): SendReady
+// reports whether a new message can be accepted.
+type Transport struct {
+	id      int
+	timeout int // slots to wait for an acknowledgment before retrying
+
+	inflight  bool
+	dst       int
+	age       int
+	nextSeq   uint64
+	seq       uint64
+	delivered func(dst int, seq uint64)
+
+	Stats TransportStats
+}
+
+// NewTransport returns a transport for host id with the given
+// retransmission timeout in slots (≥1). delivered, if non-nil, is invoked
+// when a message is acknowledged.
+func NewTransport(id, timeout int, delivered func(dst int, seq uint64)) *Transport {
+	if timeout < 1 {
+		panic(fmt.Sprintf("clint: transport timeout %d", timeout))
+	}
+	return &Transport{id: id, timeout: timeout, delivered: delivered}
+}
+
+// SendReady reports whether a new message can be queued.
+func (t *Transport) SendReady() bool { return !t.inflight }
+
+// Send queues a message for dst and returns its sequence number. It
+// panics if a message is already in flight (callers gate on SendReady).
+func (t *Transport) Send(dst int) uint64 {
+	if t.inflight {
+		panic("clint: Send while a message is in flight")
+	}
+	t.inflight = true
+	t.dst = dst
+	t.age = 0
+	t.nextSeq++
+	t.seq = t.nextSeq
+	t.Stats.Sent++
+	return t.seq
+}
+
+// Transmit returns the destination to drive onto the quick channel this
+// slot, or -1. A fresh send transmits immediately; after a loss the
+// packet retransmits when the timeout expires.
+func (t *Transport) Transmit() int {
+	if !t.inflight {
+		return -1
+	}
+	if t.age == 0 {
+		return t.dst
+	}
+	if t.age >= t.timeout {
+		t.age = 0
+		t.Stats.Retries++
+		return t.dst
+	}
+	return -1
+}
+
+// Tick advances the retransmission clock by one slot.
+func (t *Transport) Tick() {
+	if t.inflight {
+		t.age++
+	}
+}
+
+// Ack delivers an acknowledgment carrying the acknowledged sequence
+// number. Stray and duplicate acks (a retransmitted message can be acked
+// twice) are ignored by the sequence check, so a stale ack can never
+// complete a newer message.
+func (t *Transport) Ack(seq uint64) {
+	if !t.inflight || seq != t.seq {
+		return
+	}
+	t.inflight = false
+	t.Stats.Delivered++
+	if t.delivered != nil {
+		t.delivered(t.dst, t.seq)
+	}
+}
+
+// QuickNetwork couples NumPorts transports through one quick switch.
+// Following Section 4.1, acknowledgments share the quick channel with the
+// data packets ("quick requests and quick acknowledgments use the quick
+// channel"), so an ack occupies its host's one transmission per slot and
+// collides like any other packet. A lost data packet times out and
+// retransmits; a lost ack causes a retransmission the receiver sees as a
+// duplicate and suppresses via the stop-and-wait sequence number.
+type QuickNetwork struct {
+	Transports []*Transport
+	sw         *QuickSwitch
+	gen        *rng.PCG32
+	load       float64
+
+	// pendingAcks[h] queues the (sender, seq) pairs host h still owes an
+	// acknowledgment.
+	pendingAcks [][]ackDue
+
+	// DuplicateDeliveries counts retransmissions whose predecessor had
+	// already been delivered (their ack was lost or still queued).
+	DuplicateDeliveries int64
+	// UniqueDeliveries counts first-time deliveries.
+	UniqueDeliveries int64
+	lastSeen         [][]uint64 // lastSeen[rx][tx]: highest seq delivered
+}
+
+type ackDue struct {
+	to  int
+	seq uint64
+}
+
+// NewQuickNetwork returns a network of NumPorts hosts, each generating a
+// new message per slot with probability load (when idle), with the given
+// retransmission timeout.
+func NewQuickNetwork(load float64, timeout int, seed uint64) *QuickNetwork {
+	if load < 0 || load > 1 {
+		panic(fmt.Sprintf("clint: quick load %g", load))
+	}
+	qn := &QuickNetwork{
+		sw:          NewQuickSwitch(NumPorts),
+		gen:         rng.New(seed),
+		load:        load,
+		pendingAcks: make([][]ackDue, NumPorts),
+	}
+	for i := 0; i < NumPorts; i++ {
+		qn.Transports = append(qn.Transports, NewTransport(i, timeout, nil))
+	}
+	qn.lastSeen = make([][]uint64, NumPorts)
+	for i := range qn.lastSeen {
+		qn.lastSeen[i] = make([]uint64, NumPorts)
+	}
+	return qn
+}
+
+// Step advances the network one slot.
+func (qn *QuickNetwork) Step() {
+	// New messages at idle transports.
+	for _, tr := range qn.Transports {
+		if tr.SendReady() && qn.gen.Bool(qn.load) {
+			tr.Send(qn.gen.Intn(NumPorts))
+		}
+	}
+
+	// Each host drives one packet: a pending ack first (acks unblock the
+	// peer's transport, so they get priority), otherwise its data packet.
+	dst := make([]int, NumPorts)
+	isAck := make([]bool, NumPorts)
+	for h, tr := range qn.Transports {
+		switch {
+		case len(qn.pendingAcks[h]) > 0:
+			dst[h] = qn.pendingAcks[h][0].to
+			isAck[h] = true
+		default:
+			dst[h] = tr.Transmit()
+		}
+	}
+	delivered, _ := qn.sw.Forward(dst, 0xFFFF)
+
+	// Resolve deliveries.
+	for rx, tx := range delivered {
+		if tx < 0 {
+			continue
+		}
+		if isAck[tx] {
+			// Host tx's ack reached rx: rx's transport completes, and the
+			// ack leaves tx's queue.
+			qn.Transports[rx].Ack(qn.pendingAcks[tx][0].seq)
+			qn.pendingAcks[tx] = qn.pendingAcks[tx][1:]
+			continue
+		}
+		// Data from tx delivered to rx: queue the ack, dedup by sequence.
+		seq := qn.Transports[tx].seq
+		if qn.lastSeen[rx][tx] >= seq {
+			qn.DuplicateDeliveries++
+		} else {
+			qn.lastSeen[rx][tx] = seq
+			qn.UniqueDeliveries++
+		}
+		qn.pendingAcks[rx] = append(qn.pendingAcks[rx], ackDue{to: tx, seq: seq})
+	}
+
+	for _, tr := range qn.Transports {
+		tr.Tick()
+	}
+}

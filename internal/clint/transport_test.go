@@ -1,0 +1,176 @@
+package clint
+
+import (
+	"testing"
+)
+
+func TestTransportHappyPath(t *testing.T) {
+	var got []uint64
+	tr := NewTransport(0, 4, func(dst int, seq uint64) { got = append(got, seq) })
+	if !tr.SendReady() {
+		t.Fatal("fresh transport not ready")
+	}
+	seq := tr.Send(3)
+	if tr.SendReady() {
+		t.Fatal("ready while in flight")
+	}
+	if d := tr.Transmit(); d != 3 {
+		t.Fatalf("Transmit = %d", d)
+	}
+	tr.Ack(seq)
+	if !tr.SendReady() {
+		t.Fatal("not ready after ack")
+	}
+	if len(got) != 1 || got[0] != seq {
+		t.Fatalf("delivered callback %v", got)
+	}
+	if tr.Stats.Sent != 1 || tr.Stats.Delivered != 1 || tr.Stats.Retries != 0 {
+		t.Fatalf("stats %+v", tr.Stats)
+	}
+}
+
+func TestTransportRetransmitsOnTimeout(t *testing.T) {
+	tr := NewTransport(0, 3, nil)
+	tr.Send(5)
+	if tr.Transmit() != 5 {
+		t.Fatal("initial transmit")
+	}
+	tr.Tick()
+	// Not yet timed out: silent.
+	if tr.Transmit() != -1 {
+		t.Fatal("transmitted before timeout")
+	}
+	tr.Tick()
+	if tr.Transmit() != -1 {
+		t.Fatal("transmitted before timeout")
+	}
+	tr.Tick()
+	// age = 3 = timeout: retransmit.
+	if tr.Transmit() != 5 {
+		t.Fatal("no retransmission at timeout")
+	}
+	if tr.Stats.Retries != 1 {
+		t.Fatalf("Retries = %d", tr.Stats.Retries)
+	}
+}
+
+func TestTransportStaleAckIgnored(t *testing.T) {
+	tr := NewTransport(0, 2, nil)
+	s1 := tr.Send(1)
+	tr.Ack(s1)
+	s2 := tr.Send(2)
+	tr.Ack(s1) // stale: must not complete s2
+	if tr.SendReady() {
+		t.Fatal("stale ack completed a newer message")
+	}
+	tr.Ack(s2)
+	if !tr.SendReady() {
+		t.Fatal("valid ack ignored")
+	}
+	tr.Ack(s2) // duplicate after completion: no-op
+	if tr.Stats.Delivered != 2 {
+		t.Fatalf("Delivered = %d", tr.Stats.Delivered)
+	}
+}
+
+func TestTransportPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("timeout 0 accepted")
+			}
+		}()
+		NewTransport(0, 0, nil)
+	}()
+	tr := NewTransport(0, 2, nil)
+	tr.Send(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Send accepted")
+			}
+		}()
+		tr.Send(2)
+	}()
+}
+
+func TestQuickNetworkReliableDelivery(t *testing.T) {
+	qn := NewQuickNetwork(0.4, 4, 7)
+	const slots = 5000
+	for s := 0; s < slots; s++ {
+		qn.Step()
+	}
+	var sent, delivered, retries int64
+	for _, tr := range qn.Transports {
+		sent += tr.Stats.Sent
+		delivered += tr.Stats.Delivered
+		retries += tr.Stats.Retries
+	}
+	if sent == 0 {
+		t.Fatal("no traffic")
+	}
+	// Every sent message is eventually delivered (stop-and-wait never
+	// gives up); only the in-flight tail can be outstanding.
+	if sent-delivered > NumPorts {
+		t.Fatalf("sent %d delivered %d: more than the in-flight window outstanding", sent, delivered)
+	}
+	// At 40% load collisions are common: retransmissions must occur.
+	if retries == 0 {
+		t.Fatal("no retransmissions despite collisions")
+	}
+	// Receiver-side accounting: unique deliveries equal transport-layer
+	// completions up to the in-flight tail.
+	if qn.UniqueDeliveries < delivered-NumPorts || qn.UniqueDeliveries > sent {
+		t.Fatalf("unique %d vs delivered %d", qn.UniqueDeliveries, delivered)
+	}
+}
+
+func TestQuickNetworkDuplicatesSuppressed(t *testing.T) {
+	// With a tight timeout, acks queued behind other acks force
+	// retransmissions of already-delivered packets: the receiver must see
+	// and suppress duplicates.
+	qn := NewQuickNetwork(0.9, 1, 3)
+	for s := 0; s < 5000; s++ {
+		qn.Step()
+	}
+	if qn.DuplicateDeliveries == 0 {
+		t.Fatal("no duplicates with timeout 1 at 90% load; ack-loss path untested")
+	}
+	// Duplicates never count as unique.
+	var delivered int64
+	for _, tr := range qn.Transports {
+		delivered += tr.Stats.Delivered
+	}
+	if qn.UniqueDeliveries > delivered+NumPorts {
+		t.Fatalf("unique %d exceeds completions %d", qn.UniqueDeliveries, delivered)
+	}
+}
+
+func TestQuickNetworkDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		qn := NewQuickNetwork(0.5, 3, 11)
+		for s := 0; s < 1000; s++ {
+			qn.Step()
+		}
+		var sent, del int64
+		for _, tr := range qn.Transports {
+			sent += tr.Stats.Sent
+			del += tr.Stats.Delivered
+		}
+		return sent, del
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 || d1 != d2 {
+		t.Fatalf("replay diverged: %d/%d vs %d/%d", s1, d1, s2, d2)
+	}
+}
+
+func TestQuickNetworkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad load accepted")
+		}
+	}()
+	NewQuickNetwork(1.5, 3, 1)
+}

@@ -1,0 +1,275 @@
+// Package clos implements the three-stage Clos network the paper names as
+// the alternative non-blocking switch fabric (Section 2: "Other
+// non-blocking fabrics such as Clos networks are also possible", citing
+// Clos 1953). A schedule computed by any of the schedulers is a partial
+// permutation; this package routes it through a C(m, k, r) Clos network —
+// r ingress crossbars of size k×m, m middle crossbars of size r×r, and r
+// egress crossbars of size m×k — proving per slot that the fabric
+// substitution preserves conflict-freedom.
+//
+// Routing uses the Slepian–Duguid rearrangeable condition (m ≥ k): the
+// middle-stage assignment is an edge coloring of the bipartite multigraph
+// whose vertices are ingress/egress switches and whose edges are the
+// scheduled connections. The classical "looping" augmentation colors one
+// edge at a time, swapping colors along alternating paths when both
+// endpoints have the preferred colors taken — O(E·(k+r)) per slot, easily
+// fast enough at switch scale.
+package clos
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// Network describes a C(m, k, r) three-stage Clos network for n = k·r
+// ports.
+type Network struct {
+	k int // ports per ingress/egress switch
+	m int // middle switches
+	r int // ingress/egress switches
+
+	// color[e] is the middle switch assigned to the connection from
+	// ingress switch e/r... internal scratch, see Route.
+	ingressFree [][]bool // [r][m]: middle link free from ingress i
+	egressFree  [][]bool // [r][m]: middle link free to egress o
+	viaIngress  [][]int  // [r][m]: egress switch using this ingress link, or -1
+	viaEgress   [][]int  // [r][m]: ingress switch using this egress link, or -1
+}
+
+// New returns a C(m,k,r) network. Rearrangeable non-blocking operation
+// requires m ≥ k (Slepian–Duguid); strict-sense non-blocking requires
+// m ≥ 2k−1 (Clos 1953). New enforces the rearrangeable minimum since the
+// schedule is re-routed from scratch every slot.
+func New(m, k, r int) (*Network, error) {
+	if m <= 0 || k <= 0 || r <= 0 {
+		return nil, fmt.Errorf("clos: non-positive dimension m=%d k=%d r=%d", m, k, r)
+	}
+	if m < k {
+		return nil, fmt.Errorf("clos: m=%d < k=%d is blocking (Slepian–Duguid needs m ≥ k)", m, k)
+	}
+	nw := &Network{k: k, m: m, r: r}
+	nw.ingressFree = mk2bool(r, m)
+	nw.egressFree = mk2bool(r, m)
+	nw.viaIngress = mk2int(r, m)
+	nw.viaEgress = mk2int(r, m)
+	return nw, nil
+}
+
+func mk2bool(a, b int) [][]bool {
+	out := make([][]bool, a)
+	for i := range out {
+		out[i] = make([]bool, b)
+	}
+	return out
+}
+
+func mk2int(a, b int) [][]int {
+	out := make([][]int, a)
+	for i := range out {
+		out[i] = make([]int, b)
+	}
+	return out
+}
+
+// N returns the port count k·r.
+func (nw *Network) N() int { return nw.k * nw.r }
+
+// Dims returns (m, k, r).
+func (nw *Network) Dims() (m, k, r int) { return nw.m, nw.k, nw.r }
+
+// StrictSenseNonBlocking reports whether the configuration meets Clos's
+// 1953 condition m ≥ 2k−1.
+func (nw *Network) StrictSenseNonBlocking() bool { return nw.m >= 2*nw.k-1 }
+
+// Route computes a middle-stage assignment for the schedule: route[i] is
+// the middle switch carrying input i's connection (or -1 for unmatched
+// inputs). It returns an error only if the match is invalid (a port used
+// twice); a valid partial permutation is always routable with m ≥ k.
+func (nw *Network) Route(match *matching.Match) ([]int, error) {
+	n := nw.N()
+	if match.N() != n {
+		return nil, fmt.Errorf("clos: match for %d ports on %d-port network", match.N(), n)
+	}
+	for i := range nw.ingressFree {
+		for c := 0; c < nw.m; c++ {
+			nw.ingressFree[i][c] = true
+			nw.egressFree[i][c] = true
+			nw.viaIngress[i][c] = -1
+			nw.viaEgress[i][c] = -1
+		}
+	}
+
+	route := make([]int, n)
+	for i := range route {
+		route[i] = -1
+	}
+
+	// Count edges per ingress/egress switch to reject invalid matches
+	// early (each switch has only k ports, so ≤ k edges each — guaranteed
+	// by a valid Match, but the fabric re-checks like the crossbar does).
+	inDeg := make([]int, nw.r)
+	outDeg := make([]int, nw.r)
+
+	for in := 0; in < n; in++ {
+		out := match.InToOut[in]
+		if out == matching.Unmatched {
+			continue
+		}
+		if out < 0 || out >= n || match.OutToIn[out] != in {
+			return nil, fmt.Errorf("clos: inconsistent match at input %d", in)
+		}
+		gi, go_ := in/nw.k, out/nw.k
+		inDeg[gi]++
+		outDeg[go_]++
+		if inDeg[gi] > nw.k || outDeg[go_] > nw.k {
+			return nil, fmt.Errorf("clos: switch degree exceeds k; corrupt match")
+		}
+		if err := nw.colorEdge(in, gi, go_, route); err != nil {
+			return nil, err
+		}
+	}
+	return route, nil
+}
+
+// colorEdge assigns a middle switch to the edge (gi → go_) for input
+// `in`, using the Slepian–Duguid looping algorithm when no middle switch
+// is free at both endpoints.
+func (nw *Network) colorEdge(in, gi, go_ int, route []int) error {
+	// Fast path: a color free on both sides.
+	for c := 0; c < nw.m; c++ {
+		if nw.ingressFree[gi][c] && nw.egressFree[go_][c] {
+			nw.take(gi, go_, c, in, route)
+			return nil
+		}
+	}
+
+	// α is free at the ingress, β at the egress (both exist: the switch
+	// degrees are < m while this edge is uncolored, because m ≥ k).
+	alpha, beta := -1, -1
+	for c := 0; c < nw.m; c++ {
+		if alpha == -1 && nw.ingressFree[gi][c] {
+			alpha = c
+		}
+		if beta == -1 && nw.egressFree[go_][c] {
+			beta = c
+		}
+	}
+	if alpha == -1 || beta == -1 {
+		return fmt.Errorf("clos: no free color at ingress %d or egress %d; degree bound violated", gi, go_)
+	}
+
+	// Walk the alternating path from go_: egress nodes are left via their
+	// α edge, ingress nodes via their β edge, so the path reads
+	// go_ —α— u1 —β— v1 —α— u2 —β— … and stops at the first node missing
+	// the next color. The path is simple and can never reach gi (gi's α
+	// is free, and ingress nodes are only entered through α edges) — the
+	// classical Slepian–Duguid argument.
+	type pathEdge struct{ in, ing, eg, color int }
+	var path []pathEdge
+	cur := go_
+	for steps := 0; ; steps++ {
+		if steps > nw.N() {
+			return fmt.Errorf("clos: alternating path did not terminate; invariant broken")
+		}
+		u := nw.viaEgress[cur][alpha]
+		if u == -1 {
+			break
+		}
+		if u == gi {
+			return fmt.Errorf("clos: alternating path reached the ingress; invariant broken")
+		}
+		path = append(path, pathEdge{nw.findInput(u, cur, alpha, route), u, cur, alpha})
+		v2 := nw.viaIngress[u][beta]
+		if v2 == -1 {
+			break
+		}
+		path = append(path, pathEdge{nw.findInput(u, v2, beta, route), u, v2, beta})
+		cur = v2
+	}
+
+	// Flip the whole path α↔β: remove every edge first, then re-add with
+	// the other color, so intermediate states never alias a link.
+	for _, e := range path {
+		nw.viaIngress[e.ing][e.color] = -1
+		nw.ingressFree[e.ing][e.color] = true
+		nw.viaEgress[e.eg][e.color] = -1
+		nw.egressFree[e.eg][e.color] = true
+	}
+	for _, e := range path {
+		c := alpha
+		if e.color == alpha {
+			c = beta
+		}
+		nw.viaIngress[e.ing][c] = e.eg
+		nw.ingressFree[e.ing][c] = false
+		nw.viaEgress[e.eg][c] = e.ing
+		nw.egressFree[e.eg][c] = false
+		route[e.in] = c
+	}
+
+	// α is now free at go_ (its α edge, if any, was re-colored β) and was
+	// free at gi all along.
+	if !nw.ingressFree[gi][alpha] || !nw.egressFree[go_][alpha] {
+		return fmt.Errorf("clos: α not free after looping; invariant broken")
+	}
+	nw.take(gi, go_, alpha, in, route)
+	return nil
+}
+
+// findInput locates the scheduled input on ingress switch `ing` whose
+// connection to egress switch `eg` is carried by middle switch `color`.
+func (nw *Network) findInput(ing, eg, color int, route []int) int {
+	for p := 0; p < nw.k; p++ {
+		in := ing*nw.k + p
+		if route[in] == color {
+			return in
+		}
+	}
+	panic("clos: routed edge not found; bookkeeping corrupt")
+}
+
+func (nw *Network) take(gi, go_, c, in int, route []int) {
+	nw.ingressFree[gi][c] = false
+	nw.egressFree[go_][c] = false
+	nw.viaIngress[gi][c] = go_
+	nw.viaEgress[go_][c] = gi
+	route[in] = c
+}
+
+// Verify checks that route is a legal middle-stage assignment for match:
+// every matched input has a middle switch, and no middle switch carries
+// two connections from the same ingress or to the same egress switch.
+func (nw *Network) Verify(match *matching.Match, route []int) error {
+	n := nw.N()
+	if match.N() != n || len(route) != n {
+		return fmt.Errorf("clos: dimension mismatch")
+	}
+	type link struct{ sw, c int }
+	inUsed := map[link]bool{}
+	outUsed := map[link]bool{}
+	for in := 0; in < n; in++ {
+		out := match.InToOut[in]
+		if out == matching.Unmatched {
+			if route[in] != -1 {
+				return fmt.Errorf("clos: unmatched input %d has a route", in)
+			}
+			continue
+		}
+		c := route[in]
+		if c < 0 || c >= nw.m {
+			return fmt.Errorf("clos: input %d has no middle switch", in)
+		}
+		li := link{in / nw.k, c}
+		lo := link{out / nw.k, c}
+		if inUsed[li] {
+			return fmt.Errorf("clos: ingress %d link %d used twice", li.sw, c)
+		}
+		if outUsed[lo] {
+			return fmt.Errorf("clos: egress %d link %d used twice", lo.sw, c)
+		}
+		inUsed[li] = true
+		outUsed[lo] = true
+	}
+	return nil
+}

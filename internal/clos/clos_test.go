@@ -1,0 +1,282 @@
+package clos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matching"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+	"repro/internal/simswitch"
+	"repro/internal/traffic"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2, 2); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(2, 0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(2, 2, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := New(1, 2, 2); err == nil {
+		t.Error("blocking m<k accepted")
+	}
+	nw, err := New(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 16 {
+		t.Fatalf("N = %d", nw.N())
+	}
+	m, k, r := nw.Dims()
+	if m != 4 || k != 4 || r != 4 {
+		t.Fatal("Dims")
+	}
+	if nw.StrictSenseNonBlocking() {
+		t.Fatal("m=k flagged strict-sense non-blocking")
+	}
+	nw2, _ := New(7, 4, 4)
+	if !nw2.StrictSenseNonBlocking() {
+		t.Fatal("m=2k-1 not flagged strict-sense non-blocking")
+	}
+}
+
+// randomMatch builds a random partial permutation on n ports.
+func randomMatch(r *rand.Rand, n int, density float64) *matching.Match {
+	m := matching.NewMatch(n)
+	perm := r.Perm(n)
+	for i, j := range perm {
+		if r.Float64() < density {
+			m.Pair(i, j)
+		}
+	}
+	return m
+}
+
+// TestRouteFullPermutationsTightNetwork is the rearrangeability theorem in
+// executable form: with m = k (the Slepian–Duguid minimum) every full
+// permutation must route. Full permutations on a tight network force the
+// looping path through its hardest cases.
+func TestRouteFullPermutationsTightNetwork(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := r.Intn(4) + 2
+		rr := r.Intn(4) + 2
+		nw, err := New(k, k, rr) // m = k: tight
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := nw.N()
+		m := matching.NewMatch(n)
+		for i, j := range r.Perm(n) {
+			m.Pair(i, j)
+		}
+		route, err := nw.Route(m)
+		if err != nil {
+			t.Logf("route failed: %v", err)
+			return false
+		}
+		if err := nw.Verify(m, route); err != nil {
+			t.Logf("verify failed: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutePartialMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := r.Intn(4) + 1
+		rr := r.Intn(4) + 1
+		mm := k + r.Intn(3) // m ≥ k
+		nw, err := New(mm, k, rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := randomMatch(r, nw.N(), r.Float64())
+		route, err := nw.Route(m)
+		if err != nil {
+			t.Logf("route failed: %v", err)
+			return false
+		}
+		return nw.Verify(m, route) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouteForcedLooping drives a deterministic instance through the
+// alternating-path branch: sequential identity edges first, then a cross
+// edge whose endpoints have disjoint free colors.
+func TestRouteForcedLooping(t *testing.T) {
+	// C(2,2,2): 4 ports, 2 middle switches. The permutation (0→2, 1→1,
+	// 2→0, 3→3) has ingress switch 0 = {0,1} sending to egress switches
+	// {1,0} and ingress 1 = {2,3} to {0,1} — a full bipartite multigraph
+	// K2,2 needing both colors at every switch; at least one edge is
+	// colored via looping for some insertion orders.
+	nw, err := New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matching.NewMatch(4)
+	m.Pair(0, 2)
+	m.Pair(1, 1)
+	m.Pair(2, 0)
+	m.Pair(3, 3)
+	route, err := nw.Route(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Verify(m, route); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouteAllPermutationsSmall exhaustively routes every permutation of
+// a C(2,2,2) network — 24 permutations, each a hard case on the tight
+// fabric.
+func TestRouteAllPermutationsSmall(t *testing.T) {
+	nw, err := New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{0, 1, 2, 3}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 4 {
+			m := matching.NewMatch(4)
+			for i, j := range perm {
+				m.Pair(i, j)
+			}
+			route, err := nw.Route(m)
+			if err != nil {
+				t.Fatalf("perm %v: %v", perm, err)
+			}
+			if err := nw.Verify(m, route); err != nil {
+				t.Fatalf("perm %v: %v", perm, err)
+			}
+			return
+		}
+		for i := k; i < 4; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+}
+
+func TestRouteRejectsCorruptMatch(t *testing.T) {
+	nw, _ := New(2, 2, 2)
+	m := matching.NewMatch(4)
+	m.Pair(0, 1)
+	m.OutToIn[1] = 3 // corrupt the inverse view
+	if _, err := nw.Route(m); err == nil {
+		t.Fatal("corrupt match routed")
+	}
+	if _, err := nw.Route(matching.NewMatch(6)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestVerifyRejectsBadRoutes(t *testing.T) {
+	nw, _ := New(2, 2, 2)
+	m := matching.NewMatch(4)
+	m.Pair(0, 2)
+	m.Pair(1, 3)
+	route, err := nw.Route(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both inputs are on ingress switch 0; forcing the same middle switch
+	// must be rejected.
+	bad := append([]int(nil), route...)
+	bad[1] = bad[0]
+	if err := nw.Verify(m, bad); err == nil {
+		t.Fatal("ingress link conflict accepted")
+	}
+	bad2 := append([]int(nil), route...)
+	bad2[0] = -1
+	if err := nw.Verify(m, bad2); err == nil {
+		t.Fatal("unrouted matched input accepted")
+	}
+	bad3 := append([]int(nil), route...)
+	// Unmatched input with a route.
+	m2 := matching.NewMatch(4)
+	m2.Pair(0, 2)
+	route2, _ := nw.Route(m2)
+	route2[3] = 0
+	if err := nw.Verify(m2, route2); err == nil {
+		t.Fatal("unmatched input with route accepted")
+	}
+	_ = bad3
+	if err := nw.Verify(m, route[:2]); err == nil {
+		t.Fatal("short route accepted")
+	}
+}
+
+// TestClosCarriesLiveSchedules is the Section 2 substitution claim in
+// executable form: every schedule the LCF scheduler produces during a
+// live 16-port simulation routes through a tight C(4,4,4) Clos network —
+// the crossbar of Figure 1 can be replaced by a Clos fabric without any
+// scheduler change.
+func TestClosCarriesLiveSchedules(t *testing.T) {
+	nw, err := New(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := registry.New("lcf_central_rr", 16, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := 0
+	_, err = simswitch.Run(simswitch.Config{
+		N: 16, Mode: simswitch.VOQ, Scheduler: s,
+		Gen:          traffic.NewBernoulli(16, 0.95, traffic.NewUniform(16), 7),
+		WarmupSlots:  0,
+		MeasureSlots: 2000,
+		Trace: func(ev simswitch.TraceEvent) {
+			route, err := nw.Route(ev.Match)
+			if err != nil {
+				t.Fatalf("slot %d: %v", ev.Slot, err)
+			}
+			if err := nw.Verify(ev.Match, route); err != nil {
+				t.Fatalf("slot %d: %v", ev.Slot, err)
+			}
+			routed++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed != 2000 {
+		t.Fatalf("routed %d slots, want 2000", routed)
+	}
+}
+
+func BenchmarkRoute16PortTight(b *testing.B) {
+	nw, err := New(4, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	m := matching.NewMatch(16)
+	for i, j := range r.Perm(16) {
+		m.Pair(i, j)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Route(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package core implements the paper's primary contribution: the Least
+// Choice First (LCF) scheduling method, in both the central form of
+// Section 3 (Figure 2 pseudo code) and the distributed, iterative form of
+// Section 5.
+//
+// # The idea
+//
+// LCF prioritizes initiators by the inverse of their number of outstanding
+// requests: an initiator with few requests has few choices left, so it is
+// scheduled before initiators that still have many alternatives. This
+// greedy rule maximizes the number of connections per slot. Pure LCF can
+// starve a request indefinitely, so the practical scheduler interleaves a
+// round-robin position — a rotating diagonal of the request matrix that
+// wins unconditionally — which bounds the wait of every (initiator,target)
+// pair by n² scheduling cycles and therefore guarantees each pair at least
+// b/n² of a port's bandwidth (Section 3).
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// RRMode selects how much round-robin protection the central scheduler
+// interleaves with the LCF rule. Section 3 describes the resulting
+// fairness range: every requester/resource pair is guaranteed between 0
+// (pure LCF) and b/n (pre-scheduled diagonal) of a port's bandwidth, with
+// the Figure 2 algorithm sitting at b/n².
+type RRMode int
+
+const (
+	// RRNone is pure LCF: least choice always decides; the rotating
+	// priority chain only breaks ties. No fairness guarantee (the lower
+	// bound 0 of the paper's range).
+	RRNone RRMode = iota
+	// RRInterleaved is the Figure 2 algorithm: while resource r is being
+	// scheduled, the diagonal position for r wins unconditionally — but a
+	// diagonal requester already matched by an earlier LCF decision has
+	// left the competition, so the guarantee is b/n².
+	RRInterleaved
+	// RRPrescheduled grants the whole round-robin diagonal before any LCF
+	// decision, the upper bound of Section 3's range: a requested
+	// diagonal position can never be stolen, giving each pair ≈b/n.
+	RRPrescheduled
+)
+
+// String implements fmt.Stringer.
+func (m RRMode) String() string {
+	switch m {
+	case RRNone:
+		return "none"
+	case RRInterleaved:
+		return "interleaved"
+	case RRPrescheduled:
+		return "prescheduled"
+	default:
+		return "unknown"
+	}
+}
+
+// Central is the central LCF scheduler of Figure 2. It schedules the n
+// resources sequentially; for each resource the round-robin position wins
+// if it holds a request (when RoundRobin is enabled), otherwise the
+// requester with the fewest outstanding requests wins, ties resolved by a
+// rotating priority chain anchored at the round-robin position.
+type Central struct {
+	n      int
+	rrMode RRMode
+
+	// I and J are the round-robin offsets of Figure 2: the diagonal starts
+	// at position [I, J] and advances every scheduling cycle as
+	// I := I+1 mod n; if I = 0 then J := J+1 mod n, visiting every matrix
+	// position once per n² cycles.
+	i, j int
+
+	// Scratch state reused across slots to keep Schedule allocation-free.
+	r   *bitvec.Matrix // working copy of the request matrix
+	nrq []int          // outstanding request count per requester
+}
+
+var _ sched.Scheduler = (*Central)(nil)
+
+// NewCentral returns a central LCF scheduler for an n-port switch.
+// roundRobin selects between the paper's lcf_central_rr (true: the rotating
+// diagonal wins unconditionally, RRInterleaved) and the pure lcf_central
+// (false: least choice always decides, the rotating chain only breaks
+// ties, RRNone).
+func NewCentral(n int, roundRobin bool) *Central {
+	mode := RRNone
+	if roundRobin {
+		mode = RRInterleaved
+	}
+	return NewCentralRR(n, mode)
+}
+
+// NewCentralRR returns a central LCF scheduler with an explicit
+// round-robin mode, for the fairness/throughput ablation of Section 3's
+// 0..b/n discussion.
+func NewCentralRR(n int, mode RRMode) *Central {
+	if n <= 0 {
+		panic("core: non-positive port count")
+	}
+	if mode < RRNone || mode > RRPrescheduled {
+		panic("core: unknown RR mode")
+	}
+	return &Central{
+		n:      n,
+		rrMode: mode,
+		r:      bitvec.NewMatrix(n),
+		nrq:    make([]int, n),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (c *Central) Name() string {
+	switch c.rrMode {
+	case RRInterleaved:
+		return "lcf_central_rr"
+	case RRPrescheduled:
+		return "lcf_central_rrpre"
+	default:
+		return "lcf_central"
+	}
+}
+
+// Mode returns the configured round-robin mode.
+func (c *Central) Mode() RRMode { return c.rrMode }
+
+// N implements sched.Scheduler.
+func (c *Central) N() int { return c.n }
+
+// Offsets returns the current round-robin offsets (I, J); exposed for the
+// fairness analysis and the hardware model equivalence tests.
+func (c *Central) Offsets() (i, j int) { return c.i, c.j }
+
+// SetOffsets forces the round-robin offsets, for tests that reproduce a
+// specific figure from the paper.
+func (c *Central) SetOffsets(i, j int) {
+	c.i = ((i % c.n) + c.n) % c.n
+	c.j = ((j % c.n) + c.n) % c.n
+}
+
+// Schedule implements sched.Scheduler. It is a direct transcription of the
+// paper's Figure 2, with the matrix bits held in bitvec rows.
+func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(c, ctx, m)
+	m.Reset()
+	n := c.n
+
+	// Initialization block of Figure 2: S[req] := -1 (done by m.Reset) and
+	// nrq[req] := Σ R[req,*]. The request matrix is copied because the
+	// algorithm consumes it (rows of granted requesters are cleared).
+	c.r.Copy(ctx.Req)
+	for req := 0; req < n; req++ {
+		c.nrq[req] = c.r.RowCount(req)
+	}
+
+	// RRPrescheduled: grant the entire rotating diagonal before the LCF
+	// pass, so no LCF decision can steal a protected position (the b/n
+	// upper bound of Section 3's fairness range).
+	if c.rrMode == RRPrescheduled {
+		for res := 0; res < n; res++ {
+			resource := (c.j + res) % n
+			rrPos := (c.i + res) % n
+			if c.r.Get(rrPos, resource) && !m.InputMatched(rrPos) {
+				m.Pair(rrPos, resource)
+				c.r.ClearRow(rrPos)
+				c.nrq[rrPos] = 0
+				for req := 0; req < n; req++ {
+					if c.r.Get(req, resource) {
+						c.nrq[req]--
+					}
+				}
+			}
+		}
+	}
+
+	// Allocate resources one after the other. At step `res` the resource
+	// being scheduled is (J+res) mod n and the round-robin position for it
+	// is requester (I+res) mod n — together these trace the rotating
+	// diagonal of Figure 3.
+	for res := 0; res < n; res++ {
+		resource := (c.j + res) % n
+		rrPos := (c.i + res) % n
+		if m.OutputMatched(resource) {
+			continue // taken by the prescheduled diagonal
+		}
+		gnt := -1
+
+		if c.rrMode == RRInterleaved && c.r.Get(rrPos, resource) {
+			gnt = rrPos // round-robin position wins
+		} else {
+			// Find the requester with the smallest number of requests;
+			// the scan order (req+I+res) mod n is the rotating priority
+			// chain starting at the round-robin position, so the first
+			// requester reached wins ties (strict < below).
+			min := n + 1
+			for req := 0; req < n; req++ {
+				cand := (req + c.i + res) % n
+				if c.r.Get(cand, resource) && c.nrq[cand] < min {
+					gnt = cand
+					min = c.nrq[cand]
+				}
+			}
+		}
+
+		if gnt != -1 {
+			m.Pair(gnt, resource)
+			// The granted requester leaves the competition: clear its row
+			// and zero its count, then discount every remaining request
+			// for the resource just taken so later priorities only reflect
+			// still-schedulable choices.
+			c.r.ClearRow(gnt)
+			c.nrq[gnt] = 0
+			for req := 0; req < n; req++ {
+				if c.r.Get(req, resource) {
+					c.nrq[req]--
+				}
+			}
+		}
+	}
+
+	// Advance the diagonal: every position is the round-robin position
+	// once per n² scheduling cycles.
+	c.i = (c.i + 1) % n
+	if c.i == 0 {
+		c.j = (c.j + 1) % n
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// Dist is the distributed LCF scheduler of Section 5: an iterative
+// three-step protocol in the style of PIM, but with choices driven by
+// request/grant counts rather than randomness.
+//
+//   - Request: every unmatched initiator requests every (unmatched) target
+//     it has a packet for, accompanied by nrq, the number of requests it is
+//     sending.
+//   - Grant: every unmatched target that received requests grants the one
+//     with the lowest nrq (fewest choices), ties broken round-robin. The
+//     grant is accompanied by ngt, the number of requests the target
+//     received.
+//   - Accept: every unmatched initiator that received grants accepts the
+//     one with the lowest ngt, ties broken round-robin.
+//
+// The optional round-robin extension (lcf_dist_rr) pre-matches one rotating
+// matrix position per scheduling cycle before the iterations run, which
+// restores the hard fairness bound at a small cost in matching efficiency.
+type Dist struct {
+	n          int
+	iterations int
+	roundRobin bool
+
+	// Rotating round-robin position [i,j] for the _rr variant; advances
+	// like the central scheduler's diagonal origin.
+	i, j int
+
+	// Per-port rotating tie-break pointers, advanced iSLIP-style when a
+	// grant/accept they selected becomes part of the match.
+	grantPtr  []int // per target: where the grant search starts
+	acceptPtr []int // per initiator: where the accept search starts
+
+	// Scratch, reused across slots.
+	nrq    []int          // per initiator: requests sent this iteration
+	ngt    []int          // per target: requests received this iteration
+	grants *bitvec.Matrix // grants[i] has bit j set: target j granted initiator i
+
+	stats MessageStats
+}
+
+// MessageStats counts the protocol traffic of the distributed scheduler
+// since construction — the empirical counterpart of the worst-case
+// communication-cost formula i·n²·(2·log₂n+3) of Section 6.2 (the formula
+// assumes every pair exchanges request/grant/accept every iteration; real
+// traffic is much sparser).
+type MessageStats struct {
+	Cycles     int64 // scheduling cycles executed
+	Iterations int64 // iterations actually run (≤ Cycles·bound)
+	Requests   int64 // request messages sent (each 1+log₂n bits)
+	Grants     int64 // grant messages sent (each 1+log₂n bits)
+	Accepts    int64 // accept messages sent (each 1 bit)
+}
+
+// Bits returns the total signalling volume of the counted messages for an
+// n-port switch, using Figure 10's encodings.
+func (m MessageStats) Bits(n int) int64 {
+	l := int64(1)
+	for 1<<uint(l) < n {
+		l++
+	}
+	return m.Requests*(1+l) + m.Grants*(1+l) + m.Accepts
+}
+
+// BitsPerCycle returns the average signalling volume per scheduling cycle.
+func (m MessageStats) BitsPerCycle(n int) float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Bits(n)) / float64(m.Cycles)
+}
+
+var _ sched.Scheduler = (*Dist)(nil)
+
+// NewDist returns a distributed LCF scheduler for an n-port switch running
+// the given number of request/grant/accept iterations per slot (the paper
+// uses 4). roundRobin enables the lcf_dist_rr variant.
+func NewDist(n, iterations int, roundRobin bool) *Dist {
+	if n <= 0 {
+		panic("core: non-positive port count")
+	}
+	if iterations <= 0 {
+		panic("core: non-positive iteration count")
+	}
+	return &Dist{
+		n:          n,
+		iterations: iterations,
+		roundRobin: roundRobin,
+		grantPtr:   make([]int, n),
+		acceptPtr:  make([]int, n),
+		nrq:        make([]int, n),
+		ngt:        make([]int, n),
+		grants:     bitvec.NewMatrix(n),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (d *Dist) Name() string {
+	if d.roundRobin {
+		return "lcf_dist_rr"
+	}
+	return "lcf_dist"
+}
+
+// N implements sched.Scheduler.
+func (d *Dist) N() int { return d.n }
+
+// Iterations returns the configured iteration bound.
+func (d *Dist) Iterations() int { return d.iterations }
+
+// Stats returns the protocol-message counters accumulated so far.
+func (d *Dist) Stats() MessageStats { return d.stats }
+
+// SetPosition forces the round-robin position, for figure-reproduction
+// tests.
+func (d *Dist) SetPosition(i, j int) {
+	d.i = ((i % d.n) + d.n) % d.n
+	d.j = ((j % d.n) + d.n) % d.n
+}
+
+// Schedule implements sched.Scheduler.
+func (d *Dist) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(d, ctx, m)
+	m.Reset()
+	n := d.n
+	req := ctx.Req
+
+	// Round-robin pre-match: the rotating position is "scheduled before
+	// regular LCF scheduling takes place" (Section 5).
+	if d.roundRobin && req.Get(d.i, d.j) {
+		m.Pair(d.i, d.j)
+	}
+
+	d.stats.Cycles++
+	for it := 0; it < d.iterations; it++ {
+		// Request step: recompute each unmatched initiator's choice count
+		// over unmatched targets. An initiator whose remaining requests
+		// all point at matched targets sends nothing.
+		anyRequest := false
+		for i := 0; i < n; i++ {
+			d.nrq[i] = 0
+			if m.InputMatched(i) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !m.OutputMatched(j) && req.Get(i, j) {
+					d.nrq[i]++
+				}
+			}
+			if d.nrq[i] > 0 {
+				d.stats.Requests += int64(d.nrq[i])
+				anyRequest = true
+			}
+		}
+		if anyRequest {
+			d.stats.Iterations++
+		}
+
+		// Grant step: each unmatched target grants the requesting
+		// initiator with the lowest nrq; the rotating pointer breaks ties
+		// by deciding which equal-priority initiator is reached first.
+		d.grants.Reset()
+		anyGrant := false
+		for j := 0; j < n; j++ {
+			d.ngt[j] = 0
+			if m.OutputMatched(j) {
+				continue
+			}
+			best := -1
+			bestNRQ := n + 1
+			for k := 0; k < n; k++ {
+				i := (d.grantPtr[j] + k) % n
+				if m.InputMatched(i) || !req.Get(i, j) || d.nrq[i] == 0 {
+					continue
+				}
+				d.ngt[j]++
+				if d.nrq[i] < bestNRQ {
+					best = i
+					bestNRQ = d.nrq[i]
+				}
+			}
+			if best >= 0 {
+				d.grants.Set(best, j)
+				anyGrant = true
+				d.stats.Grants++
+			}
+		}
+		if !anyGrant {
+			break // converged: no unmatched initiator requests an unmatched target
+		}
+
+		// Accept step: each initiator with grants accepts the granting
+		// target with the lowest ngt, ties again broken by a rotating
+		// pointer. Pointers advance past the chosen partner only when a
+		// match forms, the update rule that avoids pointer synchronization.
+		for i := 0; i < n; i++ {
+			row := d.grants.Row(i)
+			if row.None() {
+				continue
+			}
+			best := -1
+			bestNGT := n + 1
+			for k := 0; k < n; k++ {
+				j := (d.acceptPtr[i] + k) % n
+				if row.Get(j) && d.ngt[j] < bestNGT {
+					best = j
+					bestNGT = d.ngt[j]
+				}
+			}
+			m.Pair(i, best)
+			d.stats.Accepts++
+			d.grantPtr[best] = (i + 1) % n
+			d.acceptPtr[i] = (best + 1) % n
+		}
+	}
+
+	// Advance the round-robin position for the next scheduling cycle.
+	d.i = (d.i + 1) % n
+	if d.i == 0 {
+		d.j = (d.j + 1) % n
+	}
+}

@@ -1,0 +1,343 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// quickCfg returns a sweep config small enough for unit tests.
+func quickCfg(schedulers []string, loads []float64) Config {
+	return Config{
+		N:            8,
+		Schedulers:   schedulers,
+		Loads:        loads,
+		Seed:         1,
+		WarmupSlots:  300,
+		MeasureSlots: 1500,
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N != 16 || cfg.Iterations != 4 || cfg.Repeats != 1 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if len(cfg.Schedulers) != 9 { // 8 Figure-12 schedulers + outbuf
+		t.Fatalf("default schedulers %v", cfg.Schedulers)
+	}
+	if cfg.Pattern != PatternUniform {
+		t.Fatalf("default pattern %q", cfg.Pattern)
+	}
+	if len(cfg.Loads) == 0 {
+		t.Fatal("no default loads")
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	bad := []Config{
+		{N: -1},
+		{Loads: []float64{1.5}},
+		{Loads: []float64{-0.1}},
+		{Pattern: "nonsense"},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Normalize(); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestDefaultLoadsCoverage(t *testing.T) {
+	loads := DefaultLoads()
+	if loads[0] != 0.05 {
+		t.Fatalf("first load %g", loads[0])
+	}
+	last := loads[len(loads)-1]
+	if last != 1.0 {
+		t.Fatalf("last load %g, want 1.0", last)
+	}
+	for i := 1; i < len(loads); i++ {
+		if loads[i] <= loads[i-1] {
+			t.Fatalf("loads not increasing at %d: %v", i, loads)
+		}
+	}
+}
+
+func TestRunSmallSweep(t *testing.T) {
+	cfg := quickCfg([]string{"lcf_central", "outbuf", "fifo"}, []float64{0.2, 0.6})
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cfg.Schedulers {
+		pts := s.Points[name]
+		if len(pts) != 2 {
+			t.Fatalf("%s: %d points", name, len(pts))
+		}
+		for i, p := range pts {
+			if p.Packets == 0 {
+				t.Fatalf("%s load %g: no packets", name, p.Load)
+			}
+			if p.MeanDelay < 1 {
+				t.Fatalf("%s load %g: delay %g below slot minimum", name, p.Load, p.MeanDelay)
+			}
+			if i > 0 && p.MeanDelay < pts[i-1].MeanDelay*0.5 {
+				t.Fatalf("%s: delay dropped sharply with load: %v", name, pts)
+			}
+		}
+	}
+	// Sanity: delay grows with load for the queued organizations.
+	if s.Get("fifo", 1).MeanDelay <= s.Get("fifo", 0).MeanDelay {
+		t.Fatal("fifo delay did not grow with load")
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := quickCfg([]string{"lcf_central_rr", "pim"}, []float64{0.5})
+	base.Repeats = 2
+
+	one := base
+	one.Workers = 1
+	many := base
+	many.Workers = 8
+
+	a, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range base.Schedulers {
+		if a.Get(name, 0) != b.Get(name, 0) {
+			t.Fatalf("%s: results differ across worker counts:\n%+v\n%+v",
+				name, a.Get(name, 0), b.Get(name, 0))
+		}
+	}
+}
+
+func TestRelativeTo(t *testing.T) {
+	cfg := quickCfg([]string{"lcf_central", "outbuf"}, []float64{0.3})
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := s.RelativeTo("outbuf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel["outbuf"][0].MeanDelay; got != 1 {
+		t.Fatalf("outbuf relative to itself = %g", got)
+	}
+	if got := rel["lcf_central"][0].MeanDelay; got < 0.9 {
+		t.Fatalf("lcf_central relative delay %g; cannot beat output buffering", got)
+	}
+	if _, err := s.RelativeTo("missing"); err == nil {
+		t.Fatal("missing reference accepted")
+	}
+}
+
+func TestRepeatsSpread(t *testing.T) {
+	cfg := quickCfg([]string{"pim"}, []float64{0.7})
+	cfg.Repeats = 3
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Get("pim", 0)
+	if p.DelaySpread <= 0 {
+		t.Fatalf("3 repeats with distinct seeds produced zero spread: %+v", p)
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	for _, pat := range []string{PatternUniform, PatternHotspot, PatternDiagonal, PatternLogDiagonal, PatternBursty} {
+		cfg := quickCfg([]string{"islip"}, []float64{0.4})
+		cfg.Pattern = pat
+		s, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pat, err)
+		}
+		if s.Get("islip", 0).Packets == 0 {
+			t.Fatalf("%s: no packets", pat)
+		}
+	}
+}
+
+func TestUnknownSchedulerPropagates(t *testing.T) {
+	cfg := quickCfg([]string{"bogus"}, []float64{0.4})
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFormatTableAndCSV(t *testing.T) {
+	cfg := quickCfg([]string{"lcf_central", "outbuf"}, []float64{0.2, 0.4})
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := FormatTable(cfg, s.Points, func(p Point) float64 { return p.MeanDelay })
+	for _, want := range []string{"load", "lcf_central", "outbuf", "0.200", "0.400"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if lines := strings.Count(tbl, "\n"); lines != 3 { // header + 2 loads
+		t.Fatalf("table has %d lines:\n%s", lines, tbl)
+	}
+	csv := FormatCSV(cfg, s.Points, func(p Point) float64 { return p.Throughput })
+	if !strings.HasPrefix(csv, "load,lcf_central,outbuf\n") {
+		t.Fatalf("csv header:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Fatalf("csv has %d lines:\n%s", lines, csv)
+	}
+}
+
+func TestFairnessExperiment(t *testing.T) {
+	cfg := quickCfg([]string{"lcf_central_rr", "lcf_central"}, nil)
+	cfg.MeasureSlots = 4000
+	pts, err := Fairness(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	byName := map[string]FairnessPoint{}
+	for _, p := range pts {
+		byName[p.Scheduler] = p
+		if p.Jain <= 0 || p.Jain > 1 {
+			t.Fatalf("%s: Jain %g out of (0,1]", p.Scheduler, p.Jain)
+		}
+		if p.Throughput <= 0.5 {
+			t.Fatalf("%s: throughput %g", p.Scheduler, p.Throughput)
+		}
+	}
+	// The round-robin guarantee shows up as better min-share fairness.
+	if byName["lcf_central_rr"].Jain < byName["lcf_central"].Jain*0.95 {
+		t.Fatalf("lcf_central_rr Jain %g well below pure LCF %g",
+			byName["lcf_central_rr"].Jain, byName["lcf_central"].Jain)
+	}
+	out := FormatFairness(cfg, pts)
+	if !strings.Contains(out, "min share") || !strings.Contains(out, "lcf_central_rr") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestFairnessValidation(t *testing.T) {
+	cfg := quickCfg([]string{"islip"}, nil)
+	if _, err := Fairness(cfg, 0); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	if _, err := Fairness(cfg, 1.5); err == nil {
+		t.Fatal("overload accepted")
+	}
+	bad := quickCfg([]string{"junk"}, nil)
+	if _, err := Fairness(bad, 1.0); err == nil {
+		t.Fatal("junk scheduler accepted")
+	}
+}
+
+func TestSpeedupPlumbing(t *testing.T) {
+	cfg := quickCfg([]string{"lcf_central", "outbuf", "fifo"}, []float64{0.9})
+	cfg.Speedup = 2
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speedup applies to the VOQ scheduler only; outbuf and fifo run as
+	// before. The speedup run must beat the plain one.
+	plain := quickCfg([]string{"lcf_central"}, []float64{0.9})
+	p, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("lcf_central", 0).MeanDelay >= p.Get("lcf_central", 0).MeanDelay {
+		t.Fatalf("speedup 2 delay %g not below speedup 1 %g",
+			s.Get("lcf_central", 0).MeanDelay, p.Get("lcf_central", 0).MeanDelay)
+	}
+}
+
+func TestFormatJSON(t *testing.T) {
+	cfg := quickCfg([]string{"lcf_central"}, []float64{0.3})
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatJSON(s.Cfg, s.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		N      int       `json:"n"`
+		Loads  []float64 `json:"loads"`
+		Series map[string][]struct {
+			Scheduler string  `json:"Scheduler"`
+			MeanDelay float64 `json:"MeanDelay"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc.N != 8 || len(doc.Loads) != 1 {
+		t.Fatalf("doc %+v", doc)
+	}
+	if pts := doc.Series["lcf_central"]; len(pts) != 1 || pts[0].MeanDelay < 1 {
+		t.Fatalf("series %+v", doc.Series)
+	}
+}
+
+func TestFindCrossover(t *testing.T) {
+	s := &Sweep{Points: map[string][]Point{
+		"a": {{Load: 0.5, MeanDelay: 3}, {Load: 0.8, MeanDelay: 5}, {Load: 0.9, MeanDelay: 6}},
+		"b": {{Load: 0.5, MeanDelay: 2}, {Load: 0.8, MeanDelay: 7}, {Load: 0.9, MeanDelay: 9}},
+	}}
+	load, ok := s.FindCrossover("a", "b")
+	if !ok || load != 0.8 {
+		t.Fatalf("crossover = %g, %v; want 0.8", load, ok)
+	}
+	// b never permanently crosses below a at the tail... b is above a
+	// from 0.8 on, so b-below-a never holds through the end.
+	if _, ok := s.FindCrossover("b", "a"); ok {
+		t.Fatal("spurious crossover")
+	}
+	if _, ok := s.FindCrossover("a", "missing"); ok {
+		t.Fatal("missing scheduler produced a crossover")
+	}
+}
+
+func TestUnbalancedPatternSweep(t *testing.T) {
+	cfg := quickCfg([]string{"islip"}, []float64{0.5})
+	cfg.Pattern = PatternUnbalanced
+	cfg.Unbalance = 0.5
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("islip", 0).Packets == 0 {
+		t.Fatal("no packets under unbalanced pattern")
+	}
+	bad := quickCfg([]string{"islip"}, []float64{0.5})
+	bad.Unbalance = 2
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("unbalance 2 accepted")
+	}
+}
+
+func TestRunSeedStability(t *testing.T) {
+	a := runSeed(1, "pim", 0.5, 0)
+	b := runSeed(1, "pim", 0.5, 0)
+	if a != b {
+		t.Fatal("runSeed not deterministic")
+	}
+	if runSeed(1, "pim", 0.5, 1) == a || runSeed(1, "islip", 0.5, 0) == a || runSeed(2, "pim", 0.5, 0) == a {
+		t.Fatal("runSeed collisions across distinct runs")
+	}
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FairnessPoint summarizes one scheduler's service distribution under
+// saturating demand: the minimum per-flow bandwidth share (the quantity
+// the paper's fairness definition bounds), Jain's fairness index across
+// flows, and the aggregate throughput given up to achieve it.
+type FairnessPoint struct {
+	Scheduler  string
+	MinShare   float64 // min over flows of (packets delivered / slots); paper bound: ≥ 1/n² for LCF+RR
+	Jain       float64 // 1.0 = perfectly even service
+	Throughput float64
+}
+
+// Fairness runs every configured scheduler at the given load (default
+// 1.0 — the regime where fairness differences appear) and reports the
+// measured service distribution. Flows that received no traffic (possible
+// for outbuf drops under extreme overload) are excluded from MinShare via
+// the served-flow filter, since an unloaded flow says nothing about
+// scheduler fairness.
+func Fairness(cfg Config, load float64) ([]FairnessPoint, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if load <= 0 || load > 1 {
+		return nil, fmt.Errorf("experiment: fairness load %g out of (0,1]", load)
+	}
+	var out []FairnessPoint
+	for _, name := range cfg.Schedulers {
+		res, err := cfg.runOne(name, load, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fairness %s: %w", name, err)
+		}
+		served := func(i, j int) bool { return res.Flows.Count(i, j) > 0 }
+		out = append(out, FairnessPoint{
+			Scheduler:  name,
+			MinShare:   res.Flows.MinShare(served),
+			Jain:       res.Flows.JainIndex(served),
+			Throughput: res.Counters.Throughput(),
+		})
+	}
+	return out, nil
+}
+
+// FormatFairness renders fairness points as an aligned table, with the
+// paper's analytic bound column (1/n² per pair for the LCF+RR diagonal)
+// for reference.
+func FormatFairness(cfg Config, pts []FairnessPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %10s %12s\n", "scheduler", "min share", "jain", "throughput")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-20s %12.5f %10.4f %12.3f\n", p.Scheduler, p.MinShare, p.Jain, p.Throughput)
+	}
+	fmt.Fprintf(&b, "\nreference: uniform share 1/n = %.5f; LCF+RR guarantee 1/n² = %.5f\n",
+		1/float64(cfg.N), 1/float64(cfg.N*cfg.N))
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/packet"
+)
+
+func TestTransferMovesMatchedPackets(t *testing.T) {
+	c := New(3)
+	m := matching.NewMatch(3)
+	m.Pair(0, 2)
+	m.Pair(2, 0)
+
+	popped := map[[2]int]bool{}
+	delivered := map[int]uint64{}
+	pkts := map[int]*packet.Packet{
+		0: {ID: 10, Src: 0, Dst: 2},
+		2: {ID: 30, Src: 2, Dst: 0},
+	}
+	moved, err := c.Transfer(m,
+		func(in, out int) *packet.Packet {
+			popped[[2]int{in, out}] = true
+			return pkts[in]
+		},
+		func(out int, p *packet.Packet) { delivered[out] = p.ID },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 {
+		t.Fatalf("moved %d, want 2", moved)
+	}
+	if !popped[[2]int{0, 2}] || !popped[[2]int{2, 0}] {
+		t.Fatalf("pop calls %v", popped)
+	}
+	if delivered[2] != 10 || delivered[0] != 30 {
+		t.Fatalf("deliveries %v", delivered)
+	}
+	if c.Transferred != 2 {
+		t.Fatalf("Transferred = %d", c.Transferred)
+	}
+}
+
+func TestTransferEmptySchedule(t *testing.T) {
+	c := New(4)
+	moved, err := c.Transfer(matching.NewMatch(4),
+		func(in, out int) *packet.Packet { t.Fatal("pop called"); return nil },
+		func(out int, p *packet.Packet) { t.Fatal("deliver called") })
+	if err != nil || moved != 0 {
+		t.Fatalf("moved=%d err=%v", moved, err)
+	}
+}
+
+func TestTransferRejectsDoubleOutput(t *testing.T) {
+	c := New(3)
+	m := matching.NewMatch(3)
+	m.Pair(0, 1)
+	m.Pair(2, 2)
+	// Corrupt: both inputs claim output 1.
+	m.InToOut[2] = 1
+	_, err := c.Transfer(m, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "twice") && !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTransferRejectsInconsistentViews(t *testing.T) {
+	c := New(2)
+	m := matching.NewMatch(2)
+	m.Pair(0, 0)
+	m.OutToIn[0] = 1
+	if _, err := c.Transfer(m, nil, nil); err == nil {
+		t.Fatal("inconsistent views accepted")
+	}
+}
+
+func TestTransferRejectsOutOfRange(t *testing.T) {
+	c := New(2)
+	m := matching.NewMatch(2)
+	m.InToOut[0] = 7
+	if _, err := c.Transfer(m, nil, nil); err == nil {
+		t.Fatal("out-of-range output accepted")
+	}
+}
+
+func TestTransferRejectsSizeMismatch(t *testing.T) {
+	c := New(2)
+	if _, err := c.Transfer(matching.NewMatch(3), nil, nil); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestTransferNilPop(t *testing.T) {
+	c := New(2)
+	m := matching.NewMatch(2)
+	m.Pair(0, 0)
+	_, err := c.Transfer(m,
+		func(in, out int) *packet.Packet { return nil },
+		func(out int, p *packet.Packet) {})
+	if err == nil {
+		t.Fatal("nil pop accepted")
+	}
+}
+
+func TestTransferWrongDestination(t *testing.T) {
+	c := New(2)
+	m := matching.NewMatch(2)
+	m.Pair(0, 0)
+	_, err := c.Transfer(m,
+		func(in, out int) *packet.Packet { return &packet.Packet{ID: 1, Dst: 1} },
+		func(out int, p *packet.Packet) {})
+	if err == nil {
+		t.Fatal("mis-destined packet accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

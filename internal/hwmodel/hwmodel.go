@@ -1,0 +1,333 @@
+// Package hwmodel reproduces the implementation-cost side of the paper's
+// evaluation (Section 6):
+//
+//   - Table 1 — gate and register counts of the central LCF scheduler's
+//     FPGA implementation, split into the per-requester ("distributed")
+//     slices and the shared central logic;
+//   - Table 2 — the clock-cycle decomposition of the scheduling tasks
+//     (2n+1 cycles to check the precalculated schedule, 3n+2 to calculate
+//     the LCF schedule, 5n+3 total) and the resulting times at the
+//     implementation's 66 MHz clock;
+//   - Section 6.2 — the communication-cost comparison between the central
+//     and the distributed scheduler (Figure 10's message encoding).
+//
+// Substitution note (see DESIGN.md): we cannot synthesize the authors'
+// Xilinx XCV600 design, so Table 1 is reproduced by an architectural cost
+// model of the Figure 6 datapath. Register counts follow exactly from the
+// register inventory the paper describes; gate counts use standard
+// two-input-gate equivalents per block, with block constants calibrated so
+// n=16 reproduces the published totals. The model's value is the *scaling*
+// in n, which is what the paper's modularization and scalability arguments
+// rest on.
+package hwmodel
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// log2 returns ceil(log2(n)) for n ≥ 1 — the width of a port index.
+func log2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// RequesterSlice is the per-requester cost of the Figure 6 datapath.
+// Register inventory (the paper's blocks, all widths in bits):
+//
+//	R[0..n-1]   request register                        n
+//	shadow R    double buffer loaded from cfg packets   n
+//	P[0..n-1]   precalculated-schedule register         n
+//	NRQ         request count, inverse unary            n
+//	PRIO        rotating priority, inverse unary        n
+//	GNT         granted resource index                  log2(n)
+//	CP, NGT     compare / not-granted flags             2
+//
+// Total 5n + log2(n) + 2, which is exactly the paper's 86 registers at
+// n = 16.
+type RequesterSlice struct {
+	N         int
+	Gates     int
+	Registers int
+}
+
+// CentralLogic is the cost of the shared part: the resource pointer RES,
+// the open-collector bus sampling, configuration fan-out, grant-packet
+// staging and serialization, the CRC-16 generator/checker, and the control
+// FSM. Register inventory:
+//
+//	grant staging        n·(log2(n)+1)  (gnt + gntVal per requester)
+//	bus sample           n
+//	config staging       4n             (req/pre/ben/qen fields)
+//	RES pointer          log2(n)+1
+//	CRC-16               16
+//	slot counter         16
+//	FSM state            8
+//	nodeId + status      log2(n)+7
+//
+// Total n·log2(n) + 6n + 2·log2(n) + 48 = 216 at n = 16.
+type CentralLogic struct {
+	N         int
+	Gates     int
+	Registers int
+}
+
+// Table1 aggregates the Table 1 reproduction for an n-port scheduler.
+type Table1 struct {
+	N          int
+	Slice      RequesterSlice
+	Central    CentralLogic
+	TotalGates int
+	TotalRegs  int
+}
+
+// SliceCost returns the per-requester slice model.
+//
+// Gate model (two-input gate equivalents): register load/select muxes for
+// R/shadow/P (6n), thermometer conversion of the request sum into NRQ's
+// inverse unary encoding (4n), NRQ and PRIO shift/hold muxes (3n each),
+// open-collector bus drivers (2n), NRQ-vs-bus comparator (3n), conditional
+// NRQ decrement (2n), GNT load mux (3·log2 n), slice control (70).
+func SliceCost(n int) RequesterSlice {
+	if n <= 0 {
+		panic(fmt.Sprintf("hwmodel: non-positive port count %d", n))
+	}
+	return RequesterSlice{
+		N:         n,
+		Gates:     23*n + 3*log2(n) + 70,
+		Registers: 5*n + log2(n) + 2,
+	}
+}
+
+// CentralCost returns the shared-logic model.
+//
+// Gate model: grant-packet staging and serialization (4n·log2 n),
+// configuration fan-out and bus sampling (8n), RES pointer and counters
+// (10·log2 n), CRC-16 plus framing plus control FSM (343).
+func CentralCost(n int) CentralLogic {
+	if n <= 0 {
+		panic(fmt.Sprintf("hwmodel: non-positive port count %d", n))
+	}
+	return CentralLogic{
+		N:         n,
+		Gates:     4*n*log2(n) + 8*n + 10*log2(n) + 343,
+		Registers: n*log2(n) + 6*n + 2*log2(n) + 48,
+	}
+}
+
+// CostTable1 returns the full Table 1 model for n ports: n requester
+// slices plus the central logic.
+func CostTable1(n int) Table1 {
+	s := SliceCost(n)
+	c := CentralCost(n)
+	return Table1{
+		N:          n,
+		Slice:      s,
+		Central:    c,
+		TotalGates: n*s.Gates + c.Gates,
+		TotalRegs:  n*s.Registers + c.Registers,
+	}
+}
+
+// ClockHz is the implementation clock of Section 6.1.
+const ClockHz = 66e6
+
+// Task is one row of Table 2.
+type Task struct {
+	Name          string
+	Decomposition string // closed form in n
+	Cycles        int
+	Seconds       float64
+}
+
+// CheckCycles returns the cycle count of the precalculated-schedule check:
+// one setup cycle plus two cycles per resource (drive the precalc requests
+// for the resource onto the bus; detect multi-driver conflicts and latch
+// the accepted grant).
+func CheckCycles(n int) int { return 2*n + 1 }
+
+// LCFCycles returns the cycle count of the LCF schedule calculation: two
+// setup cycles (sum requests into NRQ, initialize NGT/PRIO) plus three
+// cycles per resource (NRQ bus comparison → CP; PRIO arbitration → GNT;
+// register update: shift PRIO, update NRQ, advance RES).
+func LCFCycles(n int) int { return 3*n + 2 }
+
+// TotalCycles returns the full scheduling-pass cycle count, 5n+3.
+func TotalCycles(n int) int { return CheckCycles(n) + LCFCycles(n) }
+
+// CostTable2 returns the Table 2 reproduction for n ports at the given
+// clock (use ClockHz for the paper's implementation).
+func CostTable2(n int, clockHz float64) []Task {
+	if n <= 0 {
+		panic(fmt.Sprintf("hwmodel: non-positive port count %d", n))
+	}
+	if clockHz <= 0 {
+		panic("hwmodel: non-positive clock")
+	}
+	mk := func(name, dec string, cycles int) Task {
+		return Task{Name: name, Decomposition: dec, Cycles: cycles, Seconds: float64(cycles) / clockHz}
+	}
+	return []Task{
+		mk("Check prec. schedule", "2n+1", CheckCycles(n)),
+		mk("Calculate LCF schedule", "3n+2", LCFCycles(n)),
+		mk("Total", "5n+3", TotalCycles(n)),
+	}
+}
+
+// MaxPortsForSlot returns the largest port count whose full scheduling
+// pass (5n+3 cycles, Table 2) fits within one packet slot at the given
+// clock — the sizing rule implied by Clint's numbers: an 8.5 µs slot at
+// 66 MHz holds 561 cycles, so the central LCF scheduler scales to n=111
+// before scheduling itself becomes the bottleneck (pipelining then buys
+// one more slot of budget per stage).
+func MaxPortsForSlot(slotSeconds float64, clockHz float64) int {
+	if slotSeconds <= 0 || clockHz <= 0 {
+		panic("hwmodel: non-positive timing parameter")
+	}
+	budget := int(slotSeconds * clockHz)
+	n := (budget - 3) / 5
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// CentralCommBits returns the signalling volume of the central scheduler
+// (Section 6.2, Figure 10a): each of the n requesters sends an n-bit
+// request vector and receives a grant of log2(n) bits plus a valid bit —
+// n·(n + log2 n + 1) bits per scheduling cycle.
+func CentralCommBits(n int) int {
+	if n <= 0 {
+		panic("hwmodel: non-positive port count")
+	}
+	return n * (n + log2(n) + 1)
+}
+
+// DistCommBits returns the signalling volume of the distributed scheduler
+// (Figure 10b): per iteration every (requester,resource) pair may carry a
+// request bit with its nrq count (1 + log2 n), a grant bit with its ngt
+// count (1 + log2 n), and an accept bit — i·n²·(2·log2 n + 3) bits.
+func DistCommBits(n, iterations int) int {
+	if n <= 0 || iterations <= 0 {
+		panic("hwmodel: non-positive parameter")
+	}
+	return iterations * n * n * (2*log2(n) + 3)
+}
+
+// WWFACost models the wrapped wave front arbiter's hardware (the paper's
+// reference [14], Tamir & Chi): an n×n array of identical crosspoint
+// cells, each a few gates plus a request flip-flop, arbitrating one
+// wrapped diagonal per clock — n cycles per schedule. Gate/register
+// figures per cell follow Tamir & Chi's description of the symmetric
+// cell (request latch, row/column token logic, grant latch).
+type WWFACost struct {
+	N         int
+	Cycles    int // per schedule: n (wrapped); the original WFA needs 2n−1
+	Gates     int // total: n² cells × 6 gate equivalents
+	Registers int // total: n² cells × 2 (request + grant latches)
+}
+
+// WWFA returns the wave front arbiter cost model for n ports.
+func WWFA(n int) WWFACost {
+	if n <= 0 {
+		panic("hwmodel: non-positive port count")
+	}
+	return WWFACost{N: n, Cycles: n, Gates: 6 * n * n, Registers: 2 * n * n}
+}
+
+// ArbiterRow is one line of the arbiter comparison table.
+type ArbiterRow struct {
+	Name      string
+	Cycles    string // closed form and value
+	Gates     int
+	Registers int
+	CommBits  int // off-chip signalling per schedule (0 = on-chip array)
+}
+
+// CompareArbiters returns the scheduling-time/hardware/wiring comparison
+// across the three implementable schedulers at width n — the engineering
+// summary behind Section 6's evaluation.
+func CompareArbiters(n, iterations int) []ArbiterRow {
+	t1 := CostTable1(n)
+	w := WWFA(n)
+	return []ArbiterRow{
+		{
+			Name:      "lcf_central",
+			Cycles:    fmt.Sprintf("3n+2 = %d", LCFCycles(n)),
+			Gates:     t1.TotalGates,
+			Registers: t1.TotalRegs,
+			CommBits:  CentralCommBits(n),
+		},
+		{
+			Name:      "wfront (WWFA)",
+			Cycles:    fmt.Sprintf("n = %d", w.Cycles),
+			Gates:     w.Gates,
+			Registers: w.Registers,
+			CommBits:  CentralCommBits(n), // same request/grant interface
+		},
+		{
+			Name:      "lcf_dist",
+			Cycles:    fmt.Sprintf("3·i = %d (i=%d iterations)", 3*iterations, iterations),
+			Gates:     n * SliceCost(n).Gates, // slices only; no central part
+			Registers: n * SliceCost(n).Registers,
+			CommBits:  DistCommBits(n, iterations),
+		},
+	}
+}
+
+// Packaging describes the modularization options of Section 6.2: a
+// backplane holding the switching fabric and line cards holding the
+// per-port logic. The scheduler placement decides which signals must
+// cross the card boundary — the pin counts below are the per-card and
+// backplane-connector signal counts implied by Figure 10's encodings
+// (data-path pins excluded; both options carry the same data signals).
+type Packaging struct {
+	N          int
+	Iterations int
+	// CentralLineCardPins: with the central scheduler packaged on the
+	// backplane, each line card sends its n-bit request vector and
+	// receives a grant (log2 n + 1 valid bit).
+	CentralLineCardPins int
+	// CentralBackplanePins is the total scheduling signal count at the
+	// backplane connector: n line cards' worth.
+	CentralBackplanePins int
+	// DistLineCardPins: with a distributed scheduler slice on each line
+	// card, the card talks to every other card in both roles — as an
+	// initiator it sends request (1+log2 n) and accept (1) and receives
+	// grant (1+log2 n); as a target the mirror image. Per partner that is
+	// 2·(2·log2 n + 3) wires, each terminating one pin on this card.
+	DistLineCardPins int
+	// DistBackplanePins is the number of distinct scheduling wires the
+	// backplane must carry for the full mesh: n(n−1)/2 pairs, each with
+	// 2·(2·log2 n + 3) wires.
+	DistBackplanePins int
+}
+
+// PackagingModel returns the pin-count comparison for an n-port switch.
+func PackagingModel(n, iterations int) Packaging {
+	if n <= 0 || iterations <= 0 {
+		panic("hwmodel: non-positive parameter")
+	}
+	l := log2(n)
+	perCardCentral := n + l + 1
+	perPair := 2 * (2*l + 3)
+	return Packaging{
+		N:                    n,
+		Iterations:           iterations,
+		CentralLineCardPins:  perCardCentral,
+		CentralBackplanePins: n * perCardCentral,
+		DistLineCardPins:     (n - 1) * perPair,
+		DistBackplanePins:    n * (n - 1) / 2 * perPair,
+	}
+}
+
+// TimeComplexity documents the asymptotic scheduling-time comparison of
+// Section 6.2: the central scheduler is O(n) (resources scheduled
+// sequentially), the distributed scheduler O(log²n)-ish in the PIM sense
+// (O(log n) iterations, each O(1) hardware steps). Returned as printable
+// strings for the CLI.
+func TimeComplexity() (central, distributed string) {
+	return "O(n)", "O(log n) iterations (PIM-style analysis: E[iterations] ≤ log2 n + 4/3)"
+}

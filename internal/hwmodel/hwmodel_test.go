@@ -1,0 +1,264 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1PaperValues pins the model to the published Table 1 at n=16.
+func TestTable1PaperValues(t *testing.T) {
+	tb := CostTable1(16)
+	if tb.Slice.Gates != 450 {
+		t.Errorf("slice gates = %d, want 450", tb.Slice.Gates)
+	}
+	if tb.Slice.Registers != 86 {
+		t.Errorf("slice registers = %d, want 86", tb.Slice.Registers)
+	}
+	if tb.Central.Gates != 767 {
+		t.Errorf("central gates = %d, want 767", tb.Central.Gates)
+	}
+	if tb.Central.Registers != 216 {
+		t.Errorf("central registers = %d, want 216", tb.Central.Registers)
+	}
+	if got, want := 16*tb.Slice.Gates, 7200; got != want {
+		t.Errorf("distributed gates = %d, want %d", got, want)
+	}
+	if got, want := 16*tb.Slice.Registers, 1376; got != want {
+		t.Errorf("distributed registers = %d, want %d", got, want)
+	}
+	if tb.TotalGates != 7967 {
+		t.Errorf("total gates = %d, want 7967", tb.TotalGates)
+	}
+	if tb.TotalRegs != 1592 {
+		t.Errorf("total registers = %d, want 1592", tb.TotalRegs)
+	}
+}
+
+func TestTable1Monotone(t *testing.T) {
+	prev := CostTable1(2)
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		cur := CostTable1(n)
+		if cur.TotalGates <= prev.TotalGates || cur.TotalRegs <= prev.TotalRegs {
+			t.Fatalf("cost not monotone from n=%d to n=%d", prev.N, n)
+		}
+		prev = cur
+	}
+}
+
+func TestTable1ScalingShape(t *testing.T) {
+	// The per-slice cost is Θ(n) and the central cost Θ(n log n): doubling
+	// n from 64 to 128 must roughly double the slice cost (±20%) and grow
+	// the central register count by a bit more than 2×.
+	a, b := SliceCost(64), SliceCost(128)
+	ratio := float64(b.Gates) / float64(a.Gates)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("slice gate scaling 64→128 = %.2f, want ≈2", ratio)
+	}
+	ca, cb := CentralCost(64), CentralCost(128)
+	rratio := float64(cb.Registers) / float64(ca.Registers)
+	if rratio <= 2.0 {
+		t.Fatalf("central register scaling 64→128 = %.2f, want >2 (Θ(n log n) term)", rratio)
+	}
+}
+
+func TestCostPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SliceCost(0) },
+		func() { CentralCost(-1) },
+		func() { CostTable2(0, ClockHz) },
+		func() { CostTable2(16, 0) },
+		func() { CentralCommBits(0) },
+		func() { DistCommBits(16, 0) },
+		func() { DistCommBits(0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid parameter did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestTable2PaperValues pins the cycle decomposition and times to the
+// published Table 2 (n=16, 66 MHz).
+func TestTable2PaperValues(t *testing.T) {
+	tasks := CostTable2(16, ClockHz)
+	if len(tasks) != 3 {
+		t.Fatalf("%d tasks", len(tasks))
+	}
+	wantCycles := []int{33, 50, 83}
+	wantNanos := []float64{500, 758, 1258}
+	for i, task := range tasks {
+		if task.Cycles != wantCycles[i] {
+			t.Errorf("%s: %d cycles, want %d", task.Name, task.Cycles, wantCycles[i])
+		}
+		gotNanos := task.Seconds * 1e9
+		if math.Abs(gotNanos-wantNanos[i]) > 1 { // paper rounds to ns
+			t.Errorf("%s: %.1f ns, want ≈%g", task.Name, gotNanos, wantNanos[i])
+		}
+	}
+	if tasks[0].Cycles+tasks[1].Cycles != tasks[2].Cycles {
+		t.Error("total row is not the sum of the task rows")
+	}
+}
+
+func TestCycleClosedForms(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16, 64, 1024} {
+		if CheckCycles(n) != 2*n+1 {
+			t.Errorf("CheckCycles(%d) = %d", n, CheckCycles(n))
+		}
+		if LCFCycles(n) != 3*n+2 {
+			t.Errorf("LCFCycles(%d) = %d", n, LCFCycles(n))
+		}
+		if TotalCycles(n) != 5*n+3 {
+			t.Errorf("TotalCycles(%d) = %d", n, TotalCycles(n))
+		}
+	}
+}
+
+func TestCommBitsFormulas(t *testing.T) {
+	// n=16: central 16·(16+4+1) = 336; distributed with i=4:
+	// 4·256·(2·4+3) = 11264.
+	if got := CentralCommBits(16); got != 336 {
+		t.Errorf("CentralCommBits(16) = %d, want 336", got)
+	}
+	if got := DistCommBits(16, 4); got != 11264 {
+		t.Errorf("DistCommBits(16,4) = %d, want 11264", got)
+	}
+	// The distributed scheduler always costs more wires, as Section 6.2
+	// concludes — check across a range.
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		if DistCommBits(n, 1) <= CentralCommBits(n) {
+			t.Errorf("n=%d: distributed comm (1 iter) %d not above central %d",
+				n, DistCommBits(n, 1), CentralCommBits(n))
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 1024: 10}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPackagingModel(t *testing.T) {
+	p := PackagingModel(16, 4)
+	// Central: 16+4+1 = 21 pins per line card; 336 at the backplane —
+	// consistent with CentralCommBits by construction.
+	if p.CentralLineCardPins != 21 {
+		t.Fatalf("central line card pins %d, want 21", p.CentralLineCardPins)
+	}
+	if p.CentralBackplanePins != CentralCommBits(16) {
+		t.Fatalf("central backplane pins %d != comm bits %d",
+			p.CentralBackplanePins, CentralCommBits(16))
+	}
+	// Distributed: per pair 2(2·4+3) = 22 wires; per card 15·22 = 330;
+	// backplane 16·15/2·22 = 2640.
+	if p.DistLineCardPins != 330 {
+		t.Fatalf("dist line card pins %d, want 330", p.DistLineCardPins)
+	}
+	if p.DistBackplanePins != 2640 {
+		t.Fatalf("dist backplane pins %d, want 2640", p.DistBackplanePins)
+	}
+	// The modularization conclusion of Section 6.2: the distributed
+	// scheduler's wiring demand dominates at every width.
+	for _, n := range []int{4, 16, 64, 256} {
+		q := PackagingModel(n, 4)
+		if q.DistBackplanePins <= q.CentralBackplanePins && n > 4 {
+			t.Fatalf("n=%d: distributed backplane %d not above central %d",
+				n, q.DistBackplanePins, q.CentralBackplanePins)
+		}
+	}
+}
+
+func TestPackagingModelPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PackagingModel(0, 4) },
+		func() { PackagingModel(16, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid packaging parameter did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWWFACost(t *testing.T) {
+	w := WWFA(16)
+	if w.Cycles != 16 || w.Gates != 6*256 || w.Registers != 2*256 {
+		t.Fatalf("WWFA(16) = %+v", w)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WWFA(0) did not panic")
+		}
+	}()
+	WWFA(0)
+}
+
+func TestCompareArbiters(t *testing.T) {
+	rows := CompareArbiters(16, 4)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]ArbiterRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Gates <= 0 || r.Registers <= 0 || r.CommBits <= 0 || r.Cycles == "" {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	// The structural facts the table must reflect: the WWFA is the
+	// fastest (n cycles), the distributed scheduler has no central logic
+	// but the largest wiring bill, and the central LCF pays 3n+2 cycles
+	// for the smallest total area.
+	if byName["lcf_central"].Gates != CostTable1(16).TotalGates {
+		t.Fatal("central gates mismatch")
+	}
+	if byName["lcf_dist"].CommBits <= byName["lcf_central"].CommBits {
+		t.Fatal("distributed wiring not above central")
+	}
+	if byName["wfront (WWFA)"].Cycles != "n = 16" {
+		t.Fatalf("wwfa cycles %q", byName["wfront (WWFA)"].Cycles)
+	}
+}
+
+func TestMaxPortsForSlot(t *testing.T) {
+	// Clint: 8.5 µs slot at 66 MHz = 561 cycles; 5n+3 ≤ 561 ⟹ n ≤ 111.
+	if got := MaxPortsForSlot(8.5e-6, ClockHz); got != 111 {
+		t.Fatalf("MaxPortsForSlot(Clint) = %d, want 111", got)
+	}
+	// The 16-port design fits with a wide margin; check the inverse.
+	if TotalCycles(16) > int(8.5e-6*ClockHz) {
+		t.Fatal("n=16 pass does not fit the Clint slot")
+	}
+	// A slot shorter than the fixed overhead yields 0 ports.
+	if got := MaxPortsForSlot(1e-9, ClockHz); got != 0 {
+		t.Fatalf("tiny slot MaxPorts = %d", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-positive timing accepted")
+			}
+		}()
+		MaxPortsForSlot(0, ClockHz)
+	}()
+}
+
+func TestTimeComplexityStrings(t *testing.T) {
+	c, d := TimeComplexity()
+	if c == "" || d == "" {
+		t.Fatal("empty complexity strings")
+	}
+}

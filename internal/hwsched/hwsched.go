@@ -1,0 +1,352 @@
+// Package hwsched is a cycle-accurate behavioural model of the hardware
+// implementation of the central LCF scheduler (Section 4.2, Figure 6 of
+// the paper): per-requester register slices communicating over an n-bit
+// open-collector bus, with NRQ and PRIO kept in inverse unary encoding.
+//
+// The model serves three purposes:
+//
+//  1. It reproduces Table 2: executing a scheduling pass consumes exactly
+//     2n+1 clock cycles for the precalculated-schedule check and 3n+2 for
+//     the LCF calculation, counted cycle by cycle as the state machine
+//     runs (not computed from the closed form — the closed form is what
+//     the tests check the machine against).
+//  2. It demonstrates the hardware algorithm's equivalence to the Figure 2
+//     pseudo code: for every request matrix and round-robin state, the bus
+//     implementation computes the same schedule as core.Central with the
+//     round-robin diagonal enabled (property-tested).
+//  3. It implements the two-stage scheduling of Section 4.3: the
+//     precalculated schedule (real-time/multicast connections) is
+//     integrity-checked and applied first, then the LCF stage fills the
+//     remaining resources.
+//
+// Encoding note: the paper stores NRQ as inverse unary (three requests =
+// 1…1000) and lets the open-collector drivers invert, so the wired-AND bus
+// reads the minimum (0…0111 ∧ 0…0001 = 0…0001). The model uses the
+// equivalent thermometer-ones form directly: encode(k) has the k low bits
+// set, and the bus is the bitwise AND of all driven vectors.
+package hwsched
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Unmatched marks a resource with no granted requester.
+const Unmatched = -1
+
+// Result is one scheduling pass's outcome, in the hardware's natural
+// per-resource view. Multicast precalculated connections can grant the
+// same requester several resources, which a bipartite Match cannot
+// represent; OutToIn can.
+type Result struct {
+	// OutToIn[j] is the requester granted resource j, or Unmatched.
+	OutToIn []int
+	// FromPrecalc[j] reports that resource j was filled by the
+	// precalculated schedule (stage 1) rather than LCF (stage 2).
+	FromPrecalc []bool
+	// DroppedPrecalc lists precalculated requests (i,j) rejected by the
+	// integrity check because another requester held the same target.
+	DroppedPrecalc [][2]int
+	// Cycles is the number of clock cycles the pass consumed.
+	Cycles int
+}
+
+// Scheduler is the hardware model. Like the silicon, it carries the
+// rotating state (the PRIO shift registers' phase and the RES pointer's
+// starting resource) across scheduling cycles.
+type Scheduler struct {
+	n int
+	// i is the PRIO rotation: requester (i+res) mod n has the highest
+	// priority while resource step res executes. j is the RES starting
+	// offset. Together they advance exactly like the I/J offsets of
+	// Figure 2.
+	i, j int
+
+	// TotalCycles accumulates consumed clock cycles across passes.
+	TotalCycles int64
+
+	// Slice registers (index = requester).
+	r   []*bitvec.Vector // request register R[i,*] (working copy)
+	nrq []int            // NRQ shift register, as a count
+	ngt []bool           // not-granted flag
+	cp  []bool           // compare flag
+
+	bus []uint64 // open-collector bus words (thermometer AND)
+}
+
+// New returns a hardware scheduler model for n requesters/resources.
+func New(n int) *Scheduler {
+	if n <= 0 {
+		panic(fmt.Sprintf("hwsched: non-positive port count %d", n))
+	}
+	s := &Scheduler{
+		n:   n,
+		r:   make([]*bitvec.Vector, n),
+		nrq: make([]int, n),
+		ngt: make([]bool, n),
+		cp:  make([]bool, n),
+		bus: make([]uint64, (n+64)/64+1),
+	}
+	for i := range s.r {
+		s.r[i] = bitvec.New(n)
+	}
+	return s
+}
+
+// N returns the port count.
+func (s *Scheduler) N() int { return s.n }
+
+// State returns the rotation state (i, j), mirroring core.Central.Offsets.
+func (s *Scheduler) State() (i, j int) { return s.i, s.j }
+
+// SetState forces the rotation state, for equivalence tests.
+func (s *Scheduler) SetState(i, j int) {
+	s.i = ((i % s.n) + s.n) % s.n
+	s.j = ((j % s.n) + s.n) % s.n
+}
+
+// busReset opens all bus lines (pulled high).
+func (s *Scheduler) busReset() {
+	for k := range s.bus {
+		s.bus[k] = ^uint64(0)
+	}
+}
+
+// busDriveThermo drives the thermometer encoding of value v (v low bits
+// set, rest clear) onto the wired-AND bus.
+func (s *Scheduler) busDriveThermo(v int) {
+	for k := range s.bus {
+		lo := k * 64
+		var w uint64
+		switch {
+		case v >= lo+64:
+			w = ^uint64(0)
+		case v <= lo:
+			w = 0
+		default:
+			w = (1 << uint(v-lo)) - 1
+		}
+		s.bus[k] &= w
+	}
+}
+
+// busValue samples the bus and decodes the thermometer value (the minimum
+// of everything driven).
+func (s *Scheduler) busValue() int {
+	v := 0
+	for k := range s.bus {
+		w := s.bus[k]
+		if w == ^uint64(0) {
+			v += 64
+			continue
+		}
+		for w&1 == 1 {
+			v++
+			w >>= 1
+		}
+		break
+	}
+	if v > s.n {
+		v = s.n // open bus: nothing driven
+	}
+	return v
+}
+
+// rank returns requester i's PRIO rank during resource step res: 0 is the
+// highest priority (the round-robin position).
+func (s *Scheduler) rank(i, res int) int {
+	return ((i-(s.i+res))%s.n + s.n) % s.n
+}
+
+// ScheduleLCF runs the LCF stage alone on the request matrix and returns
+// the schedule. The pass consumes 3n+2 cycles.
+func (s *Scheduler) ScheduleLCF(req *bitvec.Matrix) *Result {
+	res := s.newResult()
+	s.loadAndSum(req, res) // 2 setup cycles
+	s.lcfStage(res)        // 3 cycles per resource
+	s.advance()
+	s.TotalCycles += int64(res.Cycles)
+	return res
+}
+
+// ScheduleWithPrecalc runs the full two-stage pass of Section 4.3: the
+// precalculated schedule pre (requester×resource bits; rows may hold
+// several bits for multicast) is integrity-checked and applied, then LCF
+// schedules the remaining resources from req. The pass consumes
+// (2n+1) + (3n+2) = 5n+3 cycles.
+func (s *Scheduler) ScheduleWithPrecalc(pre, req *bitvec.Matrix) *Result {
+	if pre.N() != s.n || req.N() != s.n {
+		panic("hwsched: matrix dimension mismatch")
+	}
+	res := s.newResult()
+	s.precalcStage(pre, res) // 2n+1 cycles
+	s.loadAndSum(req, res)   // 2 setup cycles
+	s.lcfStage(res)          // 3 cycles per resource
+	s.advance()
+	s.TotalCycles += int64(res.Cycles)
+	return res
+}
+
+func (s *Scheduler) newResult() *Result {
+	r := &Result{
+		OutToIn:     make([]int, s.n),
+		FromPrecalc: make([]bool, s.n),
+	}
+	for j := range r.OutToIn {
+		r.OutToIn[j] = Unmatched
+	}
+	return r
+}
+
+// precalcStage checks and applies the precalculated schedule: one init
+// cycle, then two cycles per resource (drive + latch). A target requested
+// by several precalc entries is an integrity violation; the entry of the
+// highest-priority requester (the PRIO chain) is accepted, the others
+// dropped — "one request is accepted and the remaining ones are dropped".
+func (s *Scheduler) precalcStage(pre *bitvec.Matrix, out *Result) {
+	out.Cycles++ // init: latch precalc registers from the config packets
+	for step := 0; step < s.n; step++ {
+		resource := (s.j + step) % s.n
+		// Cycle 1: requesters with P[i,resource] drive their PRIO rank.
+		out.Cycles++
+		s.busReset()
+		drivers := 0
+		for i := 0; i < s.n; i++ {
+			if pre.Get(i, resource) {
+				s.busDriveThermo(s.rank(i, step) + 1)
+				drivers++
+			}
+		}
+		// Cycle 2: the minimum-rank driver latches the grant; losers are
+		// recorded as dropped.
+		out.Cycles++
+		if drivers == 0 {
+			continue
+		}
+		winRank := s.busValue() - 1
+		for i := 0; i < s.n; i++ {
+			if !pre.Get(i, resource) {
+				continue
+			}
+			if s.rank(i, step) == winRank {
+				out.OutToIn[resource] = i
+				out.FromPrecalc[resource] = true
+			} else {
+				out.DroppedPrecalc = append(out.DroppedPrecalc, [2]int{i, resource})
+			}
+		}
+	}
+}
+
+// loadAndSum is the LCF stage's two setup cycles: copy the request rows
+// into the working registers, sum each row into NRQ, and set the NGT
+// flags. Requesters already granted a precalculated connection do not
+// participate (their NGT stays false); resources already granted are
+// masked out of every row so they are not counted as choices.
+func (s *Scheduler) loadAndSum(req *bitvec.Matrix, out *Result) {
+	if req.N() != s.n {
+		panic("hwsched: matrix dimension mismatch")
+	}
+	out.Cycles += 2
+	granted := make(map[int]bool, s.n)
+	for j := 0; j < s.n; j++ {
+		if out.OutToIn[j] != Unmatched {
+			granted[out.OutToIn[j]] = true
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		s.r[i].Copy(req.Row(i))
+		// Mask out resources taken by the precalculated schedule.
+		for j := 0; j < s.n; j++ {
+			if out.OutToIn[j] != Unmatched {
+				s.r[i].Clear(j)
+			}
+		}
+		s.nrq[i] = s.r[i].PopCount()
+		s.ngt[i] = !granted[i]
+	}
+}
+
+// lcfStage schedules every resource in RES order, three cycles each:
+// NRQ bus comparison, PRIO arbitration, register update.
+func (s *Scheduler) lcfStage(out *Result) {
+	for step := 0; step < s.n; step++ {
+		resource := (s.j + step) % s.n
+		out.Cycles += 3
+		if out.OutToIn[resource] != Unmatched {
+			// Resource taken by the precalculated schedule: the cycles
+			// elapse (the FSM still walks RES) but no grant forms.
+			continue
+		}
+
+		// Cycle 1 — NRQ comparison: requesters with an outstanding request
+		// for this resource drive NRQ; whoever matches the sampled minimum
+		// sets CP. The round-robin position (rank 0) participates in the
+		// arbitration step regardless of its NRQ, which is how the
+		// hardware realizes "the round-robin position wins".
+		s.busReset()
+		participants := 0
+		for i := 0; i < s.n; i++ {
+			s.cp[i] = false
+			if s.ngt[i] && s.r[i].Get(resource) {
+				s.busDriveThermo(s.nrq[i])
+				participants++
+			}
+		}
+		if participants > 0 {
+			min := s.busValue()
+			for i := 0; i < s.n; i++ {
+				if s.ngt[i] && s.r[i].Get(resource) && (s.nrq[i] == min || s.rank(i, step) == 0) {
+					s.cp[i] = true
+				}
+			}
+		}
+
+		// Cycle 2 — PRIO arbitration among CP requesters: lowest rank wins
+		// and latches GNT := RES.
+		s.busReset()
+		any := false
+		for i := 0; i < s.n; i++ {
+			if s.cp[i] {
+				s.busDriveThermo(s.rank(i, step) + 1)
+				any = true
+			}
+		}
+		var winner = Unmatched
+		if any {
+			winRank := s.busValue() - 1
+			for i := 0; i < s.n; i++ {
+				if s.cp[i] && s.rank(i, step) == winRank {
+					winner = i
+					break
+				}
+			}
+		}
+
+		// Cycle 3 — update: the winner clears NGT and leaves the
+		// competition; every requester still requesting the taken
+		// resource shifts NRQ (decrement); PRIO shifts; RES increments
+		// (implicit in the step loop).
+		if winner != Unmatched {
+			out.OutToIn[resource] = winner
+			s.ngt[winner] = false
+			s.r[winner].Reset()
+			s.nrq[winner] = 0
+			for i := 0; i < s.n; i++ {
+				if s.r[i].Get(resource) {
+					s.nrq[i]--
+				}
+			}
+		}
+	}
+}
+
+// advance rotates the scheduler state for the next scheduling cycle, the
+// "one more PRIO shift / extra RES increment" of Section 4.2.
+func (s *Scheduler) advance() {
+	s.i = (s.i + 1) % s.n
+	if s.i == 0 {
+		s.j = (s.j + 1) % s.n
+	}
+}

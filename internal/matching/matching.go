@@ -1,0 +1,274 @@
+// Package matching defines the bipartite-matching vocabulary shared by all
+// schedulers: the Match result type, conflict-freedom validation, and a
+// Hopcroft–Karp maximum-size matcher used as the throughput-upper-bound
+// baseline the paper discusses in Section 1 (reference [7]).
+package matching
+
+import "fmt"
+
+// Unmatched marks an input or output with no partner in a Match.
+const Unmatched = -1
+
+// Match is a conflict-free schedule for one slot: InToOut[i] is the output
+// granted to input i (or Unmatched), and OutToIn is the inverse view. The
+// two views are kept consistent by the methods; schedulers populate a Match
+// via Pair.
+type Match struct {
+	InToOut []int
+	OutToIn []int
+}
+
+// NewMatch returns an empty Match for an n×n switch.
+func NewMatch(n int) *Match {
+	m := &Match{InToOut: make([]int, n), OutToIn: make([]int, n)}
+	m.Reset()
+	return m
+}
+
+// N returns the switch size.
+func (m *Match) N() int { return len(m.InToOut) }
+
+// Reset clears all pairings.
+func (m *Match) Reset() {
+	for i := range m.InToOut {
+		m.InToOut[i] = Unmatched
+		m.OutToIn[i] = Unmatched
+	}
+}
+
+// Pair records the connection input i → output j. It panics if either side
+// is already matched: double-granting is a scheduler bug that must surface
+// immediately, not corrupt a simulation.
+func (m *Match) Pair(i, j int) {
+	if m.InToOut[i] != Unmatched {
+		panic(fmt.Sprintf("matching: input %d already matched to %d", i, m.InToOut[i]))
+	}
+	if m.OutToIn[j] != Unmatched {
+		panic(fmt.Sprintf("matching: output %d already matched to %d", j, m.OutToIn[j]))
+	}
+	m.InToOut[i] = j
+	m.OutToIn[j] = i
+}
+
+// Unpair removes the connection of input i, if any.
+func (m *Match) Unpair(i int) {
+	if j := m.InToOut[i]; j != Unmatched {
+		m.InToOut[i] = Unmatched
+		m.OutToIn[j] = Unmatched
+	}
+}
+
+// InputMatched reports whether input i has a partner.
+func (m *Match) InputMatched(i int) bool { return m.InToOut[i] != Unmatched }
+
+// OutputMatched reports whether output j has a partner.
+func (m *Match) OutputMatched(j int) bool { return m.OutToIn[j] != Unmatched }
+
+// Size returns the number of matched pairs.
+func (m *Match) Size() int {
+	c := 0
+	for _, j := range m.InToOut {
+		if j != Unmatched {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (m *Match) Clone() *Match {
+	c := NewMatch(m.N())
+	copy(c.InToOut, m.InToOut)
+	copy(c.OutToIn, m.OutToIn)
+	return c
+}
+
+// Equal reports whether two matches pair identically.
+func (m *Match) Equal(o *Match) bool {
+	if m.N() != o.N() {
+		return false
+	}
+	for i := range m.InToOut {
+		if m.InToOut[i] != o.InToOut[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Requests abstracts a request matrix: Requested(i,j) reports whether
+// input i has a packet for output j, and N is the port count. Both
+// bitvec.Matrix (via an adapter) and ad-hoc test matrices satisfy it.
+type Requests interface {
+	N() int
+	Requested(i, j int) bool
+}
+
+// Validate checks the three invariants every schedule must satisfy against
+// the request set it was computed from:
+//
+//  1. internal consistency: InToOut and OutToIn are mutual inverses,
+//  2. conflict-freedom: no output granted to two inputs (implied by 1),
+//  3. grant validity: every pairing corresponds to an actual request.
+//
+// It returns a descriptive error naming the first violated invariant.
+func Validate(m *Match, req Requests) error {
+	n := m.N()
+	if req.N() != n {
+		return fmt.Errorf("matching: match size %d vs request size %d", n, req.N())
+	}
+	for i := 0; i < n; i++ {
+		j := m.InToOut[i]
+		if j == Unmatched {
+			continue
+		}
+		if j < 0 || j >= n {
+			return fmt.Errorf("matching: input %d matched to out-of-range output %d", i, j)
+		}
+		if m.OutToIn[j] != i {
+			return fmt.Errorf("matching: inconsistent views: in[%d]=%d but out[%d]=%d", i, j, j, m.OutToIn[j])
+		}
+		if !req.Requested(i, j) {
+			return fmt.Errorf("matching: grant (%d,%d) without a request", i, j)
+		}
+	}
+	for j := 0; j < n; j++ {
+		i := m.OutToIn[j]
+		if i == Unmatched {
+			continue
+		}
+		if i < 0 || i >= n {
+			return fmt.Errorf("matching: output %d matched to out-of-range input %d", j, i)
+		}
+		if m.InToOut[i] != j {
+			return fmt.Errorf("matching: inconsistent views: out[%d]=%d but in[%d]=%d", j, i, i, m.InToOut[i])
+		}
+	}
+	return nil
+}
+
+// IsMaximal reports whether the match cannot be extended: no unmatched
+// input still requests an unmatched output. Iterative schedulers (PIM,
+// iSLIP, distributed LCF) converge to maximal matches; the property tests
+// rely on this predicate.
+func IsMaximal(m *Match, req Requests) bool {
+	n := m.N()
+	for i := 0; i < n; i++ {
+		if m.InputMatched(i) {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !m.OutputMatched(j) && req.Requested(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaximumSize computes a maximum-cardinality matching of the request matrix
+// with the Hopcroft–Karp algorithm (O(E·√V), reference [7] of the paper).
+// The result is written into m, which is reset first.
+//
+// Maximum-size matching is the throughput upper bound the paper positions
+// LCF against: it finds the most connections per slot but is too slow for
+// line-rate scheduling and can starve flows.
+func MaximumSize(m *Match, req Requests) {
+	n := req.N()
+	if m.N() != n {
+		panic("matching: size mismatch")
+	}
+	m.Reset()
+
+	// Adjacency lists once per call; the matcher is a baseline, not a hot
+	// path, so clarity wins over allocation thrift.
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if req.Requested(i, j) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n+1) // dist[n] is the NIL sentinel
+	queue := make([]int, 0, n)
+
+	// matchIn[i] = output matched to input i or n (NIL); matchOut[j]
+	// likewise. Using n as NIL keeps the BFS simple.
+	matchIn := make([]int, n)
+	matchOut := make([]int, n)
+	for i := range matchIn {
+		matchIn[i] = n
+		matchOut[i] = n
+	}
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			if matchIn[i] == n {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		dist[n] = inf
+		for qi := 0; qi < len(queue); qi++ {
+			i := queue[qi]
+			if dist[i] >= dist[n] {
+				continue
+			}
+			for _, j := range adj[i] {
+				next := matchOut[j]
+				if dist[next] == inf {
+					dist[next] = dist[i] + 1
+					if next != n {
+						queue = append(queue, next)
+					}
+				}
+			}
+		}
+		return dist[n] != inf
+	}
+
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for _, j := range adj[i] {
+			next := matchOut[j]
+			if dist[next] == dist[i]+1 && dfs(next) {
+				matchIn[i] = j
+				matchOut[j] = i
+				return true
+			}
+		}
+		dist[i] = inf
+		return false
+	}
+
+	for bfs() {
+		for i := 0; i < n; i++ {
+			if matchIn[i] == n {
+				dfs(i)
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if matchIn[i] != n {
+			m.Pair(i, matchIn[i])
+		}
+	}
+}
+
+// MaximumSizeCount returns only the cardinality of a maximum matching,
+// without materializing it.
+func MaximumSizeCount(req Requests) int {
+	m := NewMatch(req.N())
+	MaximumSize(m, req)
+	return m.Size()
+}

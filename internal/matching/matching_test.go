@@ -1,0 +1,295 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+// matReq adapts bitvec.Matrix to the Requests interface.
+type matReq struct{ m *bitvec.Matrix }
+
+func (r matReq) N() int                  { return r.m.N() }
+func (r matReq) Requested(i, j int) bool { return r.m.Get(i, j) }
+
+func reqFromRows(rows [][]int) matReq {
+	return matReq{bitvec.MatrixFromRows(rows)}
+}
+
+func randomReq(r *rand.Rand, n int, density float64) matReq {
+	m := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Float64() < density {
+				m.Set(i, j)
+			}
+		}
+	}
+	return matReq{m}
+}
+
+func TestMatchPairAndViews(t *testing.T) {
+	m := NewMatch(4)
+	m.Pair(1, 2)
+	m.Pair(0, 3)
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	if m.InToOut[1] != 2 || m.OutToIn[2] != 1 {
+		t.Fatal("views inconsistent after Pair")
+	}
+	if !m.InputMatched(1) || !m.OutputMatched(3) || m.InputMatched(2) || m.OutputMatched(0) {
+		t.Fatal("matched predicates wrong")
+	}
+	m.Unpair(1)
+	if m.InputMatched(1) || m.OutputMatched(2) {
+		t.Fatal("Unpair did not clear both views")
+	}
+	m.Unpair(1) // idempotent
+	if m.Size() != 1 {
+		t.Fatalf("Size after Unpair = %d", m.Size())
+	}
+}
+
+func TestPairDoubleInputPanics(t *testing.T) {
+	m := NewMatch(3)
+	m.Pair(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double-pairing input did not panic")
+		}
+	}()
+	m.Pair(0, 2)
+}
+
+func TestPairDoubleOutputPanics(t *testing.T) {
+	m := NewMatch(3)
+	m.Pair(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double-granting output did not panic")
+		}
+	}()
+	m.Pair(2, 1)
+}
+
+func TestCloneEqual(t *testing.T) {
+	m := NewMatch(3)
+	m.Pair(2, 0)
+	c := m.Clone()
+	if !c.Equal(m) {
+		t.Fatal("clone not Equal")
+	}
+	c.Unpair(2)
+	if c.Equal(m) {
+		t.Fatal("Equal after divergence")
+	}
+	if m.Equal(NewMatch(4)) {
+		t.Fatal("Equal across sizes")
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	req := reqFromRows([][]int{
+		{0, 1, 1, 0},
+		{1, 0, 1, 1},
+		{1, 0, 1, 1},
+		{0, 1, 0, 0},
+	})
+	m := NewMatch(4)
+	m.Pair(1, 0)
+	m.Pair(3, 1)
+	m.Pair(0, 2)
+	m.Pair(2, 3)
+	if err := Validate(m, req); err != nil {
+		t.Fatalf("Validate rejected valid match: %v", err)
+	}
+}
+
+func TestValidateRejectsGrantWithoutRequest(t *testing.T) {
+	req := reqFromRows([][]int{{0, 1}, {1, 0}})
+	m := NewMatch(2)
+	m.Pair(0, 0) // input 0 never requested output 0
+	if err := Validate(m, req); err == nil {
+		t.Fatal("Validate accepted grant without request")
+	}
+}
+
+func TestValidateRejectsInconsistentViews(t *testing.T) {
+	req := reqFromRows([][]int{{1, 1}, {1, 1}})
+	m := NewMatch(2)
+	m.Pair(0, 0)
+	m.OutToIn[0] = 1 // corrupt one view directly
+	if err := Validate(m, req); err == nil {
+		t.Fatal("Validate accepted inconsistent views")
+	}
+}
+
+func TestValidateRejectsSizeMismatch(t *testing.T) {
+	req := reqFromRows([][]int{{1}})
+	if err := Validate(NewMatch(2), req); err == nil {
+		t.Fatal("Validate accepted size mismatch")
+	}
+}
+
+func TestIsMaximal(t *testing.T) {
+	req := reqFromRows([][]int{
+		{1, 1},
+		{1, 0},
+	})
+	m := NewMatch(2)
+	m.Pair(0, 0) // leaves input 1 unmatched although it requests nothing free? it requests 0 (taken) only → maximal
+	if !IsMaximal(m, req) {
+		t.Fatal("match should be maximal")
+	}
+	m2 := NewMatch(2)
+	m2.Pair(1, 0) // input 0 still requests free output 1 → not maximal
+	if IsMaximal(m2, req) {
+		t.Fatal("match should not be maximal")
+	}
+}
+
+func TestMaximumSizePerfectMatching(t *testing.T) {
+	// Full request matrix: a perfect matching of size n must be found.
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		m := bitvec.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j)
+			}
+		}
+		match := NewMatch(n)
+		MaximumSize(match, matReq{m})
+		if match.Size() != n {
+			t.Fatalf("n=%d: maximum matching size %d", n, match.Size())
+		}
+		if err := Validate(match, matReq{m}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestMaximumSizeKnownInstance(t *testing.T) {
+	// The Figure 3 matrix: the paper notes the maximum is 4 connections
+	// ([I1,T0],[I3,T1],[I0,T2],[I2,T3] is one witness).
+	req := reqFromRows([][]int{
+		{0, 1, 1, 0},
+		{1, 0, 1, 1},
+		{1, 0, 1, 1},
+		{0, 1, 0, 0},
+	})
+	if got := MaximumSizeCount(req); got != 4 {
+		t.Fatalf("Figure 3 maximum matching = %d, want 4", got)
+	}
+}
+
+func TestMaximumSizeSingleColumn(t *testing.T) {
+	// All inputs request only output 0: maximum is 1.
+	req := reqFromRows([][]int{
+		{1, 0, 0},
+		{1, 0, 0},
+		{1, 0, 0},
+	})
+	if got := MaximumSizeCount(req); got != 1 {
+		t.Fatalf("single-column maximum = %d, want 1", got)
+	}
+}
+
+func TestMaximumSizeEmpty(t *testing.T) {
+	req := reqFromRows([][]int{{0, 0}, {0, 0}})
+	m := NewMatch(2)
+	MaximumSize(m, req)
+	if m.Size() != 0 {
+		t.Fatalf("empty matrix matched %d", m.Size())
+	}
+}
+
+// naiveMaximum computes maximum matching size by exhaustive search, for
+// cross-checking Hopcroft–Karp on small instances.
+func naiveMaximum(req Requests) int {
+	n := req.N()
+	usedOut := make([]bool, n)
+	var rec func(i int) int
+	rec = func(i int) int {
+		if i == n {
+			return 0
+		}
+		best := rec(i + 1) // leave input i unmatched
+		for j := 0; j < n; j++ {
+			if !usedOut[j] && req.Requested(i, j) {
+				usedOut[j] = true
+				if v := 1 + rec(i+1); v > best {
+					best = v
+				}
+				usedOut[j] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMaximumSizeMatchesExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(6) + 1
+		req := randomReq(r, n, 0.4)
+		m := NewMatch(n)
+		MaximumSize(m, req)
+		if err := Validate(m, req); err != nil {
+			return false
+		}
+		return m.Size() == naiveMaximum(req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximumSizeIsMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(12) + 1
+		req := randomReq(r, n, 0.3)
+		m := NewMatch(n)
+		MaximumSize(m, req)
+		return IsMaximal(m, req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximumSizeSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	MaximumSize(NewMatch(2), reqFromRows([][]int{{1}}))
+}
+
+func BenchmarkMaximumSize16Dense(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	req := randomReq(r, 16, 0.5)
+	m := NewMatch(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximumSize(m, req)
+	}
+}
+
+func BenchmarkValidate16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	req := randomReq(r, 16, 0.5)
+	m := NewMatch(16)
+	MaximumSize(m, req)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Validate(m, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

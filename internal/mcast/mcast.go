@@ -1,0 +1,283 @@
+// Package mcast implements multicast crossbar scheduling, the traffic
+// class the paper's precalculated schedule exists for (Section 4.3:
+// "intended to be used for scheduling real-time traffic or multicast
+// packets") and reference [11] (Prabhakar, McKeown, Ahuja: "Multicast
+// Scheduling for Input-Queued Switches") studies in general form.
+//
+// A multicast cell arrives at one input with a fanout — a set of
+// destination outputs. A crossbar can replicate a cell to any number of
+// outputs in a single slot, but each output still accepts at most one
+// copy per slot, and each input can transmit only its head-of-line cell.
+// The scheduling question is discipline under contention:
+//
+//   - NoSplitting — the cell goes out only when its *entire* residual
+//     fanout is free (this is what Clint's precalculated schedule gives:
+//     an all-or-nothing reservation computed ahead of time);
+//   - FewestFirst — fanout splitting with residual-fanout-ascending
+//     priority: finish nearly-done cells first (the least-choice-first
+//     instinct applied to multicast);
+//   - LargestFirst — fanout splitting with residual-fanout-descending
+//     priority (the "concentrate residual service" end of [11]'s design
+//     space).
+//
+// The package has its own small slot simulator because multicast cells do
+// not fit the unicast Match abstraction (one input drives many outputs).
+package mcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/packet"
+	"repro/internal/rng"
+)
+
+// Policy selects the multicast scheduling discipline.
+type Policy int
+
+// Policies.
+const (
+	NoSplitting Policy = iota
+	FewestFirst
+	LargestFirst
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case NoSplitting:
+		return "nosplit"
+	case FewestFirst:
+		return "fewest-first"
+	case LargestFirst:
+		return "largest-first"
+	default:
+		return "unknown"
+	}
+}
+
+// Cell is one multicast cell.
+type Cell struct {
+	Src       int
+	Residual  *bitvec.Vector // destinations not yet served
+	Fanout    int            // original fanout size
+	Generated packet.Slot
+	Finished  packet.Slot // slot the last copy was delivered; -1 while queued
+}
+
+// Scheduler computes one multicast scheduling decision per slot over the
+// head-of-line cells of each input.
+type Scheduler struct {
+	n      int
+	policy Policy
+	rr     int // rotating tie-break offset
+
+	order   []int
+	outBusy []bool
+}
+
+// NewScheduler returns an n-port multicast scheduler with the given
+// policy.
+func NewScheduler(n int, policy Policy) *Scheduler {
+	if n <= 0 {
+		panic(fmt.Sprintf("mcast: non-positive port count %d", n))
+	}
+	if policy < NoSplitting || policy > LargestFirst {
+		panic("mcast: unknown policy")
+	}
+	return &Scheduler{
+		n:       n,
+		policy:  policy,
+		order:   make([]int, 0, n),
+		outBusy: make([]bool, n),
+	}
+}
+
+// N returns the port count.
+func (s *Scheduler) N() int { return s.n }
+
+// Policy returns the configured discipline.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Schedule serves the head-of-line cells hol (nil entries = idle inputs)
+// for one slot: it returns served[j] = the input whose copy output j
+// accepts this slot (or -1), and mutates the cells' Residual sets. A cell
+// whose residual empties is complete (the caller dequeues it).
+//
+// Inputs are visited in policy priority order (residual fanout size,
+// ties broken by a rotating offset so no input is structurally favored);
+// each visited input claims the free outputs in its residual — all of
+// them under splitting policies, all-or-nothing under NoSplitting.
+func (s *Scheduler) Schedule(hol []*Cell) []int {
+	if len(hol) != s.n {
+		panic(fmt.Sprintf("mcast: %d HOL cells for %d ports", len(hol), s.n))
+	}
+	served := make([]int, s.n)
+	for j := range served {
+		served[j] = -1
+		s.outBusy[j] = false
+	}
+
+	s.order = s.order[:0]
+	for i, c := range hol {
+		if c != nil && c.Residual.Any() {
+			s.order = append(s.order, i)
+		}
+	}
+	rot := s.rr
+	n := s.n
+	sort.SliceStable(s.order, func(a, b int) bool {
+		ca, cb := hol[s.order[a]], hol[s.order[b]]
+		fa, fb := ca.Residual.PopCount(), cb.Residual.PopCount()
+		if fa != fb {
+			if s.policy == LargestFirst {
+				return fa > fb
+			}
+			return fa < fb // FewestFirst and NoSplitting: ascending
+		}
+		// Rotating tie-break: smaller (i-rot) mod n first.
+		return ((s.order[a]-rot)%n+n)%n < ((s.order[b]-rot)%n+n)%n
+	})
+
+	for _, i := range s.order {
+		c := hol[i]
+		if s.policy == NoSplitting {
+			// All-or-nothing: transmit only if every residual output is free.
+			ok := true
+			for j := c.Residual.FirstSet(); j >= 0; j = c.Residual.NextSet(j + 1) {
+				if s.outBusy[j] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		for j := c.Residual.FirstSet(); j >= 0; j = c.Residual.NextSet(j + 1) {
+			if !s.outBusy[j] {
+				s.outBusy[j] = true
+				served[j] = i
+				c.Residual.Clear(j)
+			}
+		}
+	}
+
+	s.rr = (s.rr + 1) % s.n
+	return served
+}
+
+// SimConfig parameterizes a multicast simulation.
+type SimConfig struct {
+	N       int
+	Policy  Policy
+	Load    float64 // probability an input generates a cell per slot
+	Fanout  int     // destinations per cell (uniformly chosen without replacement)
+	Seed    uint64
+	Warmup  int64
+	Measure int64
+	// QueueCap bounds each input's multicast queue; 0 = 256.
+	QueueCap int
+}
+
+// SimResult carries the measurements.
+type SimResult struct {
+	Policy Policy
+	// CellDelay is the mean generation→completion delay of cells (slots).
+	CellDelay float64
+	// Copies counts delivered copies during measurement.
+	Copies int64
+	// CopiesPerOutputSlot is the copy throughput normalized per output.
+	CopiesPerOutputSlot float64
+	// CompletedCells counts cells whose whole fanout was served.
+	CompletedCells int64
+	// Dropped counts cells rejected at full input queues.
+	Dropped int64
+}
+
+// Simulate runs a multicast switch simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("mcast: port count %d", cfg.N)
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return nil, fmt.Errorf("mcast: load %g", cfg.Load)
+	}
+	if cfg.Fanout <= 0 || cfg.Fanout > cfg.N {
+		return nil, fmt.Errorf("mcast: fanout %d with %d ports", cfg.Fanout, cfg.N)
+	}
+	if cfg.Measure <= 0 || cfg.Warmup < 0 {
+		return nil, fmt.Errorf("mcast: warmup %d / measure %d", cfg.Warmup, cfg.Measure)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 256
+	}
+
+	s := NewScheduler(cfg.N, cfg.Policy)
+	r := rng.New(cfg.Seed)
+	queues := make([][]*Cell, cfg.N)
+	res := &SimResult{Policy: cfg.Policy}
+	var delaySum int64
+	perm := make([]int, cfg.N)
+
+	total := cfg.Warmup + cfg.Measure
+	hol := make([]*Cell, cfg.N)
+	for now := int64(0); now < total; now++ {
+		measuring := now >= cfg.Warmup
+
+		// Serve head-of-line cells.
+		for i := range hol {
+			hol[i] = nil
+			if len(queues[i]) > 0 {
+				hol[i] = queues[i][0]
+			}
+		}
+		served := s.Schedule(hol)
+		if measuring {
+			for _, src := range served {
+				if src >= 0 {
+					res.Copies++
+				}
+			}
+		}
+		for i, c := range hol {
+			if c != nil && c.Residual.None() {
+				c.Finished = packet.Slot(now)
+				queues[i] = queues[i][1:]
+				if measuring && int64(c.Generated) >= cfg.Warmup {
+					res.CompletedCells++
+					delaySum += now - int64(c.Generated)
+				}
+			}
+		}
+
+		// Arrivals.
+		for i := 0; i < cfg.N; i++ {
+			if !r.Bool(cfg.Load) {
+				continue
+			}
+			if len(queues[i]) >= cfg.QueueCap {
+				if measuring {
+					res.Dropped++
+				}
+				continue
+			}
+			r.Perm(perm)
+			fan := bitvec.New(cfg.N)
+			for k := 0; k < cfg.Fanout; k++ {
+				fan.Set(perm[k])
+			}
+			queues[i] = append(queues[i], &Cell{
+				Src: i, Residual: fan, Fanout: cfg.Fanout,
+				Generated: packet.Slot(now), Finished: packet.Never,
+			})
+		}
+	}
+
+	if res.CompletedCells > 0 {
+		res.CellDelay = float64(delaySum) / float64(res.CompletedCells)
+	}
+	res.CopiesPerOutputSlot = float64(res.Copies) / float64(cfg.Measure*int64(cfg.N))
+	return res, nil
+}

@@ -1,0 +1,281 @@
+package mcast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/packet"
+)
+
+func cell(src int, n int, dsts ...int) *Cell {
+	return &Cell{
+		Src: src, Residual: bitvec.FromIndices(n, dsts...),
+		Fanout: len(dsts), Generated: 0, Finished: packet.Never,
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if NoSplitting.String() != "nosplit" || FewestFirst.String() != "fewest-first" ||
+		LargestFirst.String() != "largest-first" || Policy(9).String() != "unknown" {
+		t.Fatal("policy strings")
+	}
+}
+
+func TestScheduleReplicatesWholeFanout(t *testing.T) {
+	s := NewScheduler(4, FewestFirst)
+	hol := []*Cell{cell(0, 4, 1, 2, 3), nil, nil, nil}
+	served := s.Schedule(hol)
+	for _, j := range []int{1, 2, 3} {
+		if served[j] != 0 {
+			t.Fatalf("output %d not served by input 0: %v", j, served)
+		}
+	}
+	if served[0] != -1 {
+		t.Fatal("unrequested output served")
+	}
+	if hol[0].Residual.Any() {
+		t.Fatal("residual not cleared after full replication")
+	}
+}
+
+func TestFewestFirstPriority(t *testing.T) {
+	// Input 0 has residual {1}, input 1 has residual {1,2}: fewest-first
+	// gives output 1 to input 0; splitting still lets input 1 take 2.
+	s := NewScheduler(4, FewestFirst)
+	hol := []*Cell{cell(0, 4, 1), cell(1, 4, 1, 2), nil, nil}
+	served := s.Schedule(hol)
+	if served[1] != 0 {
+		t.Fatalf("output 1 served by %d, want fewest-first winner 0", served[1])
+	}
+	if served[2] != 1 {
+		t.Fatalf("output 2 served by %d, want split copy from 1", served[2])
+	}
+	if hol[1].Residual.PopCount() != 1 || !hol[1].Residual.Get(1) {
+		t.Fatalf("input 1 residual %v, want {1}", hol[1].Residual.Indices())
+	}
+}
+
+func TestLargestFirstPriority(t *testing.T) {
+	s := NewScheduler(4, LargestFirst)
+	hol := []*Cell{cell(0, 4, 1), cell(1, 4, 1, 2), nil, nil}
+	served := s.Schedule(hol)
+	if served[1] != 1 {
+		t.Fatalf("output 1 served by %d, want largest-first winner 1", served[1])
+	}
+}
+
+func TestNoSplittingAllOrNothing(t *testing.T) {
+	// Input 0 wants {0,1}; input 1 wants {1,2} — under no-splitting with
+	// input 0 first (smaller index, same fanout, rot 0), input 1 cannot
+	// go (output 1 busy) even though output 2 is free.
+	s := NewScheduler(4, NoSplitting)
+	hol := []*Cell{cell(0, 4, 0, 1), cell(1, 4, 1, 2), nil, nil}
+	served := s.Schedule(hol)
+	if served[0] != 0 || served[1] != 0 {
+		t.Fatalf("input 0 not fully served: %v", served)
+	}
+	if served[2] != -1 {
+		t.Fatalf("no-splitting served a partial fanout: %v", served)
+	}
+	if hol[1].Residual.PopCount() != 2 {
+		t.Fatal("blocked cell lost residual")
+	}
+}
+
+func TestRotatingTieBreak(t *testing.T) {
+	// Two inputs with identical single-destination fanouts contend; the
+	// winner must alternate across slots.
+	s := NewScheduler(2, FewestFirst)
+	wins := [2]int{}
+	for k := 0; k < 10; k++ {
+		hol := []*Cell{cell(0, 2, 0), cell(1, 2, 0)}
+		served := s.Schedule(hol)
+		wins[served[0]]++
+	}
+	if wins[0] != 5 || wins[1] != 5 {
+		t.Fatalf("tie-break wins %v, want 5/5", wins)
+	}
+}
+
+func TestScheduleConflictFreedom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(10) + 2
+		s := NewScheduler(n, Policy(r.Intn(3)))
+		hol := make([]*Cell, n)
+		total := 0
+		for i := range hol {
+			if r.Intn(3) == 0 {
+				continue
+			}
+			k := r.Intn(n) + 1
+			perm := r.Perm(n)[:k]
+			hol[i] = cell(i, n, perm...)
+			total += k
+		}
+		before := make([]int, n)
+		for i, c := range hol {
+			if c != nil {
+				before[i] = c.Residual.PopCount()
+			}
+		}
+		served := s.Schedule(hol)
+		// Each output serves ≤1 input and only inputs that requested it.
+		delivered := 0
+		for j, src := range served {
+			if src == -1 {
+				continue
+			}
+			delivered++
+			if hol[src] == nil {
+				return false
+			}
+			if hol[src].Residual.Get(j) {
+				return false // served outputs must be cleared from residuals
+			}
+		}
+		// Residual shrinkage must equal deliveries.
+		after := 0
+		for i, c := range hol {
+			if c != nil {
+				after += before[i] - c.Residual.PopCount()
+			}
+		}
+		return after == delivered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateSplittingBeatsNoSplitting(t *testing.T) {
+	run := func(p Policy) *SimResult {
+		res, err := Simulate(SimConfig{
+			N: 8, Policy: p, Load: 0.25, Fanout: 4, Seed: 3,
+			Warmup: 1000, Measure: 8000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	split := run(FewestFirst)
+	nosplit := run(NoSplitting)
+	if split.CompletedCells == 0 || nosplit.CompletedCells == 0 {
+		t.Fatal("no completed cells")
+	}
+	// Offered copy load is 0.25·4 = 1.0 per output: saturating. Splitting
+	// must deliver materially more copies and lower cell delay.
+	if split.CopiesPerOutputSlot <= nosplit.CopiesPerOutputSlot {
+		t.Fatalf("splitting %.3f copies/output-slot not above no-splitting %.3f",
+			split.CopiesPerOutputSlot, nosplit.CopiesPerOutputSlot)
+	}
+	if split.CellDelay >= nosplit.CellDelay {
+		t.Fatalf("splitting delay %.2f not below no-splitting %.2f",
+			split.CellDelay, nosplit.CellDelay)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	run := func() *SimResult {
+		res, err := Simulate(SimConfig{
+			N: 8, Policy: FewestFirst, Load: 0.2, Fanout: 3, Seed: 9,
+			Warmup: 500, Measure: 3000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateLightLoadDelay(t *testing.T) {
+	// At negligible load a cell completes in its first scheduling slot.
+	res, err := Simulate(SimConfig{
+		N: 8, Policy: FewestFirst, Load: 0.01, Fanout: 2, Seed: 5,
+		Warmup: 500, Measure: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellDelay < 1 || res.CellDelay > 1.5 {
+		t.Fatalf("light-load cell delay %.2f, want ≈1", res.CellDelay)
+	}
+	if res.Dropped != 0 {
+		t.Fatal("drops at light load")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	bad := []SimConfig{
+		{N: 0, Policy: FewestFirst, Load: 0.5, Fanout: 2, Measure: 10},
+		{N: 8, Policy: FewestFirst, Load: 1.5, Fanout: 2, Measure: 10},
+		{N: 8, Policy: FewestFirst, Load: 0.5, Fanout: 0, Measure: 10},
+		{N: 8, Policy: FewestFirst, Load: 0.5, Fanout: 9, Measure: 10},
+		{N: 8, Policy: FewestFirst, Load: 0.5, Fanout: 2, Measure: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewScheduler(0) did not panic")
+			}
+		}()
+		NewScheduler(0, FewestFirst)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unknown policy did not panic")
+			}
+		}()
+		NewScheduler(4, Policy(7))
+	}()
+	s := NewScheduler(4, FewestFirst)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("wrong HOL length did not panic")
+			}
+		}()
+		s.Schedule(make([]*Cell, 3))
+	}()
+	if s.N() != 4 || s.Policy() != FewestFirst {
+		t.Fatal("accessors")
+	}
+}
+
+func BenchmarkMulticastSchedule16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := NewScheduler(16, FewestFirst)
+	hol := make([]*Cell, 16)
+	refill := func() {
+		for i := range hol {
+			perm := r.Perm(16)[:4]
+			hol[i] = cell(i, 16, perm...)
+		}
+	}
+	refill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(hol)
+		if i%4 == 3 {
+			b.StopTimer()
+			refill()
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBatchMeansIID(t *testing.T) {
+	// For i.i.d. data the batch-means CI must cover the true mean and
+	// roughly agree with the naive CI.
+	r := rand.New(rand.NewSource(1))
+	b := NewBatchMeans(100)
+	var s Stream
+	const trueMean = 5.0
+	for i := 0; i < 100000; i++ {
+		x := trueMean + r.NormFloat64()
+		b.Add(x)
+		s.Add(x)
+	}
+	if b.Batches() != 1000 {
+		t.Fatalf("Batches = %d", b.Batches())
+	}
+	if math.Abs(b.Mean()-trueMean) > 0.05 {
+		t.Fatalf("Mean = %g", b.Mean())
+	}
+	ci := b.CI95()
+	if math.Abs(b.Mean()-trueMean) > 3*ci {
+		t.Fatalf("true mean far outside CI: %g ± %g", b.Mean(), ci)
+	}
+	if ci > 3*s.CI95() || ci < s.CI95()/3 {
+		t.Fatalf("iid batch CI %g vs naive %g should be comparable", ci, s.CI95())
+	}
+}
+
+func TestBatchMeansCorrelatedWidensCI(t *testing.T) {
+	// AR(1) with strong positive correlation: the naive CI is far too
+	// small; batch means must produce a wider (more honest) interval.
+	r := rand.New(rand.NewSource(2))
+	b := NewBatchMeans(1000)
+	var s Stream
+	x := 0.0
+	const phi = 0.99
+	for i := 0; i < 200000; i++ {
+		x = phi*x + r.NormFloat64()
+		b.Add(x)
+		s.Add(x)
+	}
+	if b.CI95() < 3*s.CI95() {
+		t.Fatalf("correlated series: batch CI %g not wider than naive %g", b.CI95(), s.CI95())
+	}
+}
+
+func TestBatchMeansPartialBatchExcluded(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 25; i++ {
+		b.Add(1)
+	}
+	if b.Batches() != 2 {
+		t.Fatalf("Batches = %d, want 2 (partial excluded)", b.Batches())
+	}
+	if b.Mean() != 1 {
+		t.Fatalf("Mean = %g", b.Mean())
+	}
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	b := NewBatchMeans(5)
+	for i := 0; i < 5; i++ {
+		b.Add(float64(i))
+	}
+	if !math.IsInf(b.CI95(), 1) {
+		t.Fatal("CI with one batch should be +Inf")
+	}
+}
+
+func TestBatchMeansValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBatchMeans(0) did not panic")
+		}
+	}()
+	NewBatchMeans(0)
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := tQuantile95(df)
+		if v > prev {
+			t.Fatalf("t quantile not non-increasing at df=%d", df)
+		}
+		prev = v
+	}
+	if tQuantile95(0) != math.Inf(1) {
+		t.Fatal("df=0 quantile")
+	}
+	if tQuantile95(1000) != 1.960 {
+		t.Fatal("normal limit")
+	}
+}

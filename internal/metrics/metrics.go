@@ -1,0 +1,311 @@
+// Package metrics implements the measurement side of the evaluation:
+// streaming latency statistics (Welford mean/variance), latency histograms,
+// per-flow service accounting, throughput, and the fairness measures the
+// paper discusses (minimum bandwidth share per requester/resource pair,
+// Jain's fairness index).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates a running mean and variance with Welford's algorithm,
+// plus min/max. The zero value is ready to use.
+type Stream struct {
+	n        int64
+	mean     float64
+	m2       float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Stream) Count() int64 { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 with <2 observations).
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 with none).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with none).
+func (s *Stream) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Stream) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean. Latency samples within a run are correlated, so
+// this understates the true interval; sweep-level replication (distinct
+// seeds) is the honest estimator and is what cmd/lcfsim -repeat uses.
+func (s *Stream) CI95() float64 { return 1.96 * s.StdErr() }
+
+// Merge folds other into s (parallel-run reduction; Chan et al. update).
+func (s *Stream) Merge(o *Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// Histogram is an integer-valued latency histogram with a fixed bucket
+// range [0, buckets); larger observations land in the overflow bucket.
+type Histogram struct {
+	counts   []int64
+	overflow int64
+	total    int64
+}
+
+// NewHistogram returns a histogram with the given number of unit buckets.
+func NewHistogram(buckets int) *Histogram {
+	if buckets <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive bucket count %d", buckets))
+	}
+	return &Histogram{counts: make([]int64, buckets)}
+}
+
+// Add records an observation of value v (in slots).
+func (h *Histogram) Add(v int64) {
+	h.total++
+	if v < 0 || v >= int64(len(h.counts)) {
+		h.overflow++
+		return
+	}
+	h.counts[v]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Overflow returns the number of observations outside the bucket range.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Count returns the number of observations equal to v.
+func (h *Histogram) Count(v int64) int64 {
+	if v < 0 || v >= int64(len(h.counts)) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded values.
+// Overflow observations are treated as the maximum bucket value. With no
+// observations it returns 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum int64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return int64(v)
+		}
+	}
+	return int64(len(h.counts) - 1)
+}
+
+// FlowMatrix tracks per-(input,output) packet counts, from which the
+// fairness measures are computed. The paper defines fairness as "the lower
+// bound of output link bandwidth allocated to each input port" and proves
+// LCF+RR guarantees each pair at least b/n² (Section 3).
+type FlowMatrix struct {
+	n      int
+	counts []int64
+	slots  int64
+}
+
+// NewFlowMatrix returns an n×n flow counter.
+func NewFlowMatrix(n int) *FlowMatrix {
+	return &FlowMatrix{n: n, counts: make([]int64, n*n)}
+}
+
+// N returns the port count.
+func (f *FlowMatrix) N() int { return f.n }
+
+// Record counts one packet forwarded from input i to output j.
+func (f *FlowMatrix) Record(i, j int) { f.counts[i*f.n+j]++ }
+
+// Tick advances the observation window by one slot.
+func (f *FlowMatrix) Tick() { f.slots++ }
+
+// Slots returns the number of observed slots.
+func (f *FlowMatrix) Slots() int64 { return f.slots }
+
+// Count returns the packets forwarded from i to j.
+func (f *FlowMatrix) Count(i, j int) int64 { return f.counts[i*f.n+j] }
+
+// Share returns the fraction of an output port's capacity delivered to
+// flow (i,j): Count/Slots. This is the quantity bounded below by 1/n² for
+// LCF+RR under persistent demand.
+func (f *FlowMatrix) Share(i, j int) float64 {
+	if f.slots == 0 {
+		return 0
+	}
+	return float64(f.Count(i, j)) / float64(f.slots)
+}
+
+// MinShare returns the minimum Share over the flows selected by keep
+// (typically the persistently-backlogged flows). Returns 0 if no flow is
+// selected or no slots elapsed.
+func (f *FlowMatrix) MinShare(keep func(i, j int) bool) float64 {
+	min := math.Inf(1)
+	found := false
+	for i := 0; i < f.n; i++ {
+		for j := 0; j < f.n; j++ {
+			if keep != nil && !keep(i, j) {
+				continue
+			}
+			found = true
+			if s := f.Share(i, j); s < min {
+				min = s
+			}
+		}
+	}
+	if !found {
+		return 0
+	}
+	return min
+}
+
+// JainIndex returns Jain's fairness index over the selected flows'
+// throughputs: (Σx)²/(n·Σx²), 1.0 = perfectly fair. Returns 1 for fewer
+// than one selected flow.
+func (f *FlowMatrix) JainIndex(keep func(i, j int) bool) float64 {
+	var sum, sumSq float64
+	k := 0
+	for i := 0; i < f.n; i++ {
+		for j := 0; j < f.n; j++ {
+			if keep != nil && !keep(i, j) {
+				continue
+			}
+			x := float64(f.Count(i, j))
+			sum += x
+			sumSq += x * x
+			k++
+		}
+	}
+	if k == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(k) * sumSq)
+}
+
+// Counters aggregates the whole-run accounting used by the conservation
+// property tests and the throughput experiment.
+type Counters struct {
+	Generated int64 // packets produced by the generators
+	DroppedPQ int64 // rejected because the PQ was full
+	Forwarded int64 // packets that crossed the fabric (or left outbuf)
+	Slots     int64 // simulated slots
+	N         int   // ports
+}
+
+// OfferedLoad returns generated packets per input per slot.
+func (c *Counters) OfferedLoad() float64 {
+	if c.Slots == 0 || c.N == 0 {
+		return 0
+	}
+	return float64(c.Generated) / float64(c.Slots*int64(c.N))
+}
+
+// Throughput returns forwarded packets per output per slot — the switch
+// utilization figure of the saturation-throughput experiment.
+func (c *Counters) Throughput() float64 {
+	if c.Slots == 0 || c.N == 0 {
+		return 0
+	}
+	return float64(c.Forwarded) / float64(c.Slots*int64(c.N))
+}
+
+// DropRate returns the fraction of generated packets dropped at the PQ.
+func (c *Counters) DropRate() float64 {
+	if c.Generated == 0 {
+		return 0
+	}
+	return float64(c.DroppedPQ) / float64(c.Generated)
+}
+
+// Percentiles is a convenience for reporting: given raw samples it returns
+// the requested quantiles (nearest-rank). It sorts a copy.
+func Percentiles(samples []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	for k, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(math.Ceil(q*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[k] = s[idx]
+	}
+	return out
+}

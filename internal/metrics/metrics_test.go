@@ -1,0 +1,280 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	if s.Count() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero-value Stream not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %g, want 5", s.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance
+	// is 32/7.
+	if !almost(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %g, want %g", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	if s.StdErr() <= 0 || s.CI95() <= 0 {
+		t.Fatal("StdErr/CI95 not positive")
+	}
+}
+
+func TestStreamSingleObservation(t *testing.T) {
+	var s Stream
+	s.Add(3)
+	if s.Variance() != 0 || s.StdErr() != 0 {
+		t.Fatal("single observation variance should be 0")
+	}
+	if s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("Min/Max with one observation")
+	}
+}
+
+func TestStreamMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(100) + 2
+		var s Stream
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			s.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		varr := ss / float64(n-1)
+		return almost(s.Mean(), mean, 1e-9) && almost(s.Variance(), varr, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var whole, a, b Stream
+		na, nb := r.Intn(50)+1, r.Intn(50)+1
+		for i := 0; i < na; i++ {
+			x := r.Float64() * 100
+			whole.Add(x)
+			a.Add(x)
+		}
+		for i := 0; i < nb; i++ {
+			x := r.Float64() * 100
+			whole.Add(x)
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.Count() == whole.Count() &&
+			almost(a.Mean(), whole.Mean(), 1e-9) &&
+			almost(a.Variance(), whole.Variance(), 1e-6) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMergeEmpty(t *testing.T) {
+	var a, b Stream
+	a.Add(1)
+	a.Merge(&b) // empty other: no-op
+	if a.Count() != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	var c Stream
+	c.Merge(&a) // empty receiver: copy
+	if c.Count() != 1 || c.Mean() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int64{0, 1, 1, 5, 9, 10, 100, -1} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Overflow() != 3 { // 10, 100, -1
+		t.Fatalf("Overflow = %d", h.Overflow())
+	}
+	if h.Count(1) != 2 || h.Count(5) != 1 || h.Count(2) != 0 || h.Count(99) != 0 {
+		t.Fatal("Count mismatch")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(100)
+	for v := int64(1); v <= 100; v++ {
+		if v < 100 {
+			h.Add(v % 100)
+		} else {
+			h.Add(99)
+		}
+	}
+	// 100 observations of 1..99 plus one 99: median around 50.
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %d", med)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+	if NewHistogram(5).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// Clamping.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamp failed")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0) did not panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestFlowMatrix(t *testing.T) {
+	f := NewFlowMatrix(2)
+	if f.N() != 2 {
+		t.Fatalf("N = %d", f.N())
+	}
+	for s := 0; s < 10; s++ {
+		f.Tick()
+	}
+	for k := 0; k < 5; k++ {
+		f.Record(0, 1)
+	}
+	f.Record(1, 0)
+	if f.Count(0, 1) != 5 || f.Count(1, 0) != 1 || f.Count(0, 0) != 0 {
+		t.Fatal("Count mismatch")
+	}
+	if !almost(f.Share(0, 1), 0.5, 1e-12) {
+		t.Fatalf("Share(0,1) = %g", f.Share(0, 1))
+	}
+	if got := f.MinShare(nil); !almost(got, 0, 1e-12) {
+		t.Fatalf("MinShare(all) = %g, want 0 (unused flows)", got)
+	}
+	used := func(i, j int) bool { return f.Count(i, j) > 0 }
+	if got := f.MinShare(used); !almost(got, 0.1, 1e-12) {
+		t.Fatalf("MinShare(used) = %g, want 0.1", got)
+	}
+}
+
+func TestFlowMatrixEmpty(t *testing.T) {
+	f := NewFlowMatrix(2)
+	if f.Share(0, 0) != 0 {
+		t.Fatal("Share with no slots")
+	}
+	if f.MinShare(func(i, j int) bool { return false }) != 0 {
+		t.Fatal("MinShare with empty selection")
+	}
+	if f.JainIndex(nil) != 1 {
+		t.Fatal("JainIndex of all-zero flows should be 1 (degenerate)")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	f := NewFlowMatrix(2)
+	// Perfectly fair: every flow served equally.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 10; k++ {
+				f.Record(i, j)
+			}
+		}
+	}
+	if got := f.JainIndex(nil); !almost(got, 1, 1e-12) {
+		t.Fatalf("fair JainIndex = %g", got)
+	}
+	// Maximally unfair among 4 flows: index 1/4.
+	g := NewFlowMatrix(2)
+	for k := 0; k < 10; k++ {
+		g.Record(0, 0)
+	}
+	if got := g.JainIndex(nil); !almost(got, 0.25, 1e-12) {
+		t.Fatalf("unfair JainIndex = %g, want 0.25", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := &Counters{Generated: 80, DroppedPQ: 8, Forwarded: 64, Slots: 10, N: 8}
+	if !almost(c.OfferedLoad(), 1.0, 1e-12) {
+		t.Fatalf("OfferedLoad = %g", c.OfferedLoad())
+	}
+	if !almost(c.Throughput(), 0.8, 1e-12) {
+		t.Fatalf("Throughput = %g", c.Throughput())
+	}
+	if !almost(c.DropRate(), 0.1, 1e-12) {
+		t.Fatalf("DropRate = %g", c.DropRate())
+	}
+	empty := &Counters{}
+	if empty.OfferedLoad() != 0 || empty.Throughput() != 0 || empty.DropRate() != 0 {
+		t.Fatal("zero Counters rates not zero")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	samples := []float64{5, 1, 3, 2, 4}
+	got := Percentiles(samples, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Percentiles = %v", got)
+	}
+	// Input must not be mutated.
+	if samples[0] != 5 {
+		t.Fatal("Percentiles sorted the input")
+	}
+	if out := Percentiles(nil, 0.5); out[0] != 0 {
+		t.Fatal("empty Percentiles")
+	}
+	// Clamp out-of-range quantiles.
+	got = Percentiles(samples, -1, 2)
+	if got[0] != 1 || got[1] != 5 {
+		t.Fatalf("clamped Percentiles = %v", got)
+	}
+}
+
+func BenchmarkStreamAdd(b *testing.B) {
+	var s Stream
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i & 1023))
+	}
+}
+
+func BenchmarkFlowMatrixRecord(b *testing.B) {
+	f := NewFlowMatrix(16)
+	for i := 0; i < b.N; i++ {
+		f.Record(i&15, (i>>4)&15)
+	}
+}

@@ -1,0 +1,104 @@
+// Package packet defines the fixed-size packet (cell) model and slot time
+// base shared by the simulator.
+//
+// The paper's switch forwards fixed-size packets in discrete, aligned time
+// slots (Section 2): all initiators start and stop transmission
+// simultaneously, so a packet is fully described by its endpoints and the
+// slots at which it passed each measurement point. Payload contents are
+// irrelevant to scheduling and are not modelled.
+package packet
+
+import "fmt"
+
+// Slot is a discrete time step of the switch. Slot 0 is the first simulated
+// slot; Never marks "not yet happened".
+type Slot int64
+
+// Never is the sentinel for timestamps that have not been assigned.
+const Never Slot = -1
+
+// Packet is one fixed-size cell travelling through the switch.
+type Packet struct {
+	// ID is unique per simulation run, assigned in generation order.
+	ID uint64
+	// Src is the input port (initiator) the packet arrives at.
+	Src int
+	// Dst is the output port (target) the packet is destined for.
+	Dst int
+	// Generated is the slot the packet generator produced the packet
+	// (entry into the PQ of the paper's Figure 11 model).
+	Generated Slot
+	// EnqueuedVOQ is the slot the packet moved from the PQ into its
+	// virtual output queue, or Never while still in the PQ. For the
+	// output-buffered model it is the slot of entry into the output buffer.
+	EnqueuedVOQ Slot
+	// Departed is the slot the packet left the system: traversal of the
+	// fabric for input-queued switches, departure from the output buffer
+	// for the output-buffered switch. Never while still queued.
+	Departed Slot
+}
+
+// QueueingDelay returns the packet's total queuing delay in slots,
+// generation to departure. It panics if the packet has not departed, which
+// would make any statistic computed from it meaningless.
+func (p *Packet) QueueingDelay() int64 {
+	if p.Departed == Never {
+		panic(fmt.Sprintf("packet: QueueingDelay on undeparted packet %d", p.ID))
+	}
+	return int64(p.Departed - p.Generated)
+}
+
+// String implements fmt.Stringer for traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %d→%d gen=%d dep=%d", p.ID, p.Src, p.Dst, p.Generated, p.Departed)
+}
+
+// Pool recycles Packet structs to keep simulator allocation off the hot
+// path. Pool is not safe for concurrent use; each simulation run owns one.
+type Pool struct {
+	free   []*Packet
+	nextID uint64
+	live   int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a fresh packet with a unique ID and the given endpoints and
+// generation slot. Timestamps other than Generated start at Never.
+func (pl *Pool) Get(src, dst int, now Slot) *Packet {
+	var p *Packet
+	if n := len(pl.free); n > 0 {
+		p = pl.free[n-1]
+		pl.free = pl.free[:n-1]
+	} else {
+		p = &Packet{}
+	}
+	pl.nextID++
+	pl.live++
+	*p = Packet{
+		ID:          pl.nextID,
+		Src:         src,
+		Dst:         dst,
+		Generated:   now,
+		EnqueuedVOQ: Never,
+		Departed:    Never,
+	}
+	return p
+}
+
+// Put returns a packet to the pool. The caller must not retain p.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pl.live--
+	pl.free = append(pl.free, p)
+}
+
+// Live returns the number of packets currently checked out, used by the
+// conservation property tests (arrivals = departures + queued + dropped).
+func (pl *Pool) Live() int { return pl.live }
+
+// Issued returns the total number of packets ever issued.
+func (pl *Pool) Issued() uint64 { return pl.nextID }

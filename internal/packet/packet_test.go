@@ -1,0 +1,102 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueueingDelay(t *testing.T) {
+	p := &Packet{Generated: 10, Departed: 17}
+	if d := p.QueueingDelay(); d != 7 {
+		t.Fatalf("QueueingDelay = %d, want 7", d)
+	}
+}
+
+func TestQueueingDelayPanicsUndeparted(t *testing.T) {
+	p := &Packet{Generated: 10, Departed: Never}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QueueingDelay on undeparted packet did not panic")
+		}
+	}()
+	p.QueueingDelay()
+}
+
+func TestString(t *testing.T) {
+	p := &Packet{ID: 3, Src: 1, Dst: 2, Generated: 5, Departed: 9}
+	s := p.String()
+	for _, want := range []string{"pkt#3", "1→2", "gen=5", "dep=9"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPoolUniqueIDs(t *testing.T) {
+	pl := NewPool()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		p := pl.Get(0, 1, Slot(i))
+		if seen[p.ID] {
+			t.Fatalf("duplicate ID %d", p.ID)
+		}
+		seen[p.ID] = true
+		if i%2 == 0 {
+			pl.Put(p)
+		}
+	}
+	if pl.Issued() != 100 {
+		t.Fatalf("Issued = %d, want 100", pl.Issued())
+	}
+}
+
+func TestPoolReusesAndResets(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get(1, 2, 3)
+	p.Departed = 9
+	p.EnqueuedVOQ = 5
+	id := p.ID
+	pl.Put(p)
+	q := pl.Get(4, 5, 6)
+	if q != p {
+		t.Fatal("pool did not reuse freed packet")
+	}
+	if q.ID == id {
+		t.Fatal("reused packet kept old ID")
+	}
+	if q.Src != 4 || q.Dst != 5 || q.Generated != 6 {
+		t.Fatalf("reused packet fields not reset: %+v", q)
+	}
+	if q.Departed != Never || q.EnqueuedVOQ != Never {
+		t.Fatalf("reused packet timestamps not reset: %+v", q)
+	}
+}
+
+func TestPoolLiveAccounting(t *testing.T) {
+	pl := NewPool()
+	a := pl.Get(0, 0, 0)
+	b := pl.Get(0, 0, 0)
+	if pl.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", pl.Live())
+	}
+	pl.Put(a)
+	if pl.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", pl.Live())
+	}
+	pl.Put(b)
+	if pl.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", pl.Live())
+	}
+	pl.Put(nil) // must be a no-op
+	if pl.Live() != 0 {
+		t.Fatalf("Put(nil) changed Live to %d", pl.Live())
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	pl := NewPool()
+	for i := 0; i < b.N; i++ {
+		p := pl.Get(0, 1, Slot(i))
+		pl.Put(p)
+	}
+}

@@ -1,0 +1,285 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+func mkpkt(id uint64, dst int) *packet.Packet {
+	return &packet.Packet{ID: id, Dst: dst}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO(0)
+	for i := uint64(1); i <= 50; i++ {
+		if !q.Push(mkpkt(i, 0)) {
+			t.Fatalf("unbounded Push %d rejected", i)
+		}
+	}
+	for i := uint64(1); i <= 50; i++ {
+		p := q.Pop()
+		if p == nil || p.ID != i {
+			t.Fatalf("Pop = %v, want ID %d", p, i)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty returned non-nil")
+	}
+}
+
+func TestFIFOCapacity(t *testing.T) {
+	q := NewFIFO(3)
+	if q.Cap() != 3 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if !q.Push(mkpkt(i, 0)) {
+			t.Fatalf("Push %d rejected below capacity", i)
+		}
+	}
+	if !q.Full() {
+		t.Fatal("queue not Full at capacity")
+	}
+	if q.Push(mkpkt(4, 0)) {
+		t.Fatal("Push accepted above capacity")
+	}
+	q.Pop()
+	if q.Full() {
+		t.Fatal("queue still Full after Pop")
+	}
+	if !q.Push(mkpkt(5, 0)) {
+		t.Fatal("Push rejected after freeing space")
+	}
+}
+
+func TestFIFOPeek(t *testing.T) {
+	q := NewFIFO(0)
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty returned non-nil")
+	}
+	q.Push(mkpkt(7, 0))
+	q.Push(mkpkt(8, 0))
+	if p := q.Peek(); p == nil || p.ID != 7 {
+		t.Fatalf("Peek = %v, want 7", p)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek consumed an element")
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	// Interleave pushes and pops so head wraps the ring several times.
+	q := NewFIFO(0)
+	next := uint64(1)
+	expect := uint64(1)
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(mkpkt(next, 0))
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			p := q.Pop()
+			if p.ID != expect {
+				t.Fatalf("round %d: Pop = %d, want %d", round, p.ID, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		p := q.Pop()
+		if p.ID != expect {
+			t.Fatalf("drain: Pop = %d, want %d", p.ID, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained to %d, want %d", expect, next)
+	}
+}
+
+func TestFIFOPushFront(t *testing.T) {
+	q := NewFIFO(3)
+	q.Push(mkpkt(1, 0))
+	q.Push(mkpkt(2, 0))
+	if !q.PushFront(mkpkt(9, 0)) {
+		t.Fatal("PushFront rejected below capacity")
+	}
+	if q.PushFront(mkpkt(10, 0)) {
+		t.Fatal("PushFront accepted at capacity")
+	}
+	want := []uint64{9, 1, 2}
+	for _, id := range want {
+		if p := q.Pop(); p == nil || p.ID != id {
+			t.Fatalf("Pop = %v, want %d", p, id)
+		}
+	}
+	// PushFront on an empty queue behaves like Push.
+	q2 := NewFIFO(0)
+	q2.PushFront(mkpkt(5, 0))
+	if p := q2.Pop(); p.ID != 5 {
+		t.Fatal("PushFront on empty")
+	}
+	// Wrap-around: PushFront when head is at index 0.
+	q3 := NewFIFO(0)
+	for i := uint64(1); i <= 16; i++ { // fill to ring capacity boundary
+		q3.Push(mkpkt(i, 0))
+	}
+	q3.Pop()
+	q3.PushFront(mkpkt(99, 0))
+	if p := q3.Pop(); p.ID != 99 {
+		t.Fatalf("wrapped PushFront Pop = %d", p.ID)
+	}
+}
+
+func TestFIFODrain(t *testing.T) {
+	q := NewFIFO(0)
+	for i := uint64(1); i <= 5; i++ {
+		q.Push(mkpkt(i, 0))
+	}
+	var got []uint64
+	q.Drain(func(p *packet.Packet) { got = append(got, p.ID) })
+	if q.Len() != 0 {
+		t.Fatal("Drain left packets")
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("Drain order %v", got)
+		}
+	}
+	q.Drain(nil) // nil fn on empty queue must not panic
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFIFO(-1) did not panic")
+		}
+	}()
+	NewFIFO(-1)
+}
+
+func TestSmallCapacityNoOvergrow(t *testing.T) {
+	q := NewFIFO(2)
+	q.Push(mkpkt(1, 0))
+	q.Push(mkpkt(2, 0))
+	if q.Push(mkpkt(3, 0)) {
+		t.Fatal("capacity 2 accepted 3 packets")
+	}
+}
+
+// TestFIFOModelEquivalence compares the ring buffer against a reference
+// slice-based queue under a random operation sequence.
+func TestFIFOModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capLimit := r.Intn(8) // 0..7; 0 = unbounded
+		q := NewFIFO(capLimit)
+		var model []*packet.Packet
+		id := uint64(0)
+		for op := 0; op < 500; op++ {
+			switch r.Intn(3) {
+			case 0, 1: // push twice as often as pop
+				id++
+				p := mkpkt(id, 0)
+				accepted := q.Push(p)
+				wantAccept := capLimit == 0 || len(model) < capLimit
+				if accepted != wantAccept {
+					return false
+				}
+				if accepted {
+					model = append(model, p)
+				}
+			case 2:
+				p := q.Pop()
+				if len(model) == 0 {
+					if p != nil {
+						return false
+					}
+				} else {
+					if p != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			if (q.Peek() == nil) != (len(model) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVOQBankRouting(t *testing.T) {
+	b := NewVOQBank(4, 2)
+	if b.N() != 4 {
+		t.Fatalf("N = %d", b.N())
+	}
+	b.Push(mkpkt(1, 2))
+	b.Push(mkpkt(2, 2))
+	b.Push(mkpkt(3, 0))
+	if b.Push(mkpkt(4, 2)) {
+		t.Fatal("VOQ capacity 2 accepted third packet")
+	}
+	if !b.HasPacket(2) || !b.HasPacket(0) || b.HasPacket(1) || b.HasPacket(3) {
+		t.Fatal("HasPacket mismatch")
+	}
+	if b.Occupied() != 2 {
+		t.Fatalf("Occupied = %d, want 2", b.Occupied())
+	}
+	if b.TotalLen() != 3 {
+		t.Fatalf("TotalLen = %d, want 3", b.TotalLen())
+	}
+	p := b.Pop(2)
+	if p == nil || p.ID != 1 {
+		t.Fatalf("Pop(2) = %v, want ID 1", p)
+	}
+	if b.Pop(1) != nil {
+		t.Fatal("Pop on empty VOQ returned packet")
+	}
+}
+
+func TestVOQBankLengths(t *testing.T) {
+	b := NewVOQBank(3, 0)
+	b.Push(mkpkt(1, 1))
+	b.Push(mkpkt(2, 1))
+	got := b.Lengths(nil)
+	want := []int{0, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Lengths = %v, want %v", got, want)
+		}
+	}
+	// Appends to the provided slice.
+	got2 := b.Lengths([]int{9})
+	if len(got2) != 4 || got2[0] != 9 {
+		t.Fatalf("Lengths append = %v", got2)
+	}
+}
+
+func BenchmarkFIFOPushPop(b *testing.B) {
+	q := NewFIFO(256)
+	p := mkpkt(1, 0)
+	for i := 0; i < b.N; i++ {
+		q.Push(p)
+		q.Pop()
+	}
+}
+
+func BenchmarkVOQBank16(b *testing.B) {
+	bank := NewVOQBank(16, 256)
+	p := mkpkt(1, 7)
+	for i := 0; i < b.N; i++ {
+		bank.Push(p)
+		bank.Pop(7)
+	}
+}

@@ -1,0 +1,150 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators for the simulator.
+//
+// Reproducibility is a first-class requirement: the paper's Figure 12
+// curves are regenerated from seeds recorded in EXPERIMENTS.md, and the
+// test suite asserts bit-exact replay of whole simulations. math/rand's
+// global state and its historical source changes make that fragile, so the
+// simulator carries its own generators: SplitMix64 for seeding and stream
+// splitting, and PCG32 as the workhorse stream generator (one independent
+// stream per packet generator and per randomized scheduler, so adding a
+// consumer never perturbs another consumer's stream).
+package rng
+
+import "math/bits"
+
+// SplitMix64 is the seeding generator of Steele, Lea & Flood (2014). It
+// passes through every 64-bit state exactly once and is the recommended way
+// to expand a single user seed into independent sub-seeds.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PCG32 is the PCG-XSH-RR 64/32 generator (O'Neill 2014): 64-bit LCG state
+// with a 32-bit permuted output. Distinct stream increments yield
+// statistically independent sequences from the same seed.
+type PCG32 struct {
+	state uint64
+	inc   uint64 // must be odd
+}
+
+const pcgMult = 6364136223846793005
+
+// NewPCG32 returns a PCG32 with the given seed and stream id. Different
+// stream ids produce independent sequences.
+func NewPCG32(seed, stream uint64) *PCG32 {
+	p := &PCG32{inc: stream<<1 | 1}
+	p.state = 0
+	p.Next()
+	p.state += seed
+	p.Next()
+	return p
+}
+
+// New returns a PCG32 on stream 0, seeded by expanding seed with SplitMix64
+// so that nearby user seeds give unrelated streams.
+func New(seed uint64) *PCG32 {
+	sm := NewSplitMix64(seed)
+	return NewPCG32(sm.Next(), sm.Next())
+}
+
+// Next returns the next 32 random bits.
+func (p *PCG32) Next() uint32 {
+	old := p.state
+	p.state = old*pcgMult + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint(old >> 59)
+	return bits.RotateLeft32(xorshifted, -int(rot))
+}
+
+// Uint64 returns 64 random bits.
+func (p *PCG32) Uint64() uint64 {
+	return uint64(p.Next())<<32 | uint64(p.Next())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless bounded algorithm avoids modulo bias.
+func (p *PCG32) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive bound")
+	}
+	bound := uint32(n)
+	for {
+		x := p.Next()
+		m := uint64(x) * uint64(bound)
+		l := uint32(m)
+		if l >= bound {
+			return int(m >> 32)
+		}
+		// Rejection zone: recompute the threshold once, then retry.
+		threshold := -bound % bound
+		if l >= threshold {
+			return int(m >> 32)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (p *PCG32) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability prob. Probabilities outside [0,1] are
+// clamped.
+func (p *PCG32) Bool(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return p.Float64() < prob
+}
+
+// Perm fills dst with a uniform random permutation of 0..len(dst)-1
+// (Fisher–Yates).
+func (p *PCG32) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability prob, counted as the number of trials up to and including the
+// first success (support {1, 2, ...}). Used by the bursty on/off traffic
+// model, where burst lengths are geometric. It panics if prob is outside
+// (0, 1].
+func (p *PCG32) Geometric(prob float64) int {
+	if prob <= 0 || prob > 1 {
+		panic("rng: Geometric probability out of (0,1]")
+	}
+	if prob == 1 {
+		return 1
+	}
+	n := 1
+	for !p.Bool(prob) {
+		n++
+		// Cap pathological streaks so a mis-parameterized model cannot
+		// hang a simulation; 1e7 slots is far beyond any sane burst.
+		if n == 1e7 {
+			return n
+		}
+	}
+	return n
+}

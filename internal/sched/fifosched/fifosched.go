@@ -1,0 +1,69 @@
+// Package fifosched implements the paper's baseline "fifo" scheduler: each
+// input port has a single FIFO queue instead of virtual output queues, and
+// "the scheduler serves the FIFO queues in a round-robin fashion"
+// (Section 6.3).
+//
+// Because only the head-of-line packet of each input is eligible, the
+// request matrix presented to this scheduler has at most one bit per row
+// (the simulator builds it from the HOL destinations). The round-robin
+// service order rotates which input is considered first; an input whose
+// HOL destination is already taken stalls — the head-of-line blocking that
+// caps FIFO switches at 2−√2 ≈ 58.6% throughput (Karol et al., the
+// paper's reference [8]) and makes fifo the worst curve in Figure 12.
+package fifosched
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// FIFO serves single-queue inputs in rotating order.
+type FIFO struct {
+	n   int
+	ptr int // input considered first this slot
+}
+
+var _ sched.Scheduler = (*FIFO)(nil)
+
+// New returns a FIFO scheduler for n ports.
+func New(n int) *FIFO {
+	if n <= 0 {
+		panic("fifosched: non-positive port count")
+	}
+	return &FIFO{n: n}
+}
+
+// Name implements sched.Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// N implements sched.Scheduler.
+func (f *FIFO) N() int { return f.n }
+
+// Schedule implements sched.Scheduler. Each row of the request matrix must
+// contain at most one set bit (the HOL destination); the scheduler panics
+// otherwise, because feeding it VOQ-style multi-destination requests is a
+// harness bug that would silently inflate its performance.
+func (f *FIFO) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(f, ctx, m)
+	m.Reset()
+	n := f.n
+
+	for k := 0; k < n; k++ {
+		i := (f.ptr + k) % n
+		row := ctx.Req.Row(i)
+		j := row.FirstSet()
+		if j < 0 {
+			continue
+		}
+		if row.NextSet(j+1) >= 0 {
+			panic(fmt.Sprintf("fifosched: input %d presents %d requests; FIFO inputs have a single head-of-line request", i, row.PopCount()))
+		}
+		if !m.OutputMatched(j) {
+			m.Pair(i, j)
+		}
+	}
+
+	f.ptr = (f.ptr + 1) % n
+}

@@ -1,0 +1,127 @@
+package fifosched
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+func TestServesHOLRequests(t *testing.T) {
+	// HOL destinations: input 0→1, input 1→1 (conflict), input 2→0.
+	req := bitvec.MatrixFromRows([][]int{
+		{0, 1, 0},
+		{0, 1, 0},
+		{1, 0, 0},
+	})
+	f := New(3)
+	m := matching.NewMatch(3)
+	f.Schedule(&sched.Context{Req: req}, m)
+	// Pointer starts at 0: input 0 wins output 1, input 1 blocks (HOL),
+	// input 2 wins output 0.
+	if m.InToOut[0] != 1 || m.InToOut[2] != 0 || m.InputMatched(1) {
+		t.Fatalf("match %v", m.InToOut)
+	}
+	// Next slot the pointer rotates to 1: input 1 wins the contested
+	// output.
+	f.Schedule(&sched.Context{Req: req}, m)
+	if m.InToOut[1] != 1 || m.InputMatched(0) {
+		t.Fatalf("rotated match %v", m.InToOut)
+	}
+}
+
+func TestRoundRobinCoversAllInputsUnderConflict(t *testing.T) {
+	// All inputs' HOL packets target output 0; over n slots each input
+	// must win exactly once.
+	const n = 5
+	req := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		req.Set(i, 0)
+	}
+	f := New(n)
+	m := matching.NewMatch(n)
+	wins := make([]int, n)
+	for k := 0; k < n; k++ {
+		f.Schedule(&sched.Context{Req: req}, m)
+		if m.Size() != 1 {
+			t.Fatalf("slot %d matched %d, want 1", k, m.Size())
+		}
+		wins[m.OutToIn[0]]++
+	}
+	for i, w := range wins {
+		if w != 1 {
+			t.Fatalf("input %d won %d times in n slots: %v", i, w, wins)
+		}
+	}
+}
+
+func TestPanicsOnMultiRequestRow(t *testing.T) {
+	req := bitvec.MatrixFromRows([][]int{
+		{1, 1},
+		{0, 0},
+	})
+	f := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("multi-request row did not panic")
+		}
+	}()
+	f.Schedule(&sched.Context{Req: req}, matching.NewMatch(2))
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	f := New(4)
+	m := matching.NewMatch(4)
+	f.Schedule(&sched.Context{Req: bitvec.NewMatrix(4)}, m)
+	if m.Size() != 0 {
+		t.Fatal("empty matrix matched")
+	}
+}
+
+func TestValidMatches(t *testing.T) {
+	req := bitvec.MatrixFromRows([][]int{
+		{0, 0, 1, 0},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{1, 0, 0, 0},
+	})
+	f := New(4)
+	m := matching.NewMatch(4)
+	for k := 0; k < 10; k++ {
+		f.Schedule(&sched.Context{Req: req}, m)
+		if err := matching.Validate(m, sched.AsRequests(req)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestName(t *testing.T) {
+	f := New(4)
+	if f.Name() != "fifo" || f.N() != 4 {
+		t.Fatal("Name/N mismatch")
+	}
+}
+
+func BenchmarkFIFO16(b *testing.B) {
+	req := bitvec.NewMatrix(16)
+	for i := 0; i < 16; i++ {
+		req.Set(i, (i*7)%16)
+	}
+	f := New(16)
+	m := matching.NewMatch(16)
+	ctx := &sched.Context{Req: req}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Schedule(ctx, m)
+	}
+}

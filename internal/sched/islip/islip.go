@@ -1,0 +1,128 @@
+// Package islip implements the iSLIP scheduler of McKeown (reference [10]
+// of the paper: "The iSLIP Scheduling Algorithm for Input-Queued
+// Switches", IEEE/ACM ToN 7(2), 1999). iSLIP replaces PIM's randomness
+// with rotating grant and accept pointers; the pointers desynchronize
+// under load, which yields 100% throughput for uniform traffic.
+package islip
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// ISLIP is an iterative iSLIP scheduler.
+type ISLIP struct {
+	n          int
+	iterations int
+	firm       bool
+
+	grantPtr  []int // g_j: per-output rotating grant pointer
+	acceptPtr []int // a_i: per-input rotating accept pointer
+
+	grants *bitvec.Matrix
+}
+
+var _ sched.Scheduler = (*ISLIP)(nil)
+
+// New returns an iSLIP scheduler for n ports with the given iteration
+// bound per slot.
+func New(n, iterations int) *ISLIP {
+	if n <= 0 {
+		panic("islip: non-positive port count")
+	}
+	if iterations <= 0 {
+		panic("islip: non-positive iteration count")
+	}
+	return &ISLIP{
+		n:          n,
+		iterations: iterations,
+		grantPtr:   make([]int, n),
+		acceptPtr:  make([]int, n),
+		grants:     bitvec.NewMatrix(n),
+	}
+}
+
+// NewFIRM returns the FIRM variant (Serpanos & Antoniadis, INFOCOM 2000):
+// identical to iSLIP except that an output whose grant was *not* accepted
+// parks its pointer on the granted input instead of leaving it in place,
+// so the same VOQ is granted again next slot — FCFS-like service that
+// tightens iSLIP's fairness bound from (n−1)²+n² to n² slots. Included as
+// the third point of the pointer-discipline ablation (rrm / islip / firm).
+func NewFIRM(n, iterations int) *ISLIP {
+	s := New(n, iterations)
+	s.firm = true
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *ISLIP) Name() string {
+	if s.firm {
+		return "firm"
+	}
+	return "islip"
+}
+
+// N implements sched.Scheduler.
+func (s *ISLIP) N() int { return s.n }
+
+// Pointers returns copies of the grant and accept pointers, for tests of
+// the pointer-update rule.
+func (s *ISLIP) Pointers() (grant, accept []int) {
+	return append([]int(nil), s.grantPtr...), append([]int(nil), s.acceptPtr...)
+}
+
+// Schedule implements sched.Scheduler. Each iteration:
+//
+//	Grant:  every unmatched output j grants the requesting unmatched input
+//	        found first at or after grantPtr[j].
+//	Accept: every unmatched input i accepts the granting output found
+//	        first at or after acceptPtr[i].
+//
+// Pointers advance one position beyond the partner — but only for matches
+// made in the first iteration, the rule iSLIP uses to preserve its
+// starvation-freedom and desynchronization properties.
+func (s *ISLIP) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(s, ctx, m)
+	m.Reset()
+	n := s.n
+	req := ctx.Req
+
+	for it := 0; it < s.iterations; it++ {
+		s.grants.Reset()
+		anyGrant := false
+		for j := 0; j < n; j++ {
+			if m.OutputMatched(j) {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				i := (s.grantPtr[j] + k) % n
+				if !m.InputMatched(i) && req.Get(i, j) {
+					s.grants.Set(i, j)
+					anyGrant = true
+					if s.firm && it == 0 {
+						// FIRM: park on the granted input now; an
+						// acceptance below moves it one past.
+						s.grantPtr[j] = i
+					}
+					break
+				}
+			}
+		}
+		if !anyGrant {
+			break
+		}
+		for i := 0; i < n; i++ {
+			row := s.grants.Row(i)
+			if row.None() {
+				continue
+			}
+			j := row.FirstSetFrom(s.acceptPtr[i])
+			m.Pair(i, j)
+			if it == 0 {
+				s.grantPtr[j] = (i + 1) % n
+				s.acceptPtr[i] = (j + 1) % n
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package islip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+func randomMatrix(r *rand.Rand, n int, density float64) *bitvec.Matrix {
+	m := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Float64() < density {
+				m.Set(i, j)
+			}
+		}
+	}
+	return m
+}
+
+func fullMatrix(n int) *bitvec.Matrix {
+	m := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j)
+		}
+	}
+	return m
+}
+
+func TestValidAndMaximalAtConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(15) + 1
+		s := New(n, n+1)
+		m := matching.NewMatch(n)
+		for round := 0; round < 4; round++ {
+			req := randomMatrix(r, n, r.Float64())
+			s.Schedule(&sched.Context{Req: req}, m)
+			if err := matching.Validate(m, sched.AsRequests(req)); err != nil {
+				t.Logf("%v", err)
+				return false
+			}
+			if !matching.IsMaximal(m, sched.AsRequests(req)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointerUpdateOnlyFirstIteration(t *testing.T) {
+	// A single contested output, two iterations. The match made in the
+	// first iteration must advance pointers; a match made only in the
+	// second iteration must not.
+	n := 4
+	s := New(n, 2)
+	req := bitvec.NewMatrix(n)
+	req.Set(0, 0) // iteration 1: output 0 grants input 0, accepted
+	req.Set(1, 0) // loses the grant in iteration 1; no other chances
+	m := matching.NewMatch(n)
+	s.Schedule(&sched.Context{Req: req}, m)
+	g, a := s.Pointers()
+	if g[0] != 1 {
+		t.Fatalf("grantPtr[0] = %d, want 1 (past input 0)", g[0])
+	}
+	if a[0] != 1 {
+		t.Fatalf("acceptPtr[0] = %d, want 1 (past output 0)", a[0])
+	}
+
+	// Now a match that can only form in iteration 2: input 2 requests
+	// outputs 0 and 1; input 3 requests output 1 only. Iteration 1:
+	// output 0 grants input 2 (ptr at 1 → first requester ≥1 is 2);
+	// output 1 grants input 2 as well (ptr 0 → first requester is 2);
+	// input 2 accepts output... acceptPtr[2]=0 → output 0. Output 1's
+	// grant dies. Iteration 2: output 1 grants input 3 — second-iteration
+	// match, pointers for (3,1) must stay put.
+	s2 := New(n, 2)
+	req2 := bitvec.NewMatrix(n)
+	req2.Set(2, 0)
+	req2.Set(2, 1)
+	req2.Set(3, 1)
+	s2.Schedule(&sched.Context{Req: req2}, m)
+	if m.InToOut[3] != 1 {
+		t.Fatalf("expected second-iteration match (3,1); got %v", m.InToOut)
+	}
+	g2, a2 := s2.Pointers()
+	if g2[1] != 0 {
+		t.Fatalf("grantPtr[1] = %d; second-iteration match must not move it", g2[1])
+	}
+	if a2[3] != 0 {
+		t.Fatalf("acceptPtr[3] = %d; second-iteration match must not move it", a2[3])
+	}
+}
+
+func TestDesynchronizationFullLoad(t *testing.T) {
+	// iSLIP's signature property: under persistent full demand the grant
+	// pointers desynchronize and the arbiter settles into 100% throughput
+	// (every slot a perfect matching) after a transient.
+	const n = 8
+	s := New(n, 1) // even one iteration suffices once desynchronized
+	req := fullMatrix(n)
+	m := matching.NewMatch(n)
+	for k := 0; k < 4*n; k++ { // transient
+		s.Schedule(&sched.Context{Req: req}, m)
+	}
+	for k := 0; k < 100; k++ {
+		s.Schedule(&sched.Context{Req: req}, m)
+		if m.Size() != n {
+			t.Fatalf("slot %d after warmup: match size %d, want %d", k, m.Size(), n)
+		}
+	}
+}
+
+func TestStarvationFreeUnderFullLoad(t *testing.T) {
+	// Every (input,output) pair must be served within a bounded number of
+	// cycles under persistent demand (iSLIP's bound is (n²+n)/... — we
+	// assert within 4·n² which is comfortably sufficient).
+	const n = 4
+	s := New(n, 4)
+	req := fullMatrix(n)
+	granted := bitvec.NewMatrix(n)
+	m := matching.NewMatch(n)
+	for cycle := 0; cycle < 4*n*n; cycle++ {
+		s.Schedule(&sched.Context{Req: req}, m)
+		for i := 0; i < n; i++ {
+			if j := m.InToOut[i]; j != matching.Unmatched {
+				granted.Set(i, j)
+			}
+		}
+	}
+	if granted.PopCount() != n*n {
+		t.Fatalf("%d/%d pairs served under full load", granted.PopCount(), n*n)
+	}
+}
+
+func TestFIRMValidAndMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(15) + 1
+		s := NewFIRM(n, n+1)
+		m := matching.NewMatch(n)
+		for round := 0; round < 4; round++ {
+			req := randomMatrix(r, n, r.Float64())
+			s.Schedule(&sched.Context{Req: req}, m)
+			if err := matching.Validate(m, sched.AsRequests(req)); err != nil {
+				return false
+			}
+			if !matching.IsMaximal(m, sched.AsRequests(req)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFIRMPointerParksOnUnacceptedGrant exercises the one rule FIRM
+// changes: an output whose grant dies in the accept phase re-grants the
+// same input next slot, where iSLIP's pointer stays put and repeats its
+// search from the same origin.
+func TestFIRMPointerParksOnUnacceptedGrant(t *testing.T) {
+	// Inputs 2 and 3 request output 0; input 2 also requests output 1
+	// (alone). Slot 1 (single iteration): output 0 grants input 2 (ptr 0
+	// scans to first requester 2); output 1 grants input 2 too; input 2
+	// accepts output 0 (acceptPtr 0). So output 1's grant to input 2 was
+	// NOT accepted.
+	req := bitvec.MatrixFromRows([][]int{
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+		{1, 1, 0, 0},
+		{1, 0, 0, 0},
+	})
+	firm := NewFIRM(4, 1)
+	m := matching.NewMatch(4)
+	firm.Schedule(&sched.Context{Req: req}, m)
+	if m.InToOut[2] != 0 {
+		t.Fatalf("setup: input 2 matched to %d, want 0", m.InToOut[2])
+	}
+	g, _ := firm.Pointers()
+	if g[1] != 2 {
+		t.Fatalf("FIRM grantPtr[1] = %d, want parked on 2", g[1])
+	}
+
+	islip := New(4, 1)
+	islip.Schedule(&sched.Context{Req: req}, m)
+	gi, _ := islip.Pointers()
+	if gi[1] != 0 {
+		t.Fatalf("iSLIP grantPtr[1] = %d, want unchanged 0", gi[1])
+	}
+}
+
+func TestFIRMName(t *testing.T) {
+	if NewFIRM(4, 1).Name() != "firm" {
+		t.Fatal("FIRM name")
+	}
+}
+
+func TestSingleRequest(t *testing.T) {
+	s := New(4, 4)
+	req := bitvec.NewMatrix(4)
+	req.Set(3, 1)
+	m := matching.NewMatch(4)
+	s.Schedule(&sched.Context{Req: req}, m)
+	if m.Size() != 1 || m.InToOut[3] != 1 {
+		t.Fatalf("single request match %v", m.InToOut)
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	s := New(4, 4)
+	m := matching.NewMatch(4)
+	s.Schedule(&sched.Context{Req: bitvec.NewMatrix(4)}, m)
+	if m.Size() != 0 {
+		t.Fatal("empty matrix matched")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, tc := range []struct{ n, it int }{{0, 4}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) did not panic", tc.n, tc.it)
+				}
+			}()
+			New(tc.n, tc.it)
+		}()
+	}
+}
+
+func TestName(t *testing.T) {
+	s := New(4, 4)
+	if s.Name() != "islip" || s.N() != 4 {
+		t.Fatal("Name/N mismatch")
+	}
+}
+
+func BenchmarkISLIP16Iter4(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	req := randomMatrix(r, 16, 0.6)
+	s := New(16, 4)
+	m := matching.NewMatch(16)
+	ctx := &sched.Context{Req: req}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(ctx, m)
+	}
+}

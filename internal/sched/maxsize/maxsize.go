@@ -1,0 +1,39 @@
+// Package maxsize wraps the Hopcroft–Karp maximum-size matcher as a
+// Scheduler. It is the throughput upper bound the paper's introduction
+// discusses (reference [7]): it maximizes connections per slot but is both
+// too slow for line-rate hardware and unfair — a flow can be starved
+// indefinitely, which TestMaxSizeStarves demonstrates. It exists here as
+// an evaluation reference, not as a practical scheduler.
+package maxsize
+
+import (
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// MaxSize schedules with a fresh maximum-cardinality matching every slot.
+type MaxSize struct {
+	n int
+}
+
+var _ sched.Scheduler = (*MaxSize)(nil)
+
+// New returns a maximum-size matching scheduler for n ports.
+func New(n int) *MaxSize {
+	if n <= 0 {
+		panic("maxsize: non-positive port count")
+	}
+	return &MaxSize{n: n}
+}
+
+// Name implements sched.Scheduler.
+func (s *MaxSize) Name() string { return "maxsize" }
+
+// N implements sched.Scheduler.
+func (s *MaxSize) N() int { return s.n }
+
+// Schedule implements sched.Scheduler.
+func (s *MaxSize) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(s, ctx, m)
+	matching.MaximumSize(m, ctx.Requests())
+}

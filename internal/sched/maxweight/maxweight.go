@@ -1,0 +1,89 @@
+// Package maxweight implements a longest-queue-first (LQF) greedy
+// maximum-weight matching scheduler, the classical stability-oriented
+// reference point for input-queued switches (McKeown's thesis, the paper's
+// reference [9]). It is an extension experiment in this reproduction: the
+// paper itself does not simulate it, but contrasting LCF (which weights by
+// *choice count*) against LQF (which weights by *backlog*) isolates what
+// the least-choice heuristic contributes.
+//
+// The scheduler sorts requests by VOQ length descending and greedily adds
+// compatible pairs — the standard iLQF-style approximation, not an exact
+// maximum-weight matching (exact MWM is O(n³) per slot and is not needed
+// for a latency-shape comparison).
+package maxweight
+
+import (
+	"sort"
+
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// LQF is a greedy longest-queue-first scheduler.
+type LQF struct {
+	n     int
+	edges []edge // scratch
+}
+
+type edge struct {
+	i, j int
+	w    int
+}
+
+var _ sched.Scheduler = (*LQF)(nil)
+
+// New returns an LQF scheduler for n ports.
+func New(n int) *LQF {
+	if n <= 0 {
+		panic("maxweight: non-positive port count")
+	}
+	return &LQF{n: n, edges: make([]edge, 0, n*n)}
+}
+
+// Name implements sched.Scheduler.
+func (s *LQF) Name() string { return "lqf" }
+
+// N implements sched.Scheduler.
+func (s *LQF) N() int { return s.n }
+
+// Schedule implements sched.Scheduler. Queue lengths come from
+// ctx.QueueLens; without them every request weighs 1 and the scheduler
+// degrades to a deterministic greedy maximal matcher.
+func (s *LQF) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(s, ctx, m)
+	m.Reset()
+	n := s.n
+
+	s.edges = s.edges[:0]
+	for i := 0; i < n; i++ {
+		row := ctx.Req.Row(i)
+		for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
+			w := 1
+			if ctx.QueueLens != nil {
+				w = ctx.QueueLens[i][j]
+				if w <= 0 {
+					w = 1
+				}
+			}
+			s.edges = append(s.edges, edge{i: i, j: j, w: w})
+		}
+	}
+
+	// Heaviest first; ties broken by (i,j) so the result is deterministic.
+	sort.Slice(s.edges, func(a, b int) bool {
+		ea, eb := s.edges[a], s.edges[b]
+		if ea.w != eb.w {
+			return ea.w > eb.w
+		}
+		if ea.i != eb.i {
+			return ea.i < eb.i
+		}
+		return ea.j < eb.j
+	})
+
+	for _, e := range s.edges {
+		if !m.InputMatched(e.i) && !m.OutputMatched(e.j) {
+			m.Pair(e.i, e.j)
+		}
+	}
+}

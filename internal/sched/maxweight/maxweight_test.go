@@ -1,0 +1,127 @@
+package maxweight
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+func TestPrefersLongerQueues(t *testing.T) {
+	// Inputs 0 and 1 both request output 0; input 1's VOQ is longer.
+	req := bitvec.MatrixFromRows([][]int{
+		{1, 0},
+		{1, 0},
+	})
+	lens := [][]int{
+		{3, 0},
+		{9, 0},
+	}
+	s := New(2)
+	m := matching.NewMatch(2)
+	s.Schedule(&sched.Context{Req: req, QueueLens: lens}, m)
+	if m.OutToIn[0] != 1 {
+		t.Fatalf("output 0 granted to %d, want longest-queue input 1", m.OutToIn[0])
+	}
+}
+
+func TestGreedyWeightOrdering(t *testing.T) {
+	// Weight matrix chooses the cross pairing over the identity:
+	// (0,1) weight 10 and (1,0) weight 10 beat (0,0) w 6 + (1,1) w 1.
+	req := bitvec.MatrixFromRows([][]int{
+		{1, 1},
+		{1, 1},
+	})
+	lens := [][]int{
+		{6, 10},
+		{10, 1},
+	}
+	s := New(2)
+	m := matching.NewMatch(2)
+	s.Schedule(&sched.Context{Req: req, QueueLens: lens}, m)
+	if m.InToOut[0] != 1 || m.InToOut[1] != 0 {
+		t.Fatalf("match %v, want cross pairing", m.InToOut)
+	}
+}
+
+func TestWithoutWeightsDeterministicMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(10) + 1
+		req := bitvec.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Float64() < 0.4 {
+					req.Set(i, j)
+				}
+			}
+		}
+		s := New(n)
+		m := matching.NewMatch(n)
+		s.Schedule(&sched.Context{Req: req}, m)
+		if err := matching.Validate(m, sched.AsRequests(req)); err != nil {
+			return false
+		}
+		if !matching.IsMaximal(m, sched.AsRequests(req)) {
+			return false
+		}
+		// Determinism: same input, same output.
+		m2 := matching.NewMatch(n)
+		New(n).Schedule(&sched.Context{Req: req}, m2)
+		return m.Equal(m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonPositiveWeightsTreatedAsOne(t *testing.T) {
+	req := bitvec.MatrixFromRows([][]int{{1}})
+	s := New(1)
+	m := matching.NewMatch(1)
+	s.Schedule(&sched.Context{Req: req, QueueLens: [][]int{{0}}}, m)
+	if m.Size() != 1 {
+		t.Fatal("zero-weight request not scheduled")
+	}
+}
+
+func TestName(t *testing.T) {
+	s := New(4)
+	if s.Name() != "lqf" || s.N() != 4 {
+		t.Fatal("Name/N mismatch")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func BenchmarkLQF16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	req := bitvec.NewMatrix(16)
+	lens := make([][]int, 16)
+	for i := range lens {
+		lens[i] = make([]int, 16)
+		for j := range lens[i] {
+			if r.Float64() < 0.6 {
+				req.Set(i, j)
+				lens[i][j] = r.Intn(100) + 1
+			}
+		}
+	}
+	s := New(16)
+	m := matching.NewMatch(16)
+	ctx := &sched.Context{Req: req, QueueLens: lens}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(ctx, m)
+	}
+}

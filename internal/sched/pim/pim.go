@@ -1,0 +1,97 @@
+// Package pim implements the Parallel Iterative Matcher of Anderson,
+// Owicki, Saxe and Thacker (reference [1] of the paper; DEC SRC Report 99,
+// the AN2 switch scheduler). PIM is the closest relative of the distributed
+// LCF scheduler: the same request/grant/accept iteration, but every choice
+// is uniformly random instead of priority-driven.
+package pim
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// PIM is a parallel iterative matcher with a bounded iteration count.
+type PIM struct {
+	n          int
+	iterations int
+	r          *rng.PCG32
+
+	grants   *bitvec.Matrix
+	scratch  []int // candidate buffer for random selection
+	scratch2 []int
+}
+
+var _ sched.Scheduler = (*PIM)(nil)
+
+// New returns a PIM scheduler for n ports running the given number of
+// iterations per slot (the paper's Figure 12 uses 4), seeded
+// deterministically.
+func New(n, iterations int, seed uint64) *PIM {
+	if n <= 0 {
+		panic("pim: non-positive port count")
+	}
+	if iterations <= 0 {
+		panic("pim: non-positive iteration count")
+	}
+	return &PIM{
+		n:          n,
+		iterations: iterations,
+		r:          rng.New(seed),
+		grants:     bitvec.NewMatrix(n),
+		scratch:    make([]int, 0, n),
+		scratch2:   make([]int, 0, n),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (p *PIM) Name() string { return "pim" }
+
+// N implements sched.Scheduler.
+func (p *PIM) N() int { return p.n }
+
+// Schedule implements sched.Scheduler: in each iteration every unmatched
+// output grants a uniformly random requesting unmatched input, and every
+// input with grants accepts one uniformly at random.
+func (p *PIM) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(p, ctx, m)
+	m.Reset()
+	n := p.n
+	req := ctx.Req
+
+	for it := 0; it < p.iterations; it++ {
+		p.grants.Reset()
+		anyGrant := false
+		for j := 0; j < n; j++ {
+			if m.OutputMatched(j) {
+				continue
+			}
+			cand := p.scratch[:0]
+			for i := 0; i < n; i++ {
+				if !m.InputMatched(i) && req.Get(i, j) {
+					cand = append(cand, i)
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			p.grants.Set(cand[p.r.Intn(len(cand))], j)
+			anyGrant = true
+		}
+		if !anyGrant {
+			break
+		}
+		for i := 0; i < n; i++ {
+			row := p.grants.Row(i)
+			if row.None() {
+				continue
+			}
+			cand := p.scratch2[:0]
+			for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
+				cand = append(cand, j)
+			}
+			m.Pair(i, cand[p.r.Intn(len(cand))])
+		}
+	}
+}

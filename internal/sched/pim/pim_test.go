@@ -1,0 +1,171 @@
+package pim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+func randomMatrix(r *rand.Rand, n int, density float64) *bitvec.Matrix {
+	m := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Float64() < density {
+				m.Set(i, j)
+			}
+		}
+	}
+	return m
+}
+
+func TestValidAndMaximalAtConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(15) + 1
+		p := New(n, n+1, uint64(seed)) // n+1 iterations guarantee convergence
+		m := matching.NewMatch(n)
+		req := randomMatrix(r, n, r.Float64())
+		p.Schedule(&sched.Context{Req: req}, m)
+		if err := matching.Validate(m, sched.AsRequests(req)); err != nil {
+			t.Logf("%v", err)
+			return false
+		}
+		return matching.IsMaximal(m, sched.AsRequests(req))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	req := randomMatrix(r, 8, 0.5)
+	a := New(8, 4, 99)
+	b := New(8, 4, 99)
+	ma, mb := matching.NewMatch(8), matching.NewMatch(8)
+	for k := 0; k < 50; k++ {
+		a.Schedule(&sched.Context{Req: req}, ma)
+		b.Schedule(&sched.Context{Req: req}, mb)
+		if !ma.Equal(mb) {
+			t.Fatalf("slot %d: same-seed PIM diverged", k)
+		}
+	}
+}
+
+func TestSingleIterationLogPerformance(t *testing.T) {
+	// With all-ones requests a single PIM iteration matches about
+	// (1 - 1/e) ≈ 63% of the ports on average; assert a sane band.
+	const n = 16
+	req := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			req.Set(i, j)
+		}
+	}
+	p := New(n, 1, 7)
+	m := matching.NewMatch(n)
+	total := 0
+	const rounds = 2000
+	for k := 0; k < rounds; k++ {
+		p.Schedule(&sched.Context{Req: req}, m)
+		total += m.Size()
+	}
+	avg := float64(total) / rounds / n
+	if avg < 0.55 || avg > 0.75 {
+		t.Fatalf("1-iteration PIM matched fraction %.3f, want ≈0.63", avg)
+	}
+}
+
+func TestFourIterationsNearPerfectOnFullMatrix(t *testing.T) {
+	const n = 16
+	req := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			req.Set(i, j)
+		}
+	}
+	p := New(n, 4, 11)
+	m := matching.NewMatch(n)
+	total := 0
+	const rounds = 500
+	for k := 0; k < rounds; k++ {
+		p.Schedule(&sched.Context{Req: req}, m)
+		total += m.Size()
+	}
+	avg := float64(total) / rounds / n
+	if avg < 0.97 {
+		t.Fatalf("4-iteration PIM matched fraction %.3f, want ≈1", avg)
+	}
+}
+
+func TestGrantIsUniformlyRandom(t *testing.T) {
+	// Output 0 contested by all 4 inputs, one iteration: each input should
+	// win ≈1/4 of the time.
+	const n = 4
+	req := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		req.Set(i, 0)
+	}
+	p := New(n, 1, 5)
+	m := matching.NewMatch(n)
+	counts := make([]int, n)
+	const rounds = 40000
+	for k := 0; k < rounds; k++ {
+		p.Schedule(&sched.Context{Req: req}, m)
+		if w := m.OutToIn[0]; w >= 0 {
+			counts[w]++
+		} else {
+			t.Fatal("contested output unmatched")
+		}
+	}
+	for i, c := range counts {
+		frac := float64(c) / rounds
+		if frac < 0.22 || frac > 0.28 {
+			t.Fatalf("input %d won %.3f of grants, want ≈0.25", i, frac)
+		}
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	p := New(4, 4, 1)
+	m := matching.NewMatch(4)
+	p.Schedule(&sched.Context{Req: bitvec.NewMatrix(4)}, m)
+	if m.Size() != 0 {
+		t.Fatalf("empty matrix matched %d", m.Size())
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, tc := range []struct{ n, it int }{{0, 4}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) did not panic", tc.n, tc.it)
+				}
+			}()
+			New(tc.n, tc.it, 1)
+		}()
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(4, 4, 1).Name() != "pim" || New(4, 4, 1).N() != 4 {
+		t.Fatal("Name/N mismatch")
+	}
+}
+
+func BenchmarkPIM16Iter4(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	req := randomMatrix(r, 16, 0.6)
+	p := New(16, 4, 1)
+	m := matching.NewMatch(16)
+	ctx := &sched.Context{Req: req}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Schedule(ctx, m)
+	}
+}

@@ -1,0 +1,101 @@
+// Package registry maps the scheduler names used throughout the paper's
+// evaluation (Section 6.3: fifo, lcf_central, lcf_central_rr, lcf_dist,
+// lcf_dist_rr, pim, islip, wfront) to constructors, so the CLI tools,
+// benchmarks and examples select schedulers by the same labels Figure 12
+// uses. The reference schedulers of the extension experiments (maxsize,
+// lqf) are registered too. "outbuf" is not a scheduler but a switch
+// organization; the simulator handles it directly.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sched/fifosched"
+	"repro/internal/sched/islip"
+	"repro/internal/sched/maxsize"
+	"repro/internal/sched/maxweight"
+	"repro/internal/sched/pim"
+	"repro/internal/sched/rrm"
+	"repro/internal/sched/wavefront"
+)
+
+// Builder constructs a scheduler for an n-port switch.
+type Builder func(n int, opt sched.Options) sched.Scheduler
+
+var builders = map[string]Builder{
+	"lcf_central": func(n int, _ sched.Options) sched.Scheduler {
+		return core.NewCentral(n, false)
+	},
+	"lcf_central_rr": func(n int, _ sched.Options) sched.Scheduler {
+		return core.NewCentral(n, true)
+	},
+	"lcf_central_rrpre": func(n int, _ sched.Options) sched.Scheduler {
+		return core.NewCentralRR(n, core.RRPrescheduled)
+	},
+	"lcf_dist": func(n int, o sched.Options) sched.Scheduler {
+		return core.NewDist(n, o.EffectiveIterations(), false)
+	},
+	"lcf_dist_rr": func(n int, o sched.Options) sched.Scheduler {
+		return core.NewDist(n, o.EffectiveIterations(), true)
+	},
+	"pim": func(n int, o sched.Options) sched.Scheduler {
+		return pim.New(n, o.EffectiveIterations(), o.Seed)
+	},
+	"islip": func(n int, o sched.Options) sched.Scheduler {
+		return islip.New(n, o.EffectiveIterations())
+	},
+	"firm": func(n int, o sched.Options) sched.Scheduler {
+		return islip.NewFIRM(n, o.EffectiveIterations())
+	},
+	"wfront": func(n int, _ sched.Options) sched.Scheduler {
+		return wavefront.New(n)
+	},
+	"wfront_plain": func(n int, _ sched.Options) sched.Scheduler {
+		return wavefront.NewPlain(n)
+	},
+	"rrm": func(n int, o sched.Options) sched.Scheduler {
+		return rrm.New(n, o.EffectiveIterations())
+	},
+	"fifo": func(n int, _ sched.Options) sched.Scheduler {
+		return fifosched.New(n)
+	},
+	"maxsize": func(n int, _ sched.Options) sched.Scheduler {
+		return maxsize.New(n)
+	},
+	"lqf": func(n int, _ sched.Options) sched.Scheduler {
+		return maxweight.New(n)
+	},
+}
+
+// New builds the named scheduler. The error lists the known names on a
+// miss so CLI typos are self-explanatory.
+func New(name string, n int, opt sched.Options) (sched.Scheduler, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown scheduler %q (known: %v)", name, Names())
+	}
+	return b(n, opt), nil
+}
+
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for k := range builders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Figure12Names returns the input-queued scheduler names of the paper's
+// Figure 12, in the legend's order. Together with the simulator's "fifo"
+// input organization and "outbuf" switch they regenerate the full figure.
+func Figure12Names() []string {
+	return []string{
+		"lcf_central", "lcf_central_rr", "lcf_dist_rr", "lcf_dist",
+		"pim", "islip", "wfront", "fifo",
+	}
+}

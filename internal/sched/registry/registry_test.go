@@ -1,0 +1,58 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestAllNamesConstruct(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name, 16, sched.Options{Iterations: 4, Seed: 1})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, s.Name())
+		}
+		if s.N() != 16 {
+			t.Fatalf("New(%q).N() = %d", name, s.N())
+		}
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := New("nonsense", 4, sched.Options{}); err == nil {
+		t.Fatal("unknown scheduler did not error")
+	}
+}
+
+func TestFigure12NamesRegistered(t *testing.T) {
+	if len(Figure12Names()) != 8 {
+		t.Fatalf("Figure12Names has %d entries, want 8", len(Figure12Names()))
+	}
+	for _, name := range Figure12Names() {
+		if _, err := New(name, 4, sched.Options{}); err != nil {
+			t.Fatalf("Figure 12 scheduler %q not registered: %v", name, err)
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestDefaultIterations(t *testing.T) {
+	// Iterations 0 must resolve to the paper's default of 4 rather than
+	// panicking in the iterative constructors.
+	for _, name := range []string{"lcf_dist", "lcf_dist_rr", "pim", "islip"} {
+		if _, err := New(name, 8, sched.Options{}); err != nil {
+			t.Fatalf("New(%q) with default options: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package rrm implements Round-Robin Matching, the direct ancestor of
+// iSLIP (McKeown's thesis, the paper's reference [9]; rotating-priority
+// scheduling in the spirit of the paper's reference [6]). RRM is iSLIP
+// with one rule changed: an output's grant pointer advances one position
+// beyond the input it granted *whether or not the grant was accepted*
+// (iSLIP moves it only on acceptance).
+//
+// That one rule is why RRM saturates near 63% throughput under uniform
+// load while iSLIP reaches 100%: unaccepted grants drag the pointers of
+// contending outputs forward together, so they stay synchronized and keep
+// granting the same inputs, whereas iSLIP's update-on-accept rule
+// desynchronizes them. The pair makes a clean ablation for what pointer
+// discipline contributes — the same kind of single-rule delta that
+// separates lcf_dist from pim.
+package rrm
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// RRM is a round-robin matching scheduler.
+type RRM struct {
+	n          int
+	iterations int
+
+	grantPtr  []int
+	acceptPtr []int
+	grants    *bitvec.Matrix
+}
+
+var _ sched.Scheduler = (*RRM)(nil)
+
+// New returns an RRM scheduler for n ports with the given iteration bound.
+func New(n, iterations int) *RRM {
+	if n <= 0 {
+		panic("rrm: non-positive port count")
+	}
+	if iterations <= 0 {
+		panic("rrm: non-positive iteration count")
+	}
+	return &RRM{
+		n:          n,
+		iterations: iterations,
+		grantPtr:   make([]int, n),
+		acceptPtr:  make([]int, n),
+		grants:     bitvec.NewMatrix(n),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (s *RRM) Name() string { return "rrm" }
+
+// N implements sched.Scheduler.
+func (s *RRM) N() int { return s.n }
+
+// Schedule implements sched.Scheduler: iSLIP's grant/accept sweep, but
+// with pointers advanced one position every slot regardless of outcome.
+func (s *RRM) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(s, ctx, m)
+	m.Reset()
+	n := s.n
+	req := ctx.Req
+
+	for it := 0; it < s.iterations; it++ {
+		s.grants.Reset()
+		anyGrant := false
+		for j := 0; j < n; j++ {
+			if m.OutputMatched(j) {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				i := (s.grantPtr[j] + k) % n
+				if !m.InputMatched(i) && req.Get(i, j) {
+					s.grants.Set(i, j)
+					anyGrant = true
+					if it == 0 {
+						// The RRM rule: advance past the granted input
+						// now, acceptance or not.
+						s.grantPtr[j] = (i + 1) % n
+					}
+					break
+				}
+			}
+		}
+		if !anyGrant {
+			break
+		}
+		for i := 0; i < n; i++ {
+			row := s.grants.Row(i)
+			if row.None() {
+				continue
+			}
+			j := row.FirstSetFrom(s.acceptPtr[i])
+			m.Pair(i, j)
+			if it == 0 {
+				s.acceptPtr[i] = (j + 1) % n
+			}
+		}
+	}
+}

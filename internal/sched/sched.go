@@ -1,0 +1,89 @@
+// Package sched defines the scheduler abstraction shared by the LCF
+// schedulers (internal/core) and every comparison scheduler from the
+// paper's Section 6.3 (PIM, iSLIP, wave front, FIFO, and the maximum-size /
+// maximum-weight references).
+//
+// A Scheduler computes, once per time slot, a conflict-free matching
+// between the input ports that have packets and the output ports those
+// packets are destined for. The request matrix is the union of non-empty
+// virtual output queues — exactly the "request vector from each initiator"
+// of the paper's Section 2.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+)
+
+// Context carries the inputs a scheduler may consult for one slot.
+type Context struct {
+	// Req is the request matrix: Req.Get(i,j) reports that input i has at
+	// least one packet queued for output j. Schedulers must treat it as
+	// read-only; mutators copy it into scratch state first.
+	Req *bitvec.Matrix
+	// QueueLens, when non-nil, gives the VOQ backlog behind each request
+	// (QueueLens[i][j]). Only weight-aware schedulers (LQF) read it; the
+	// pure occupancy-based schedulers of the paper ignore it.
+	QueueLens [][]int
+}
+
+// Requests adapts the context's request matrix to matching.Requests for
+// validation.
+func (c *Context) Requests() matching.Requests { return matrixRequests{c.Req} }
+
+type matrixRequests struct{ m *bitvec.Matrix }
+
+func (r matrixRequests) N() int                  { return r.m.N() }
+func (r matrixRequests) Requested(i, j int) bool { return r.m.Get(i, j) }
+
+// AsRequests wraps a bare matrix as matching.Requests.
+func AsRequests(m *bitvec.Matrix) matching.Requests { return matrixRequests{m} }
+
+// Scheduler computes one matching per slot.
+//
+// Schedule must populate m (already Reset by the caller, or reset by the
+// scheduler) with a conflict-free matching that grants only requested
+// pairs. Schedulers carry slot-to-slot state (round-robin pointers, RNG);
+// Schedule is invoked exactly once per slot in simulated-time order.
+type Scheduler interface {
+	// Name returns the evaluation label used in the paper's Figure 12
+	// (e.g. "lcf_central_rr").
+	Name() string
+	// N returns the port count the scheduler was built for.
+	N() int
+	// Schedule computes the matching for the current slot.
+	Schedule(ctx *Context, m *matching.Match)
+}
+
+// CheckDims panics unless the context and match agree with the scheduler's
+// port count; shared by all implementations so dimension bugs surface at
+// the call site.
+func CheckDims(s Scheduler, ctx *Context, m *matching.Match) {
+	if ctx.Req.N() != s.N() {
+		panic(fmt.Sprintf("sched: %s built for n=%d got request matrix n=%d", s.Name(), s.N(), ctx.Req.N()))
+	}
+	if m.N() != s.N() {
+		panic(fmt.Sprintf("sched: %s built for n=%d got match n=%d", s.Name(), s.N(), m.N()))
+	}
+}
+
+// Options bundles the tunables shared across scheduler constructors.
+type Options struct {
+	// Iterations bounds the request/grant/accept rounds of the iterative
+	// schedulers (PIM, iSLIP, distributed LCF). The paper's Figure 12 uses
+	// 4. Zero means the implementation default (4).
+	Iterations int
+	// Seed drives the randomized schedulers (PIM) and any randomized
+	// tie-break. Deterministic schedulers ignore it.
+	Seed uint64
+}
+
+// EffectiveIterations resolves the default.
+func (o Options) EffectiveIterations() int {
+	if o.Iterations <= 0 {
+		return 4
+	}
+	return o.Iterations
+}

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+)
+
+type fakeSched struct{ n int }
+
+func (f fakeSched) Name() string                       { return "fake" }
+func (f fakeSched) N() int                             { return f.n }
+func (f fakeSched) Schedule(*Context, *matching.Match) {}
+
+func TestContextRequestsAdapter(t *testing.T) {
+	m := bitvec.NewMatrix(3)
+	m.Set(1, 2)
+	ctx := &Context{Req: m}
+	r := ctx.Requests()
+	if r.N() != 3 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !r.Requested(1, 2) || r.Requested(0, 0) {
+		t.Fatal("Requested mismatch")
+	}
+	r2 := AsRequests(m)
+	if !r2.Requested(1, 2) {
+		t.Fatal("AsRequests mismatch")
+	}
+}
+
+func TestCheckDims(t *testing.T) {
+	s := fakeSched{n: 4}
+	ok := &Context{Req: bitvec.NewMatrix(4)}
+	CheckDims(s, ok, matching.NewMatch(4)) // must not panic
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("request dimension mismatch did not panic")
+			}
+		}()
+		CheckDims(s, &Context{Req: bitvec.NewMatrix(3)}, matching.NewMatch(4))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("match dimension mismatch did not panic")
+			}
+		}()
+		CheckDims(s, ok, matching.NewMatch(5))
+	}()
+}
+
+func TestOptionsEffectiveIterations(t *testing.T) {
+	if got := (Options{}).EffectiveIterations(); got != 4 {
+		t.Fatalf("default iterations = %d, want 4 (the paper's setting)", got)
+	}
+	if got := (Options{Iterations: 2}).EffectiveIterations(); got != 2 {
+		t.Fatalf("explicit iterations = %d", got)
+	}
+	if got := (Options{Iterations: -1}).EffectiveIterations(); got != 4 {
+		t.Fatalf("negative iterations = %d, want default", got)
+	}
+}

@@ -1,0 +1,113 @@
+// Package wavefront implements the wrapped wave front arbiter (WWFA) of
+// Tamir and Chi (reference [14] of the paper: "Symmetric Crossbar Arbiters
+// for VLSI Communication Switches", IEEE TPDS 4(1), 1993).
+//
+// The arbiter is an n×n array of cells matching the crosspoints of the
+// switch. Arbitration sweeps n wrapped diagonals; the cells of one wrapped
+// diagonal touch n distinct rows and n distinct columns, so they can all
+// decide simultaneously in hardware — here they are evaluated in a loop,
+// which is behaviourally identical. A cell (i,j) on the active diagonal
+// grants itself if input i requests output j and neither side has been
+// taken by an earlier diagonal. The priority diagonal rotates every
+// scheduling cycle, which is what makes the arbiter starvation-free.
+package wavefront
+
+import (
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// WWFA is a wrapped wave front arbiter.
+type WWFA struct {
+	n      int
+	offset int // index of the highest-priority wrapped diagonal
+}
+
+var _ sched.Scheduler = (*WWFA)(nil)
+
+// New returns a wrapped wave front arbiter for n ports.
+func New(n int) *WWFA {
+	if n <= 0 {
+		panic("wavefront: non-positive port count")
+	}
+	return &WWFA{n: n}
+}
+
+// Name implements sched.Scheduler.
+func (w *WWFA) Name() string { return "wfront" }
+
+// N implements sched.Scheduler.
+func (w *WWFA) N() int { return w.n }
+
+// Offset returns the current priority diagonal, for tests.
+func (w *WWFA) Offset() int { return w.offset }
+
+// Plain is the original, non-wrapped wave front arbiter: 2n−1 straight
+// anti-diagonals swept from the top-left corner. Cells near the fixed
+// corner always arbitrate first, so the arbiter is biased — the defect
+// that motivated Tamir and Chi's wrapped variant. It exists here as an
+// ablation partner for WWFA (and its bias is what the tests demonstrate).
+type Plain struct {
+	n int
+}
+
+var _ sched.Scheduler = (*Plain)(nil)
+
+// NewPlain returns a non-wrapped wave front arbiter for n ports.
+func NewPlain(n int) *Plain {
+	if n <= 0 {
+		panic("wavefront: non-positive port count")
+	}
+	return &Plain{n: n}
+}
+
+// Name implements sched.Scheduler.
+func (w *Plain) Name() string { return "wfront_plain" }
+
+// N implements sched.Scheduler.
+func (w *Plain) N() int { return w.n }
+
+// Schedule implements sched.Scheduler: the classic 2n−1 wave sweep. Wave
+// d covers the cells (i,j) with i+j = d; all cells of a wave are in
+// distinct rows and columns.
+func (w *Plain) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(w, ctx, m)
+	m.Reset()
+	n := w.n
+	req := ctx.Req
+	for d := 0; d <= 2*(n-1); d++ {
+		lo := d - (n - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		for i := lo; i <= d && i < n; i++ {
+			j := d - i
+			if !m.InputMatched(i) && !m.OutputMatched(j) && req.Get(i, j) {
+				m.Pair(i, j)
+			}
+		}
+	}
+}
+
+// Schedule implements sched.Scheduler.
+func (w *WWFA) Schedule(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(w, ctx, m)
+	m.Reset()
+	n := w.n
+	req := ctx.Req
+
+	// Sweep the n wrapped diagonals starting at the rotating offset.
+	// Diagonal d contains the cells (i, (d+i) mod n) for all i — n cells
+	// in distinct rows and columns.
+	for k := 0; k < n; k++ {
+		d := (w.offset + k) % n
+		for i := 0; i < n; i++ {
+			j := (d + i) % n
+			if !m.InputMatched(i) && !m.OutputMatched(j) && req.Get(i, j) {
+				m.Pair(i, j)
+			}
+		}
+	}
+
+	w.offset = (w.offset + 1) % n
+}

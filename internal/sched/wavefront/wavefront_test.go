@@ -1,0 +1,196 @@
+package wavefront
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+func randomMatrix(r *rand.Rand, n int, density float64) *bitvec.Matrix {
+	m := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Float64() < density {
+				m.Set(i, j)
+			}
+		}
+	}
+	return m
+}
+
+func TestValidAndMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(15) + 1
+		w := New(n)
+		m := matching.NewMatch(n)
+		for round := 0; round < 4; round++ {
+			req := randomMatrix(r, n, r.Float64())
+			w.Schedule(&sched.Context{Req: req}, m)
+			if err := matching.Validate(m, sched.AsRequests(req)); err != nil {
+				t.Logf("%v", err)
+				return false
+			}
+			// The full diagonal sweep inspects every cell, so the result
+			// is always maximal.
+			if !matching.IsMaximal(m, sched.AsRequests(req)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityDiagonalWinsConflicts(t *testing.T) {
+	// Inputs 0 and 1 both request outputs 0 and 1. With offset 0 the
+	// priority diagonal is {(0,0),(1,1)} — both cells hold requests and
+	// must win over the cross pairs (0,1),(1,0).
+	req := bitvec.MatrixFromRows([][]int{
+		{1, 1},
+		{1, 1},
+	})
+	w := New(2)
+	m := matching.NewMatch(2)
+	w.Schedule(&sched.Context{Req: req}, m)
+	if m.InToOut[0] != 0 || m.InToOut[1] != 1 {
+		t.Fatalf("offset-0 sweep matched %v, want identity", m.InToOut)
+	}
+	// Next slot the offset rotates: diagonal {(0,1),(1,0)} wins.
+	w.Schedule(&sched.Context{Req: req}, m)
+	if m.InToOut[0] != 1 || m.InToOut[1] != 0 {
+		t.Fatalf("offset-1 sweep matched %v, want anti-identity", m.InToOut)
+	}
+}
+
+func TestOffsetRotates(t *testing.T) {
+	w := New(5)
+	m := matching.NewMatch(5)
+	req := bitvec.NewMatrix(5)
+	for k := 0; k < 11; k++ {
+		if got := w.Offset(); got != k%5 {
+			t.Fatalf("cycle %d: offset %d, want %d", k, got, k%5)
+		}
+		w.Schedule(&sched.Context{Req: req}, m)
+	}
+}
+
+func TestStarvationFreeUnderFullLoad(t *testing.T) {
+	// With full demand, each (i,j) lies on the priority diagonal once per
+	// n cycles; contested cells on it always win, so every pair is served
+	// within n cycles.
+	const n = 6
+	req := bitvec.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			req.Set(i, j)
+		}
+	}
+	w := New(n)
+	granted := bitvec.NewMatrix(n)
+	m := matching.NewMatch(n)
+	for cycle := 0; cycle < n; cycle++ {
+		w.Schedule(&sched.Context{Req: req}, m)
+		if m.Size() != n {
+			t.Fatalf("full demand matched only %d", m.Size())
+		}
+		for i := 0; i < n; i++ {
+			granted.Set(i, m.InToOut[i])
+		}
+	}
+	if granted.PopCount() != n*n {
+		t.Fatalf("%d/%d pairs served in n cycles", granted.PopCount(), n*n)
+	}
+}
+
+func TestPlainValidAndMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(15) + 1
+		w := NewPlain(n)
+		m := matching.NewMatch(n)
+		req := randomMatrix(r, n, r.Float64())
+		w.Schedule(&sched.Context{Req: req}, m)
+		if err := matching.Validate(m, sched.AsRequests(req)); err != nil {
+			t.Logf("%v", err)
+			return false
+		}
+		return matching.IsMaximal(m, sched.AsRequests(req))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlainCornerBias demonstrates why the wrapped variant exists: the
+// fixed top-left sweep always resolves the 2×2 conflict the same way, so
+// the cross pair (0,1)/(1,0) is never served — while WWFA alternates.
+func TestPlainCornerBias(t *testing.T) {
+	req := bitvec.MatrixFromRows([][]int{
+		{1, 1},
+		{1, 1},
+	})
+	w := NewPlain(2)
+	m := matching.NewMatch(2)
+	for k := 0; k < 10; k++ {
+		w.Schedule(&sched.Context{Req: req}, m)
+		if m.InToOut[0] != 0 || m.InToOut[1] != 1 {
+			t.Fatalf("slot %d: plain WFA matched %v; corner bias expected identity", k, m.InToOut)
+		}
+	}
+}
+
+func TestPlainNameAndValidation(t *testing.T) {
+	if NewPlain(4).Name() != "wfront_plain" || NewPlain(4).N() != 4 {
+		t.Fatal("Name/N mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPlain(0) did not panic")
+		}
+	}()
+	NewPlain(0)
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	w := New(4)
+	m := matching.NewMatch(4)
+	w.Schedule(&sched.Context{Req: bitvec.NewMatrix(4)}, m)
+	if m.Size() != 0 {
+		t.Fatal("empty matrix matched")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestName(t *testing.T) {
+	w := New(4)
+	if w.Name() != "wfront" || w.N() != 4 {
+		t.Fatal("Name/N mismatch")
+	}
+}
+
+func BenchmarkWavefront16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	req := randomMatrix(r, 16, 0.6)
+	w := New(16)
+	m := matching.NewMatch(16)
+	ctx := &sched.Context{Req: req}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Schedule(ctx, m)
+	}
+}

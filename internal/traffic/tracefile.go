@@ -1,0 +1,117 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Trace file format: a line-oriented text format for arrival traces so
+// experiments can be driven by recorded or hand-written workloads
+// (cmd/lcftrace -arrivals). Each non-empty, non-comment line is
+//
+//	<slot> <input> <dst>
+//
+// with 0-based indices; '#' starts a comment. Slots may appear in any
+// order; at most one packet per (slot, input) — the switch model admits
+// one arrival per input per slot (Section 2's one-packet-per-slot links).
+
+// ParseTrace reads the trace format for an n-port switch and returns a
+// replaying Generator.
+func ParseTrace(r io.Reader, n int) (*Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive port count %d", n)
+	}
+	type entry struct{ slot, in, dst int }
+	var entries []entry
+	maxSlot := -1
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("traffic: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		var e entry
+		if _, err := fmt.Sscanf(fields[0]+" "+fields[1]+" "+fields[2], "%d %d %d", &e.slot, &e.in, &e.dst); err != nil {
+			return nil, fmt.Errorf("traffic: line %d: %v", lineNo, err)
+		}
+		if e.slot < 0 {
+			return nil, fmt.Errorf("traffic: line %d: negative slot %d", lineNo, e.slot)
+		}
+		if e.in < 0 || e.in >= n {
+			return nil, fmt.Errorf("traffic: line %d: input %d out of [0,%d)", lineNo, e.in, n)
+		}
+		if e.dst < 0 || e.dst >= n {
+			return nil, fmt.Errorf("traffic: line %d: destination %d out of [0,%d)", lineNo, e.dst, n)
+		}
+		entries = append(entries, e)
+		if e.slot > maxSlot {
+			maxSlot = e.slot
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traffic: reading trace: %w", err)
+	}
+
+	arrivals := make([][]int, maxSlot+1)
+	for t := range arrivals {
+		row := make([]int, n)
+		for i := range row {
+			row[i] = NoPacket
+		}
+		arrivals[t] = row
+	}
+	for _, e := range entries {
+		if arrivals[e.slot][e.in] != NoPacket {
+			return nil, fmt.Errorf("traffic: duplicate arrival at slot %d input %d", e.slot, e.in)
+		}
+		arrivals[e.slot][e.in] = e.dst
+	}
+	return NewTrace(n, arrivals), nil
+}
+
+// WriteTrace serializes a dense arrival table (the inverse of ParseTrace)
+// in the trace file format, with a header comment.
+func WriteTrace(w io.Writer, n int, arrivals [][]int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# arrival trace: %d ports, %d slots\n# slot input dst\n", n, len(arrivals))
+	for t, row := range arrivals {
+		if len(row) != n {
+			return fmt.Errorf("traffic: row %d has %d entries, want %d", t, len(row), n)
+		}
+		for in, dst := range row {
+			if dst == NoPacket {
+				continue
+			}
+			fmt.Fprintf(bw, "%d %d %d\n", t, in, dst)
+		}
+	}
+	return bw.Flush()
+}
+
+// Record runs a Generator for the given number of slots and captures its
+// arrivals as a dense table — useful for turning a stochastic workload
+// into a replayable trace.
+func Record(g Generator, slots int) [][]int {
+	out := make([][]int, slots)
+	for t := 0; t < slots; t++ {
+		row := make([]int, g.N())
+		for in := range row {
+			row[in] = g.Next(in)
+		}
+		g.Advance()
+		out[t] = row
+	}
+	return out
+}

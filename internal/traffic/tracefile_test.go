@@ -1,0 +1,113 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceBasic(t *testing.T) {
+	input := `
+# demo trace
+0 0 1
+0 1 0   # same slot, second input
+2 1 1
+`
+	tr, err := ParseTrace(strings.NewReader(input), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Next(0); d != 1 {
+		t.Fatalf("slot 0 input 0 = %d", d)
+	}
+	if d := tr.Next(1); d != 0 {
+		t.Fatalf("slot 0 input 1 = %d", d)
+	}
+	tr.Advance()
+	if d := tr.Next(0); d != NoPacket {
+		t.Fatalf("slot 1 input 0 = %d", d)
+	}
+	if d := tr.Next(1); d != NoPacket {
+		t.Fatalf("slot 1 input 1 = %d", d)
+	}
+	tr.Advance()
+	if d := tr.Next(1); d != 1 {
+		t.Fatalf("slot 2 input 1 = %d", d)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"fields", "0 0\n"},
+		{"nonnumeric", "a b c\n"},
+		{"negative slot", "-1 0 0\n"},
+		{"input range", "0 5 0\n"},
+		{"dst range", "0 0 5\n"},
+		{"duplicate", "0 0 1\n0 0 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c.input), 2); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := ParseTrace(strings.NewReader(""), 0); err == nil {
+		t.Error("zero ports accepted")
+	}
+	// Empty trace is fine: a generator that never produces.
+	tr, err := ParseTrace(strings.NewReader("# nothing\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Next(0) != NoPacket {
+		t.Fatal("empty trace produced a packet")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	arrivals := [][]int{
+		{1, NoPacket, 0},
+		{NoPacket, NoPacket, NoPacket},
+		{2, 2, 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, 3, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, row := range arrivals {
+		for in, want := range row {
+			if got := tr.Next(in); got != want {
+				t.Fatalf("slot %d input %d: %d, want %d", slot, in, got, want)
+			}
+		}
+		tr.Advance()
+	}
+}
+
+func TestWriteTraceRagged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, 2, [][]int{{0}}); err == nil {
+		t.Fatal("ragged table accepted")
+	}
+}
+
+func TestRecordReplaysBernoulli(t *testing.T) {
+	// Record a stochastic generator, replay the trace, and check the two
+	// produce identical arrivals (the point of Record).
+	g1 := NewBernoulli(4, 0.6, NewUniform(4), 77)
+	table := Record(g1, 200)
+	tr := NewTrace(4, table)
+	g2 := NewBernoulli(4, 0.6, NewUniform(4), 77)
+	for slot := 0; slot < 200; slot++ {
+		for in := 0; in < 4; in++ {
+			if tr.Next(in) != g2.Next(in) {
+				t.Fatalf("slot %d input %d: replay diverged", slot, in)
+			}
+		}
+		tr.Advance()
+		g2.Advance()
+	}
+}

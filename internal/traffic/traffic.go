@@ -1,0 +1,323 @@
+// Package traffic implements the packet generators (the PG boxes of the
+// paper's Figure 11 simulation model) plus the non-uniform and bursty
+// extensions used by the additional experiments.
+//
+// A Generator is asked once per input port per slot whether a new packet is
+// generated and, if so, for which destination. The paper's Figure 12 uses
+// Bernoulli i.i.d. arrivals with uniformly distributed destinations ("Load
+// is the probability that a host generates a packet in a given time slot.
+// The destinations of the packets are uniformly distributed."); the other
+// patterns here are the standard stress cases from the input-queued switch
+// literature (hotspot, diagonal, bursty on/off) used by the extension
+// experiments in EXPERIMENTS.md.
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// NoPacket is returned as the destination when a port generates nothing in
+// a slot.
+const NoPacket = -1
+
+// Generator produces the arrival process for all n inputs of one switch.
+type Generator interface {
+	// Next returns the destination port for a packet generated at input
+	// port `in` during the current slot, or NoPacket. It is called exactly
+	// once per input per slot, in increasing input order.
+	Next(in int) int
+	// Advance moves the generator to the next slot. It is called once per
+	// slot after all Next calls.
+	Advance()
+	// N returns the port count.
+	N() int
+	// Load returns the configured offered load per input in [0,1].
+	Load() float64
+}
+
+// Bernoulli is the paper's arrival process: each slot, each input
+// independently generates a packet with probability load; the destination
+// is drawn from a destination distribution.
+type Bernoulli struct {
+	n    int
+	load float64
+	dst  DestPicker
+	rngs []*rng.PCG32 // one stream per input so ports are independent
+}
+
+// DestPicker selects a destination for a packet arriving at input `in`.
+type DestPicker interface {
+	Pick(in int, r *rng.PCG32) int
+}
+
+// NewBernoulli returns a Bernoulli generator for n ports at the given load
+// with destination distribution dst. Each input gets an independent RNG
+// stream derived from seed.
+func NewBernoulli(n int, load float64, dst DestPicker, seed uint64) *Bernoulli {
+	if n <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive port count %d", n))
+	}
+	if load < 0 || load > 1 {
+		panic(fmt.Sprintf("traffic: load %g out of [0,1]", load))
+	}
+	g := &Bernoulli{n: n, load: load, dst: dst, rngs: make([]*rng.PCG32, n)}
+	sm := rng.NewSplitMix64(seed)
+	for i := range g.rngs {
+		g.rngs[i] = rng.NewPCG32(sm.Next(), uint64(i)*2+1)
+	}
+	return g
+}
+
+// Next implements Generator.
+func (g *Bernoulli) Next(in int) int {
+	r := g.rngs[in]
+	if !r.Bool(g.load) {
+		return NoPacket
+	}
+	return g.dst.Pick(in, r)
+}
+
+// Advance implements Generator (Bernoulli arrivals are memoryless).
+func (g *Bernoulli) Advance() {}
+
+// N implements Generator.
+func (g *Bernoulli) N() int { return g.n }
+
+// Load implements Generator.
+func (g *Bernoulli) Load() float64 { return g.load }
+
+// Uniform destinations: each packet targets a uniformly random output
+// (including the input's own index, matching the paper's switch model where
+// n virtual output queues exist per input).
+type Uniform struct{ n int }
+
+// NewUniform returns a uniform destination distribution over n outputs.
+func NewUniform(n int) Uniform { return Uniform{n: n} }
+
+// Pick implements DestPicker.
+func (u Uniform) Pick(_ int, r *rng.PCG32) int { return r.Intn(u.n) }
+
+// Hotspot sends fraction `frac` of each input's packets to a single hot
+// output and spreads the remainder uniformly over the others. It models the
+// server/uplink concentration pattern.
+type Hotspot struct {
+	n    int
+	hot  int
+	frac float64
+}
+
+// NewHotspot returns a hotspot distribution: probability frac to the hot
+// port, uniform over the remaining n-1 otherwise.
+func NewHotspot(n, hot int, frac float64) Hotspot {
+	if hot < 0 || hot >= n {
+		panic(fmt.Sprintf("traffic: hot port %d out of range", hot))
+	}
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("traffic: hotspot fraction %g out of [0,1]", frac))
+	}
+	return Hotspot{n: n, hot: hot, frac: frac}
+}
+
+// Pick implements DestPicker.
+func (h Hotspot) Pick(_ int, r *rng.PCG32) int {
+	if h.n == 1 || r.Bool(h.frac) {
+		return h.hot
+	}
+	d := r.Intn(h.n - 1)
+	if d >= h.hot {
+		d++
+	}
+	return d
+}
+
+// Diagonal concentrates traffic on two diagonals: input i sends 2/3 of its
+// packets to output i and 1/3 to output (i+1) mod n. This is the classic
+// hard case for round-robin schedulers (McKeown's thesis, the paper's
+// reference [9]).
+type Diagonal struct{ n int }
+
+// NewDiagonal returns the two-diagonal distribution.
+func NewDiagonal(n int) Diagonal { return Diagonal{n: n} }
+
+// Pick implements DestPicker.
+func (d Diagonal) Pick(in int, r *rng.PCG32) int {
+	if r.Bool(2.0 / 3.0) {
+		return in % d.n
+	}
+	return (in + 1) % d.n
+}
+
+// LogDiagonal spreads load geometrically: input i sends 1/2 to output i,
+// 1/4 to i+1, 1/8 to i+2, ... wrapping, with the remainder folded into the
+// last term so the distribution sums to one.
+type LogDiagonal struct{ n int }
+
+// NewLogDiagonal returns the log-diagonal distribution.
+func NewLogDiagonal(n int) LogDiagonal { return LogDiagonal{n: n} }
+
+// Pick implements DestPicker.
+func (d LogDiagonal) Pick(in int, r *rng.PCG32) int {
+	off := 0
+	for off < d.n-1 && !r.Bool(0.5) {
+		off++
+	}
+	return (in + off) % d.n
+}
+
+// Unbalanced is the standard unbalanced-traffic benchmark (Rojas-Cessa et
+// al.): with unbalance w ∈ [0,1], input i sends fraction w + (1−w)/n of
+// its packets to output i and (1−w)/n to every other output. w = 0 is
+// uniform; w = 1 is a pure permutation. Sweeping w exposes schedulers
+// whose throughput dips in the middle of the range.
+type Unbalanced struct {
+	n int
+	w float64
+}
+
+// NewUnbalanced returns the unbalanced distribution with the given factor.
+func NewUnbalanced(n int, w float64) Unbalanced {
+	if w < 0 || w > 1 {
+		panic(fmt.Sprintf("traffic: unbalance %g out of [0,1]", w))
+	}
+	return Unbalanced{n: n, w: w}
+}
+
+// Pick implements DestPicker.
+func (u Unbalanced) Pick(in int, r *rng.PCG32) int {
+	if r.Bool(u.w) {
+		return in % u.n
+	}
+	return r.Intn(u.n)
+}
+
+// Bursty is a two-state (on/off) Markov-modulated process: during an "on"
+// burst an input emits back-to-back packets for a single destination;
+// bursts and idle gaps have geometric lengths. The mean burst length and
+// offered load determine the state-transition probabilities. This is the
+// standard burstiness model for input-queued switch evaluation.
+type Bursty struct {
+	n         int
+	load      float64
+	meanBurst float64
+	dst       DestPicker
+	rngs      []*rng.PCG32
+	state     []burstState
+}
+
+type burstState struct {
+	remaining int // packets left in the current burst; 0 = idle
+	dst       int
+}
+
+// NewBursty returns a bursty generator with the given offered load and mean
+// burst length (in packets). meanBurst must be ≥ 1.
+func NewBursty(n int, load, meanBurst float64, dst DestPicker, seed uint64) *Bursty {
+	if load < 0 || load > 1 {
+		panic(fmt.Sprintf("traffic: load %g out of [0,1]", load))
+	}
+	if meanBurst < 1 {
+		panic(fmt.Sprintf("traffic: mean burst %g < 1", meanBurst))
+	}
+	g := &Bursty{
+		n: n, load: load, meanBurst: meanBurst, dst: dst,
+		rngs:  make([]*rng.PCG32, n),
+		state: make([]burstState, n),
+	}
+	sm := rng.NewSplitMix64(seed)
+	for i := range g.rngs {
+		g.rngs[i] = rng.NewPCG32(sm.Next(), uint64(i)*2+1)
+	}
+	return g
+}
+
+// Next implements Generator.
+func (g *Bursty) Next(in int) int {
+	st := &g.state[in]
+	r := g.rngs[in]
+	if st.remaining == 0 {
+		// Between bursts. At load 1 the off state is skipped entirely;
+		// otherwise a burst starts this slot with probability
+		// load / (load + B·(1−load)), which makes the long-run packet rate
+		// equal the configured load for geometric bursts of mean B.
+		if g.load < 1 {
+			if g.load <= 0 {
+				return NoPacket
+			}
+			pStart := g.load / (g.load + g.meanBurst*(1-g.load))
+			if !r.Bool(pStart) {
+				return NoPacket
+			}
+		}
+		st.remaining = r.Geometric(1 / g.meanBurst)
+		st.dst = g.dst.Pick(in, r)
+	}
+	st.remaining--
+	return st.dst
+}
+
+// Advance implements Generator.
+func (g *Bursty) Advance() {}
+
+// N implements Generator.
+func (g *Bursty) N() int { return g.n }
+
+// Load implements Generator.
+func (g *Bursty) Load() float64 { return g.load }
+
+// Trace replays a fixed arrival schedule; arrivals[t][i] is the destination
+// generated at input i in slot t, or NoPacket. Past the end of the trace no
+// packets are generated. Used by deterministic tests and the worked
+// examples from the paper's figures.
+type Trace struct {
+	n        int
+	arrivals [][]int
+	t        int
+}
+
+// NewTrace returns a generator replaying arrivals; every row must have
+// length n.
+func NewTrace(n int, arrivals [][]int) *Trace {
+	for t, row := range arrivals {
+		if len(row) != n {
+			panic(fmt.Sprintf("traffic: trace row %d has %d entries, want %d", t, len(row), n))
+		}
+		for i, d := range row {
+			if d != NoPacket && (d < 0 || d >= n) {
+				panic(fmt.Sprintf("traffic: trace[%d][%d] = %d out of range", t, i, d))
+			}
+		}
+	}
+	return &Trace{n: n, arrivals: arrivals}
+}
+
+// Next implements Generator.
+func (g *Trace) Next(in int) int {
+	if g.t >= len(g.arrivals) {
+		return NoPacket
+	}
+	return g.arrivals[g.t][in]
+}
+
+// Advance implements Generator.
+func (g *Trace) Advance() { g.t++ }
+
+// N implements Generator.
+func (g *Trace) N() int { return g.n }
+
+// Load implements Generator. For a trace this is the empirical load.
+func (g *Trace) Load() float64 {
+	if len(g.arrivals) == 0 || g.n == 0 {
+		return 0
+	}
+	pkts := 0
+	for _, row := range g.arrivals {
+		for _, d := range row {
+			if d != NoPacket {
+				pkts++
+			}
+		}
+	}
+	return float64(pkts) / float64(len(g.arrivals)*g.n)
+}

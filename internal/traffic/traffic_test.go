@@ -1,0 +1,380 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// measure runs a generator for `slots` slots and returns the per-input
+// arrival rate and the destination histogram.
+func measure(g Generator, slots int) (rate float64, destHist []int) {
+	destHist = make([]int, g.N())
+	pkts := 0
+	for t := 0; t < slots; t++ {
+		for in := 0; in < g.N(); in++ {
+			if d := g.Next(in); d != NoPacket {
+				pkts++
+				destHist[d]++
+			}
+		}
+		g.Advance()
+	}
+	rate = float64(pkts) / float64(slots*g.N())
+	return rate, destHist
+}
+
+func TestBernoulliLoad(t *testing.T) {
+	for _, load := range []float64{0.1, 0.5, 0.9} {
+		g := NewBernoulli(16, load, NewUniform(16), 1)
+		rate, _ := measure(g, 20000)
+		if math.Abs(rate-load) > 0.01 {
+			t.Fatalf("load %g: measured %g", load, rate)
+		}
+	}
+}
+
+func TestBernoulliZeroAndFullLoad(t *testing.T) {
+	g0 := NewBernoulli(4, 0, NewUniform(4), 1)
+	rate, _ := measure(g0, 1000)
+	if rate != 0 {
+		t.Fatalf("load 0 generated packets at rate %g", rate)
+	}
+	g1 := NewBernoulli(4, 1, NewUniform(4), 1)
+	rate, _ = measure(g1, 1000)
+	if rate != 1 {
+		t.Fatalf("load 1 rate %g, want exactly 1", rate)
+	}
+}
+
+func TestBernoulliUniformDestinations(t *testing.T) {
+	g := NewBernoulli(8, 1, NewUniform(8), 7)
+	_, hist := measure(g, 50000)
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	expected := float64(total) / 8
+	for d, c := range hist {
+		if math.Abs(float64(c)-expected) > 0.03*expected {
+			t.Fatalf("destination %d count %d, expected ≈%.0f", d, c, expected)
+		}
+	}
+}
+
+func TestBernoulliDeterministicReplay(t *testing.T) {
+	a := NewBernoulli(4, 0.5, NewUniform(4), 42)
+	b := NewBernoulli(4, 0.5, NewUniform(4), 42)
+	for t2 := 0; t2 < 500; t2++ {
+		for in := 0; in < 4; in++ {
+			if a.Next(in) != b.Next(in) {
+				t.Fatal("same-seed generators diverged")
+			}
+		}
+		a.Advance()
+		b.Advance()
+	}
+}
+
+func TestBernoulliInputIndependence(t *testing.T) {
+	// Different inputs must not generate identical streams.
+	g := NewBernoulli(2, 0.5, NewUniform(2), 9)
+	same := 0
+	const slots = 2000
+	for t2 := 0; t2 < slots; t2++ {
+		if g.Next(0) == g.Next(1) {
+			same++
+		}
+		g.Advance()
+	}
+	// With load 0.5 and 2 destinations, P(equal) = P(both idle) + P(both
+	// same dst) = 0.25 + 0.25*0.5 = 0.375-ish; identical streams would give
+	// 1.0. Flag only the pathological case.
+	if float64(same)/slots > 0.8 {
+		t.Fatalf("inputs 0 and 1 agree %d/%d slots; streams correlated", same, slots)
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		load float64
+	}{{0, 0.5}, {-1, 0.5}, {4, -0.1}, {4, 1.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewBernoulli(%d, %g) did not panic", tc.n, tc.load)
+				}
+			}()
+			NewBernoulli(tc.n, tc.load, NewUniform(4), 1)
+		}()
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	g := NewBernoulli(8, 1, NewHotspot(8, 3, 0.5), 3)
+	_, hist := measure(g, 50000)
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	hotFrac := float64(hist[3]) / float64(total)
+	// The non-hot branch excludes the hot port, so hot receives exactly
+	// frac of the traffic and each other port (1-frac)/(n-1).
+	if math.Abs(hotFrac-0.5) > 0.02 {
+		t.Fatalf("hot fraction %g, want ≈0.5", hotFrac)
+	}
+	for d, c := range hist {
+		if d == 3 {
+			continue
+		}
+		got := float64(c) / float64(total)
+		if math.Abs(got-0.5/7) > 0.01 {
+			t.Fatalf("cold port %d fraction %g, want ≈%g", d, got, 0.5/7)
+		}
+	}
+}
+
+func TestHotspotValidation(t *testing.T) {
+	for _, tc := range []struct {
+		hot  int
+		frac float64
+	}{{-1, 0.5}, {8, 0.5}, {0, -0.1}, {0, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHotspot(8, %d, %g) did not panic", tc.hot, tc.frac)
+				}
+			}()
+			NewHotspot(8, tc.hot, tc.frac)
+		}()
+	}
+}
+
+func TestHotspotSinglePort(t *testing.T) {
+	h := NewHotspot(1, 0, 0.0)
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if d := h.Pick(0, r); d != 0 {
+			t.Fatalf("n=1 hotspot picked %d", d)
+		}
+	}
+}
+
+func TestDiagonalSplit(t *testing.T) {
+	const n = 8
+	d := NewDiagonal(n)
+	r := rng.New(5)
+	countSelf, countNext := 0, 0
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		in := i % n
+		switch d.Pick(in, r) {
+		case in:
+			countSelf++
+		case (in + 1) % n:
+			countNext++
+		default:
+			t.Fatal("diagonal picked off-diagonal destination")
+		}
+	}
+	if math.Abs(float64(countSelf)/draws-2.0/3.0) > 0.01 {
+		t.Fatalf("self fraction %g, want 2/3", float64(countSelf)/draws)
+	}
+	if math.Abs(float64(countNext)/draws-1.0/3.0) > 0.01 {
+		t.Fatalf("next fraction %g, want 1/3", float64(countNext)/draws)
+	}
+}
+
+func TestLogDiagonalGeometric(t *testing.T) {
+	const n = 8
+	d := NewLogDiagonal(n)
+	r := rng.New(6)
+	hist := make([]int, n)
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		off := (d.Pick(0, r) - 0 + n) % n
+		hist[off]++
+	}
+	// Offset k has probability 2^-(k+1), remainder folded into the last.
+	for k := 0; k < n-1; k++ {
+		want := math.Pow(0.5, float64(k+1))
+		got := float64(hist[k]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("offset %d frequency %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestUnbalancedDistribution(t *testing.T) {
+	const n = 8
+	r := rng.New(31)
+	for _, w := range []float64{0, 0.5, 1} {
+		u := NewUnbalanced(n, w)
+		self := 0
+		const draws = 40000
+		for k := 0; k < draws; k++ {
+			d := u.Pick(3, r)
+			if d < 0 || d >= n {
+				t.Fatalf("w=%g: destination %d", w, d)
+			}
+			if d == 3 {
+				self++
+			}
+		}
+		want := w + (1-w)/n
+		got := float64(self) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("w=%g: self fraction %g, want %g", w, got, want)
+		}
+	}
+}
+
+func TestUnbalancedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("w=2 accepted")
+		}
+	}()
+	NewUnbalanced(4, 2)
+}
+
+func TestBurstyLoad(t *testing.T) {
+	for _, load := range []float64{0.3, 0.7} {
+		g := NewBursty(8, load, 16, NewUniform(8), 11)
+		rate, _ := measure(g, 60000)
+		if math.Abs(rate-load) > 0.03 {
+			t.Fatalf("bursty load %g: measured %g", load, rate)
+		}
+	}
+}
+
+func TestBurstyBurstStructure(t *testing.T) {
+	// During a burst all packets go to the same destination; measure mean
+	// burst length of back-to-back same-destination runs at load 1 where
+	// the process emits continuously.
+	g := NewBursty(1, 1, 8, NewUniform(16), 13)
+	prev := NoPacket
+	runs, runLen, totalLen := 0, 0, 0
+	const slots = 50000
+	for t2 := 0; t2 < slots; t2++ {
+		d := g.Next(0)
+		if d == NoPacket {
+			t.Fatal("load-1 bursty generator idled")
+		}
+		if d != prev && prev != NoPacket {
+			runs++
+			totalLen += runLen
+			runLen = 0
+		}
+		runLen++
+		prev = d
+		g.Advance()
+	}
+	mean := float64(totalLen) / float64(runs)
+	// Runs can merge when consecutive bursts pick the same destination
+	// (prob 1/16), pushing the observed mean slightly above 8.
+	if mean < 7 || mean > 10.5 {
+		t.Fatalf("mean burst length %g, want ≈8·16/15", mean)
+	}
+}
+
+func TestBurstyZeroLoad(t *testing.T) {
+	g := NewBursty(2, 0, 4, NewUniform(2), 1)
+	rate, _ := measure(g, 2000)
+	if rate != 0 {
+		t.Fatalf("zero-load bursty rate %g", rate)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	for _, tc := range []struct {
+		load, burst float64
+	}{{-0.1, 4}, {1.1, 4}, {0.5, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewBursty(load=%g, burst=%g) did not panic", tc.load, tc.burst)
+				}
+			}()
+			NewBursty(2, tc.load, tc.burst, NewUniform(2), 1)
+		}()
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	tr := NewTrace(2, [][]int{
+		{1, NoPacket},
+		{NoPacket, 0},
+	})
+	if d := tr.Next(0); d != 1 {
+		t.Fatalf("slot 0 input 0 = %d", d)
+	}
+	if d := tr.Next(1); d != NoPacket {
+		t.Fatalf("slot 0 input 1 = %d", d)
+	}
+	tr.Advance()
+	if d := tr.Next(1); d != 0 {
+		t.Fatalf("slot 1 input 1 = %d", d)
+	}
+	tr.Advance()
+	// Past the trace: silence.
+	for in := 0; in < 2; in++ {
+		if d := tr.Next(in); d != NoPacket {
+			t.Fatalf("past-end Next = %d", d)
+		}
+	}
+}
+
+func TestTraceEmpiricalLoad(t *testing.T) {
+	tr := NewTrace(2, [][]int{
+		{1, NoPacket},
+		{0, 0},
+	})
+	if got := tr.Load(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("trace Load = %g, want 0.75", got)
+	}
+	if got := NewTrace(2, nil).Load(); got != 0 {
+		t.Fatalf("empty trace Load = %g", got)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ragged trace did not panic")
+			}
+		}()
+		NewTrace(2, [][]int{{0}})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range trace destination did not panic")
+			}
+		}()
+		NewTrace(2, [][]int{{0, 5}})
+	}()
+}
+
+func BenchmarkBernoulli16(b *testing.B) {
+	g := NewBernoulli(16, 0.9, NewUniform(16), 1)
+	for i := 0; i < b.N; i++ {
+		for in := 0; in < 16; in++ {
+			_ = g.Next(in)
+		}
+		g.Advance()
+	}
+}
+
+func BenchmarkBursty16(b *testing.B) {
+	g := NewBursty(16, 0.9, 16, NewUniform(16), 1)
+	for i := 0; i < b.N; i++ {
+		for in := 0; in < 16; in++ {
+			_ = g.Next(in)
+		}
+		g.Advance()
+	}
+}

@@ -1,0 +1,231 @@
+// Package lcf is a from-scratch reproduction of "The Least Choice First
+// Scheduling Method for High-Speed Network Switches" (Gura & Eberle,
+// IPPS/IPDPS 2002): the LCF crossbar scheduler in its central and
+// distributed forms, every comparison scheduler of the paper's evaluation
+// (PIM, iSLIP, wave front arbiter, FIFO, output buffering), the
+// slot-based input-queued switch simulator behind Figure 12, the hardware
+// cost and timing models behind Tables 1 and 2, and the Clint bulk/quick
+// channel protocol of Section 4.
+//
+// This package is the public facade: it re-exports the pieces a
+// downstream user needs without reaching into internal packages.
+//
+// # Quick start
+//
+//	s, _ := lcf.NewScheduler("lcf_central_rr", 16, lcf.Options{})
+//	res, _ := lcf.Simulate(lcf.SimConfig{
+//		N:         16,
+//		Scheduler: s,
+//		Load:      0.9,
+//		Seed:      1,
+//	})
+//	fmt.Printf("mean queuing delay: %.2f slots\n", res.Delay.Mean())
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the mapping
+// from the paper's tables and figures to this repository's harnesses.
+package lcf
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/matching"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+	"repro/internal/simswitch"
+	"repro/internal/traffic"
+)
+
+// Options re-exports the scheduler tunables (iteration bound for the
+// iterative schedulers, RNG seed for the randomized ones).
+type Options = sched.Options
+
+// Scheduler is the per-slot matching engine interface.
+type Scheduler = sched.Scheduler
+
+// Match is a conflict-free input/output pairing for one slot.
+type Match = matching.Match
+
+// RequestMatrix is an n×n bit matrix; bit (i,j) means input i has at least
+// one packet queued for output j.
+type RequestMatrix = bitvec.Matrix
+
+// Unmatched marks an unpaired port in a Match.
+const Unmatched = matching.Unmatched
+
+// NewScheduler builds a scheduler by its evaluation name. Valid names are
+// the paper's Figure 12 labels — "lcf_central", "lcf_central_rr",
+// "lcf_dist", "lcf_dist_rr", "pim", "islip", "wfront", "fifo" — plus the
+// reference schedulers "maxsize", "lqf" and the fairness-ablation variant
+// "lcf_central_rrpre".
+func NewScheduler(name string, n int, opt Options) (Scheduler, error) {
+	return registry.New(name, n, opt)
+}
+
+// SchedulerNames returns all registered scheduler names.
+func SchedulerNames() []string { return registry.Names() }
+
+// Figure12Schedulers returns the scheduler labels of the paper's Figure 12
+// in legend order (excluding the "outbuf" switch organization).
+func Figure12Schedulers() []string { return registry.Figure12Names() }
+
+// NewRequestMatrix returns a zeroed n×n request matrix.
+func NewRequestMatrix(n int) *RequestMatrix { return bitvec.NewMatrix(n) }
+
+// NewMatch returns an empty match for an n-port switch.
+func NewMatch(n int) *Match { return matching.NewMatch(n) }
+
+// Schedule runs one scheduling decision outside a simulation: it fills m
+// with scheduler s's matching for the request matrix req. Use this to
+// drive a scheduler step by step (see examples/quickstart).
+func Schedule(s Scheduler, req *RequestMatrix, m *Match) {
+	s.Schedule(&sched.Context{Req: req}, m)
+}
+
+// ValidateMatch checks that m is conflict-free and only grants requested
+// pairs.
+func ValidateMatch(m *Match, req *RequestMatrix) error {
+	return matching.Validate(m, sched.AsRequests(req))
+}
+
+// CentralRRMode re-exports the round-robin density ablation of the
+// central scheduler (Section 3's fairness range 0..b/n).
+type CentralRRMode = core.RRMode
+
+// Round-robin density modes for NewCentralLCF.
+const (
+	RRNone         = core.RRNone
+	RRInterleaved  = core.RRInterleaved
+	RRPrescheduled = core.RRPrescheduled
+)
+
+// NewCentralLCF builds a central LCF scheduler with an explicit
+// round-robin mode.
+func NewCentralLCF(n int, mode CentralRRMode) Scheduler {
+	return core.NewCentralRR(n, mode)
+}
+
+// NewDistLCF builds a distributed (iterative) LCF scheduler.
+func NewDistLCF(n, iterations int, roundRobin bool) Scheduler {
+	return core.NewDist(n, iterations, roundRobin)
+}
+
+// TrafficPattern names the built-in arrival processes.
+type TrafficPattern string
+
+// Built-in traffic patterns.
+const (
+	Uniform     TrafficPattern = "uniform"
+	Hotspot     TrafficPattern = "hotspot"
+	Diagonal    TrafficPattern = "diagonal"
+	LogDiagonal TrafficPattern = "logdiagonal"
+	Bursty      TrafficPattern = "bursty"
+)
+
+// SimConfig parameterizes a single simulation run through the facade.
+// Zero values default to the paper's Figure 12 settings (VOQ capacity 256,
+// PQ capacity 1000, 256-entry output buffers, uniform Bernoulli traffic,
+// 10k warmup and 50k measured slots).
+type SimConfig struct {
+	N         int
+	Scheduler Scheduler // nil selects the output-buffered reference switch
+	Load      float64
+	Seed      uint64
+
+	Pattern     TrafficPattern
+	MeanBurst   float64 // Bursty only; default 16
+	HotspotFrac float64 // Hotspot only; default 0.5
+
+	VOQCap       int
+	PQCap        int
+	OutBufCap    int
+	WarmupSlots  int64
+	MeasureSlots int64
+
+	// Speedup runs the scheduler and fabric that many times per slot with
+	// per-output smoothing buffers (CIOQ); 0/1 = the paper's plain
+	// input-queued switch.
+	Speedup int
+
+	// PipelineDepth delays the application of each schedule by
+	// PipelineDepth−1 slots (Clint's overlap of scheduling and transfer,
+	// Figure 5); 0/1 = immediate.
+	PipelineDepth int
+
+	// HistogramBuckets enables a delay histogram with that many unit
+	// buckets on the result (for percentile reporting); 0 disables.
+	HistogramBuckets int
+}
+
+// SimResult is the outcome of one run.
+type SimResult = simswitch.Result
+
+// Simulate runs one switch simulation. The switch organization follows
+// the scheduler: nil → output-buffered, a "fifo" scheduler → single input
+// FIFOs, anything else → virtual output queues.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	if cfg.N == 0 {
+		cfg.N = 16
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return nil, fmt.Errorf("lcf: load %g out of [0,1]", cfg.Load)
+	}
+	if cfg.WarmupSlots == 0 {
+		cfg.WarmupSlots = 10000
+	}
+	if cfg.MeasureSlots == 0 {
+		cfg.MeasureSlots = 50000
+	}
+	if cfg.Pattern == "" {
+		cfg.Pattern = Uniform
+	}
+	if cfg.MeanBurst == 0 {
+		cfg.MeanBurst = 16
+	}
+	if cfg.HotspotFrac == 0 {
+		cfg.HotspotFrac = 0.5
+	}
+
+	var gen traffic.Generator
+	switch cfg.Pattern {
+	case Uniform:
+		gen = traffic.NewBernoulli(cfg.N, cfg.Load, traffic.NewUniform(cfg.N), cfg.Seed)
+	case Hotspot:
+		gen = traffic.NewBernoulli(cfg.N, cfg.Load, traffic.NewHotspot(cfg.N, 0, cfg.HotspotFrac), cfg.Seed)
+	case Diagonal:
+		gen = traffic.NewBernoulli(cfg.N, cfg.Load, traffic.NewDiagonal(cfg.N), cfg.Seed)
+	case LogDiagonal:
+		gen = traffic.NewBernoulli(cfg.N, cfg.Load, traffic.NewLogDiagonal(cfg.N), cfg.Seed)
+	case Bursty:
+		gen = traffic.NewBursty(cfg.N, cfg.Load, cfg.MeanBurst, traffic.NewUniform(cfg.N), cfg.Seed)
+	default:
+		return nil, fmt.Errorf("lcf: unknown traffic pattern %q", cfg.Pattern)
+	}
+
+	simCfg := simswitch.Config{
+		N:                cfg.N,
+		Scheduler:        cfg.Scheduler,
+		Gen:              gen,
+		VOQCap:           cfg.VOQCap,
+		PQCap:            cfg.PQCap,
+		OutBufCap:        cfg.OutBufCap,
+		WarmupSlots:      cfg.WarmupSlots,
+		MeasureSlots:     cfg.MeasureSlots,
+		Speedup:          cfg.Speedup,
+		PipelineDepth:    cfg.PipelineDepth,
+		HistogramBuckets: cfg.HistogramBuckets,
+	}
+	switch {
+	case cfg.Scheduler == nil:
+		simCfg.Mode = simswitch.OutputBuffered
+	case cfg.Scheduler.Name() == "fifo":
+		simCfg.Mode = simswitch.FIFO
+	default:
+		simCfg.Mode = simswitch.VOQ
+		if cfg.Scheduler.Name() == "lqf" {
+			simCfg.TrackQueueLens = true
+		}
+	}
+	return simswitch.Run(simCfg)
+}

@@ -1,0 +1,233 @@
+package lcf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchedulerNames(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		s, err := NewScheduler(name, 8, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("%s built as %s", name, s.Name())
+		}
+	}
+	if _, err := NewScheduler("bogus", 8, Options{}); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+	if len(Figure12Schedulers()) != 8 {
+		t.Fatal("Figure12Schedulers count")
+	}
+}
+
+func TestScheduleFacadeFigure3(t *testing.T) {
+	// The Figure 3 worked example through the public API.
+	req := NewRequestMatrix(4)
+	for _, rc := range [][2]int{{0, 1}, {0, 2}, {1, 0}, {1, 2}, {1, 3}, {2, 0}, {2, 2}, {2, 3}, {3, 1}} {
+		req.Set(rc[0], rc[1])
+	}
+	s := NewCentralLCF(4, RRInterleaved)
+	m := NewMatch(4)
+	// Advance the diagonal to the Figure 3 state [I1,T0].
+	sc := s.(interface{ SetOffsets(i, j int) })
+	sc.SetOffsets(1, 0)
+	Schedule(s, req, m)
+	if err := ValidateMatch(m, req); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 0, 3, 1} // InToOut per Figure 3
+	for i, w := range want {
+		if m.InToOut[i] != w {
+			t.Fatalf("input %d → %d, want %d", i, m.InToOut[i], w)
+		}
+	}
+}
+
+func TestSimulateDefaults(t *testing.T) {
+	s, _ := NewScheduler("lcf_central_rr", 16, Options{})
+	res, err := Simulate(SimConfig{
+		Scheduler:    s,
+		Load:         0.5,
+		Seed:         1,
+		WarmupSlots:  500,
+		MeasureSlots: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay.Count() == 0 || res.Delay.Mean() < 1 {
+		t.Fatalf("delay stats: %d samples mean %g", res.Delay.Count(), res.Delay.Mean())
+	}
+}
+
+func TestSimulateOutbufAndFIFO(t *testing.T) {
+	ob, err := Simulate(SimConfig{N: 8, Load: 0.6, Seed: 2, WarmupSlots: 200, MeasureSlots: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob.SchedulerName != "outbuf" {
+		t.Fatalf("nil scheduler ran as %q", ob.SchedulerName)
+	}
+	f, _ := NewScheduler("fifo", 8, Options{})
+	fr, err := Simulate(SimConfig{N: 8, Scheduler: f, Load: 0.6, Seed: 2, WarmupSlots: 200, MeasureSlots: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Mode.String() != "fifo" {
+		t.Fatalf("fifo scheduler ran on %v organization", fr.Mode)
+	}
+	if fr.Delay.Mean() <= ob.Delay.Mean() {
+		t.Fatalf("fifo delay %g not above outbuf %g at load 0.6", fr.Delay.Mean(), ob.Delay.Mean())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{Load: 1.5}); err == nil {
+		t.Fatal("load 1.5 accepted")
+	}
+	if _, err := Simulate(SimConfig{Load: 0.5, Pattern: "junk"}); err == nil {
+		t.Fatal("junk pattern accepted")
+	}
+}
+
+func TestSimulatePatterns(t *testing.T) {
+	for _, p := range []TrafficPattern{Uniform, Hotspot, Diagonal, LogDiagonal, Bursty} {
+		s, _ := NewScheduler("islip", 8, Options{})
+		res, err := Simulate(SimConfig{
+			N: 8, Scheduler: s, Load: 0.4, Seed: 3, Pattern: p,
+			WarmupSlots: 200, MeasureSlots: 1500,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Delay.Count() == 0 {
+			t.Fatalf("%s: no packets", p)
+		}
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	cfg := SweepConfig{
+		N:            8,
+		Schedulers:   []string{"lcf_central", OutbufName},
+		Loads:        []float64{0.3, 0.7},
+		Seed:         1,
+		WarmupSlots:  200,
+		MeasureSlots: 1500,
+	}
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := FormatSweepTable(cfg, res.Points, func(p SweepPoint) float64 { return p.MeanDelay })
+	if !strings.Contains(tbl, "lcf_central") || !strings.Contains(tbl, "outbuf") {
+		t.Fatalf("table:\n%s", tbl)
+	}
+	csv := FormatSweepCSV(cfg, res.Points, func(p SweepPoint) float64 { return p.MeanDelay })
+	if !strings.HasPrefix(csv, "load,") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	if len(DefaultLoads()) == 0 {
+		t.Fatal("no default loads")
+	}
+}
+
+func TestHardwareFacade(t *testing.T) {
+	hc := HardwareCostTable1(16)
+	if hc.TotalGates != 7967 || hc.TotalRegs != 1592 {
+		t.Fatalf("Table 1 totals %d/%d", hc.TotalGates, hc.TotalRegs)
+	}
+	tasks := SchedulingTasksTable2(16, ClockHz)
+	if tasks[2].Cycles != 83 {
+		t.Fatalf("Table 2 total %d cycles", tasks[2].Cycles)
+	}
+	if CentralCommBits(16) != 336 || DistCommBits(16, 4) != 11264 {
+		t.Fatal("comm bit formulas")
+	}
+}
+
+func TestFairnessFacade(t *testing.T) {
+	cfg := SweepConfig{
+		N:            8,
+		Schedulers:   []string{"lcf_central_rr"},
+		Seed:         1,
+		WarmupSlots:  200,
+		MeasureSlots: 1500,
+	}
+	pts, err := MeasureFairness(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].MinShare <= 0 {
+		t.Fatalf("fairness points %+v", pts)
+	}
+	out := FormatFairness(cfg, pts)
+	if !strings.Contains(out, "lcf_central_rr") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+func TestMulticastFacade(t *testing.T) {
+	res, err := SimulateMulticast(MulticastConfig{
+		N: 8, Policy: FewestFirst, Load: 0.2, Fanout: 3, Seed: 1,
+		Warmup: 200, Measure: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedCells == 0 || res.CellDelay < 1 {
+		t.Fatalf("multicast result %+v", res)
+	}
+	if NoSplitting.String() != "nosplit" {
+		t.Fatal("policy re-export")
+	}
+}
+
+func TestPackagingPinsFacade(t *testing.T) {
+	p := PackagingPins(16, 4)
+	if p.CentralLineCardPins != 21 || p.DistLineCardPins != 330 {
+		t.Fatalf("pins %+v", p)
+	}
+}
+
+func TestSimulateSpeedupAndPipelineFacade(t *testing.T) {
+	s, _ := NewScheduler("lcf_central_rr", 8, Options{})
+	res, err := Simulate(SimConfig{
+		N: 8, Scheduler: s, Load: 0.8, Seed: 4, Speedup: 2,
+		WarmupSlots: 200, MeasureSlots: 1500, HistogramBuckets: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hist == nil || res.Hist.Total() == 0 {
+		t.Fatal("histogram not collected through facade")
+	}
+	s2, _ := NewScheduler("lcf_central_rr", 8, Options{})
+	res2, err := Simulate(SimConfig{
+		N: 8, Scheduler: s2, Load: 0.8, Seed: 4, PipelineDepth: 2,
+		WarmupSlots: 200, MeasureSlots: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Delay.Mean() <= res.Delay.Mean()-1 {
+		t.Log("pipeline vs speedup delays", res2.Delay.Mean(), res.Delay.Mean())
+	}
+}
+
+func TestDistLCFFacade(t *testing.T) {
+	d := NewDistLCF(8, 4, true)
+	if d.Name() != "lcf_dist_rr" {
+		t.Fatalf("NewDistLCF name %q", d.Name())
+	}
+	req := NewRequestMatrix(8)
+	req.Set(0, 5)
+	m := NewMatch(8)
+	Schedule(d, req, m)
+	if m.InToOut[0] != 5 {
+		t.Fatal("distributed facade schedule failed")
+	}
+}

@@ -1,0 +1,136 @@
+package lcf
+
+import (
+	"repro/internal/experiment"
+	"repro/internal/hwmodel"
+	"repro/internal/mcast"
+)
+
+// SweepConfig parameterizes a load sweep across schedulers — the harness
+// behind Figures 12a/12b. Zero values default to the paper's settings
+// (16 ports, the full Figure 12 scheduler set plus outbuf, 4 iterations,
+// uniform Bernoulli traffic, the default load grid).
+type SweepConfig = experiment.Config
+
+// SweepResult is the aggregated (scheduler × load) grid.
+type SweepResult = experiment.Sweep
+
+// SweepPoint is one cell of the grid.
+type SweepPoint = experiment.Point
+
+// OutbufName is the label of the output-buffered reference switch.
+const OutbufName = experiment.OutbufName
+
+// Sweep runs a load sweep, fanning independent simulations out over a
+// bounded worker pool. Results are deterministic for a given SweepConfig
+// regardless of worker count.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	return experiment.Run(cfg)
+}
+
+// DefaultLoads returns the Figure 12 load grid.
+func DefaultLoads() []float64 { return experiment.DefaultLoads() }
+
+// FormatSweepTable renders a sweep grid as an aligned text table.
+func FormatSweepTable(cfg SweepConfig, grid map[string][]SweepPoint, value func(SweepPoint) float64) string {
+	return experiment.FormatTable(cfg, grid, value)
+}
+
+// FormatSweepCSV renders a sweep grid as CSV.
+func FormatSweepCSV(cfg SweepConfig, grid map[string][]SweepPoint, value func(SweepPoint) float64) string {
+	return experiment.FormatCSV(cfg, grid, value)
+}
+
+// FormatSweepJSON renders a sweep grid as indented JSON with the full
+// measurement set per point.
+func FormatSweepJSON(cfg SweepConfig, grid map[string][]SweepPoint) (string, error) {
+	return experiment.FormatJSON(cfg, grid)
+}
+
+// HardwareCost is the Table 1 reproduction: gate and register counts of
+// the central LCF scheduler for an n-port switch, split into the n
+// per-requester slices and the shared central logic.
+type HardwareCost = hwmodel.Table1
+
+// HardwareCostTable1 returns the Table 1 model (n=16 reproduces the
+// published 450/86 per-slice and 767/216 central counts exactly).
+func HardwareCostTable1(n int) HardwareCost { return hwmodel.CostTable1(n) }
+
+// SchedulingTask is one row of the Table 2 reproduction.
+type SchedulingTask = hwmodel.Task
+
+// ClockHz is the Clint implementation's 66 MHz scheduler clock.
+const ClockHz = hwmodel.ClockHz
+
+// SchedulingTasksTable2 returns the Table 2 cycle decomposition (2n+1
+// precalculated-schedule check, 3n+2 LCF calculation, 5n+3 total) with
+// times at the given clock.
+func SchedulingTasksTable2(n int, clockHz float64) []SchedulingTask {
+	return hwmodel.CostTable2(n, clockHz)
+}
+
+// FairnessPoint is one scheduler's measured service distribution under
+// saturating demand.
+type FairnessPoint = experiment.FairnessPoint
+
+// MeasureFairness runs every scheduler in cfg at the given load and
+// reports min per-flow share, Jain index and throughput — the measured
+// counterpart of Section 3's analytic b/n² guarantee.
+func MeasureFairness(cfg SweepConfig, load float64) ([]FairnessPoint, error) {
+	return experiment.Fairness(cfg, load)
+}
+
+// FormatFairness renders fairness points as an aligned table.
+func FormatFairness(cfg SweepConfig, pts []FairnessPoint) string {
+	return experiment.FormatFairness(cfg, pts)
+}
+
+// Multicast scheduling (the traffic class behind Section 4.3's
+// precalculated schedule; reference [11] of the paper).
+type (
+	// MulticastPolicy selects the multicast discipline: NoSplitting
+	// (Clint's all-or-nothing precalculated reservation), FewestFirst or
+	// LargestFirst fanout splitting.
+	MulticastPolicy = mcast.Policy
+	// MulticastConfig parameterizes SimulateMulticast.
+	MulticastConfig = mcast.SimConfig
+	// MulticastResult carries copy throughput and cell-delay measurements.
+	MulticastResult = mcast.SimResult
+)
+
+// Multicast policies.
+const (
+	NoSplitting  = mcast.NoSplitting
+	FewestFirst  = mcast.FewestFirst
+	LargestFirst = mcast.LargestFirst
+)
+
+// SimulateMulticast runs a multicast switch simulation.
+func SimulateMulticast(cfg MulticastConfig) (*MulticastResult, error) {
+	return mcast.Simulate(cfg)
+}
+
+// CentralCommBits returns the per-scheduling-cycle signalling volume of
+// the central scheduler, n·(n + log2 n + 1) bits (Section 6.2).
+func CentralCommBits(n int) int { return hwmodel.CentralCommBits(n) }
+
+// DistCommBits returns the distributed scheduler's signalling volume,
+// i·n²·(2·log2 n + 3) bits (Section 6.2).
+func DistCommBits(n, iterations int) int { return hwmodel.DistCommBits(n, iterations) }
+
+// ArbiterRow is one line of the arbiter implementation comparison.
+type ArbiterRow = hwmodel.ArbiterRow
+
+// CompareArbiters returns the cycles/gates/registers/wiring comparison of
+// the three implementable schedulers (central LCF, WWFA, distributed LCF).
+func CompareArbiters(n, iterations int) []ArbiterRow {
+	return hwmodel.CompareArbiters(n, iterations)
+}
+
+// Packaging is the Section 6.2 modularization pin-count model.
+type Packaging = hwmodel.Packaging
+
+// PackagingPins returns per-line-card and backplane scheduling-signal
+// counts for the central-on-backplane vs distributed-on-line-cards
+// packaging options.
+func PackagingPins(n, iterations int) Packaging { return hwmodel.PackagingModel(n, iterations) }

@@ -1,0 +1,398 @@
+// Command lcfd runs the live LCF switch daemon: a TCP server wrapping any
+// registered scheduler in the internal/runtime slot loop, speaking the
+// Clint-style framing of internal/clint on the data plane.
+//
+// Protocol (per connection, all frames CRC-16 protected):
+//
+//   - On accept, the switch assigns the connection the lowest free port
+//     and says so with a grant frame {NodeID=port, Gnt=port, GntVal=true}
+//     — the same initialization handshake Clint uses (Section 4.1: "NodeID
+//     assigns the receiving host its port number at initialization time").
+//     With every port taken, the switch answers {GntVal=false} and closes.
+//   - The client sends data frames; each is admitted at the connection's
+//     input port. A full VOQ answers with a nack frame carrying the
+//     frame's sequence number — explicit backpressure, never a silent
+//     drop.
+//   - Frames matched to output port j are delivered, src filled in, over
+//     the connection that owns port j (each connection is both input and
+//     output port of the same index, as in Clint's host↔switch star).
+//
+// Live counters (per-port throughput, matched/requested ratio, VOQ depth
+// histogram, slot-loop compute latency percentiles) are served as JSON on
+// -http at /metrics.
+//
+// Usage:
+//
+//	lcfd                                  # lcf_central_rr, n=16, :9416
+//	lcfd -sched islip -slot 100us
+//	curl localhost:9417/metrics | jq .engine.match_ratio
+//
+// See cmd/lcfload for the matching closed-loop load generator.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/clint"
+	"repro/internal/metrics"
+	rt "repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:9416", "TCP address for the data plane")
+		httpAddr   = flag.String("http", "127.0.0.1:9417", "HTTP address for the metrics endpoint (empty disables)")
+		schedName  = flag.String("sched", "lcf_central_rr", "scheduler (see lcfsim for the list)")
+		n          = flag.Int("n", 16, "switch port count (max 16: the grant frame's NodeID field is 4 bits)")
+		slot       = flag.Duration("slot", 200*time.Microsecond, "slot period of the arbiter loop")
+		voqCap     = flag.Int("voqcap", 256, "per-VOQ capacity (admission backpressure threshold)")
+		outCap     = flag.Int("outcap", 256, "per-output delivery buffer (frames)")
+		iterations = flag.Int("iterations", 4, "iterations for the iterative schedulers")
+		seed       = flag.Uint64("seed", 1, "scheduler RNG seed")
+	)
+	flag.Parse()
+	if *n <= 0 || *n > clint.NumPorts {
+		fatal("-n must be in [1,%d] (Clint's grant frame carries a 4-bit port id)", clint.NumPorts)
+	}
+	if *slot <= 0 {
+		fatal("-slot must be positive")
+	}
+
+	s, err := registry.New(*schedName, *n, sched.Options{Iterations: *iterations, Seed: *seed})
+	if err != nil {
+		fatal("%v", err)
+	}
+	engine, err := rt.New(rt.Config{
+		N: *n, Scheduler: s, VOQCap: *voqCap, OutCap: *outCap, SlotPeriod: *slot,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	srv := newServer(engine, *n)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := engine.Start(); err != nil {
+		fatal("%v", err)
+	}
+	for j := 0; j < *n; j++ {
+		srv.wg.Add(1)
+		go srv.outputPump(j)
+	}
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", srv.handleMetrics)
+		mux.HandleFunc("/", srv.handleRoot)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "lcfd: metrics endpoint: %v\n", err)
+			}
+		}()
+	}
+
+	fmt.Printf("lcfd: %s on %s (n=%d, slot %v", s.Name(), ln.Addr(), *n, *slot)
+	if *httpAddr != "" {
+		fmt.Printf(", metrics on http://%s/metrics", *httpAddr)
+	}
+	fmt.Println(")")
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Println("lcfd: shutting down (draining in-flight slots)")
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed: shut down
+		}
+		go srv.serveConn(conn)
+	}
+
+	srv.closeConns()
+	engine.Close() // drains; output pumps exit when the channels close
+	srv.wg.Wait()
+	snap := engine.Snapshot()
+	fmt.Printf("lcfd: done after %d slots: admitted %d, delivered %d, backpressured %d\n",
+		snap.Slot, snap.Admitted, snap.Delivered, snap.Backpressured)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lcfd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// client is one connected host: a port, an outbox serialized by a writer
+// goroutine, and a gone signal that unblocks anyone queuing toward it.
+type client struct {
+	conn   net.Conn
+	port   int
+	outbox chan []byte
+	gone   chan struct{}
+}
+
+type server struct {
+	engine *rt.Engine
+	n      int
+
+	mu    sync.Mutex
+	ports []*client // index = port; nil = free
+
+	wg sync.WaitGroup
+
+	accepted        metrics.Counter // connections granted a port
+	rejected        metrics.Counter // connections refused (no free port)
+	nacksSent       metrics.Counter
+	droppedNoClient metrics.Counter // deliveries with no connection on the output
+	protocolErrors  metrics.Counter
+
+	started time.Time
+}
+
+func newServer(engine *rt.Engine, n int) *server {
+	return &server{engine: engine, n: n, ports: make([]*client, n), started: time.Now()}
+}
+
+// assign grabs the lowest free port for c, or -1.
+func (s *server) assign(c *client) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p, occ := range s.ports {
+		if occ == nil {
+			s.ports[p] = c
+			c.port = p
+			return p
+		}
+	}
+	return -1
+}
+
+func (s *server) release(c *client) {
+	s.mu.Lock()
+	if s.ports[c.port] == c {
+		s.ports[c.port] = nil
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) lookup(port int) *client {
+	s.mu.Lock()
+	c := s.ports[port]
+	s.mu.Unlock()
+	return c
+}
+
+func (s *server) closeConns() {
+	s.mu.Lock()
+	conns := append([]*client(nil), s.ports...)
+	s.mu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			c.conn.Close()
+		}
+	}
+}
+
+// outputPump forwards output port j's deliveries to whichever connection
+// currently owns port j. It exits when the engine closes its outputs. A
+// slow client fills its outbox; the pump then blocks, the output channel
+// fills, and the arbiter masks the column — backpressure propagates all
+// the way to the senders' VOQs instead of buffering without bound.
+func (s *server) outputPump(j int) {
+	defer s.wg.Done()
+	for f := range s.engine.Output(j) {
+		buf := make([]byte, clint.DataLen)
+		clint.Data{Src: uint8(f.Src), Dst: uint8(f.Dst), Seq: f.Seq, Stamp: f.Stamp}.EncodeTo(buf)
+		for {
+			c := s.lookup(j)
+			if c == nil {
+				s.droppedNoClient.Inc()
+				break
+			}
+			select {
+			case c.outbox <- buf:
+			case <-c.gone:
+				continue // client vanished mid-queue; re-look-up
+			}
+			break
+		}
+	}
+}
+
+func (s *server) serveConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &client{conn: conn, outbox: make(chan []byte, 256), gone: make(chan struct{})}
+	port := s.assign(c)
+	if port < 0 {
+		s.rejected.Inc()
+		conn.Write(clint.Grant{GntVal: false}.Encode())
+		conn.Close()
+		return
+	}
+	s.accepted.Inc()
+
+	// Hello: the Clint initialization grant carrying the port id.
+	if _, err := conn.Write(clint.Grant{NodeID: uint8(port), Gnt: uint8(port), GntVal: true}.Encode()); err != nil {
+		s.release(c)
+		close(c.gone)
+		conn.Close()
+		return
+	}
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for b := range c.outbox {
+			if _, err := conn.Write(b); err != nil {
+				// Reader will notice the dead conn; keep draining the
+				// outbox so pumps never block on a corpse.
+				for range c.outbox {
+				}
+				return
+			}
+		}
+	}()
+
+	s.readLoop(c)
+
+	s.release(c)
+	close(c.gone)
+	conn.Close()
+	close(c.outbox)
+	writerWG.Wait()
+}
+
+func (s *server) readLoop(c *client) {
+	var hdr [1]byte
+	buf := make([]byte, 64)
+	for {
+		if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
+			return
+		}
+		flen := clint.FrameLen(hdr[0])
+		if flen == 0 {
+			s.protocolErrors.Inc()
+			return
+		}
+		frame := buf[:flen]
+		frame[0] = hdr[0]
+		if _, err := io.ReadFull(c.conn, frame[1:]); err != nil {
+			return
+		}
+		switch hdr[0] {
+		case clint.TypeData:
+			d, err := clint.DecodeData(frame)
+			if err != nil {
+				s.protocolErrors.Inc()
+				return
+			}
+			err = s.engine.Admit(c.port, int(d.Dst), d.Seq, d.Stamp)
+			switch {
+			case err == nil:
+			case errors.Is(err, rt.ErrBackpressure), errors.Is(err, rt.ErrBadPort):
+				s.nack(c, d.Seq)
+			case errors.Is(err, rt.ErrClosed):
+				return
+			default:
+				return
+			}
+		case clint.TypeConfig:
+			// Control-plane configuration (request/enable masks) is not
+			// interpreted by the live switch — the request matrix is
+			// derived from admitted frames — but remains valid protocol.
+			if _, err := clint.DecodeConfig(frame); err != nil {
+				s.protocolErrors.Inc()
+				return
+			}
+		default:
+			// Grant and nack frames only flow switch → host.
+			s.protocolErrors.Inc()
+			return
+		}
+	}
+}
+
+func (s *server) nack(c *client, seq uint64) {
+	b := make([]byte, clint.NackLen)
+	clint.Nack{Seq: seq}.EncodeTo(b)
+	select {
+	case c.outbox <- b:
+		s.nacksSent.Inc()
+	case <-c.gone:
+	}
+}
+
+// metricsPayload is the /metrics JSON document.
+type metricsPayload struct {
+	Scheduler string      `json:"scheduler"`
+	N         int         `json:"n"`
+	UptimeSec float64     `json:"uptime_sec"`
+	Engine    rt.Snapshot `json:"engine"`
+	Server    struct {
+		ActiveConns     int   `json:"active_conns"`
+		Accepted        int64 `json:"accepted"`
+		Rejected        int64 `json:"rejected"`
+		NacksSent       int64 `json:"nacks_sent"`
+		DroppedNoClient int64 `json:"dropped_no_client"`
+		ProtocolErrors  int64 `json:"protocol_errors"`
+	} `json:"server"`
+}
+
+func (s *server) payload() metricsPayload {
+	var p metricsPayload
+	p.Scheduler = s.engine.SchedulerName()
+	p.N = s.n
+	p.UptimeSec = time.Since(s.started).Seconds()
+	p.Engine = s.engine.Snapshot()
+	s.mu.Lock()
+	for _, c := range s.ports {
+		if c != nil {
+			p.Server.ActiveConns++
+		}
+	}
+	s.mu.Unlock()
+	p.Server.Accepted = s.accepted.Value()
+	p.Server.Rejected = s.rejected.Value()
+	p.Server.NacksSent = s.nacksSent.Value()
+	p.Server.DroppedNoClient = s.droppedNoClient.Value()
+	p.Server.ProtocolErrors = s.protocolErrors.Value()
+	return p
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.payload())
+}
+
+func (s *server) handleRoot(w http.ResponseWriter, _ *http.Request) {
+	p := s.payload()
+	fmt.Fprintf(w, "lcfd %s n=%d slot=%d conns=%d\n", p.Scheduler, p.N, p.Engine.Slot, p.Server.ActiveConns)
+	fmt.Fprintf(w, "admitted=%d delivered=%d backpressured=%d backlog=%d match_ratio=%.3f\n",
+		p.Engine.Admitted, p.Engine.Delivered, p.Engine.Backpressured, p.Engine.Backlog, p.Engine.MatchRatio)
+	fmt.Fprintf(w, "throughput=%.3f frames/port/slot, slot compute p50=%.0fns p99=%.0fns\n",
+		p.Engine.ThroughputPerSlot, p.Engine.SlotLatencyP50, p.Engine.SlotLatencyP99)
+}

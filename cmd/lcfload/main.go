@@ -1,0 +1,269 @@
+// Command lcfload is the closed-loop load generator for lcfd: it opens one
+// connection per switch port, offers Bernoulli traffic in one of the
+// repository's patterns (the PG boxes of Figure 11, aimed at a live switch
+// instead of the simulator), and reports achieved throughput, nack-based
+// backpressure and end-to-end latency.
+//
+// Each connection is both a traffic source (its input port) and a sink
+// (the same-numbered output port). Frames carry a client-side send
+// timestamp that the switch echoes on delivery, so latency is measured
+// against a single clock with no switch cooperation.
+//
+// Usage:
+//
+//	lcfload -pattern uniform -load 0.8
+//	lcfload -addr switch:9416 -pattern hotspot -load 0.6 -slots 20000
+//
+// Expected output (lcfd with defaults on the same host):
+//
+//	lcfload: n=16 pattern=uniform load=0.80 slots=5000 slot=1ms
+//	sent 64162 frames (offered 0.802/port/slot), delivered 64162, nacked 0
+//	achieved throughput 0.802 frames/port/slot (100.0% of offered)
+//	end-to-end latency: mean 0.9ms p50 0.8ms p95 1.6ms p99 2.0ms
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clint"
+	"repro/internal/metrics"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9416", "lcfd data-plane address")
+		n       = flag.Int("n", 16, "connections to open (= ports driven)")
+		pattern = flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, diagonal, logdiagonal, bursty")
+		load    = flag.Float64("load", 0.8, "offered load per port in [0,1]")
+		slots   = flag.Int("slots", 5000, "generator slots to run")
+		slot    = flag.Duration("slot", time.Millisecond, "generator slot period")
+		seed    = flag.Uint64("seed", 1, "arrival RNG seed")
+		burst   = flag.Float64("burst", 16, "mean burst length (bursty pattern)")
+		hotfrac = flag.Float64("hotfrac", 0.5, "traffic fraction to the hot port (hotspot pattern)")
+		drain   = flag.Duration("drain", 3*time.Second, "wait for in-flight frames after the last slot")
+	)
+	flag.Parse()
+	if *n <= 0 {
+		fatal("-n must be positive")
+	}
+	if *load < 0 || *load > 1 {
+		fatal("-load %g out of [0,1]", *load)
+	}
+	if *slots <= 0 || *slot <= 0 {
+		fatal("-slots and -slot must be positive")
+	}
+	gen, err := buildGenerator(*pattern, *n, *load, *burst, *hotfrac, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	conns := make([]*portConn, *n)
+	for i := range conns {
+		c, err := dialPort(*addr)
+		if err != nil {
+			fatal("connection %d: %v", i, err)
+		}
+		if conns[c.port] != nil {
+			fatal("switch assigned port %d twice", c.port)
+		}
+		conns[c.port] = c
+	}
+	for p, c := range conns {
+		if c == nil {
+			fatal("no connection was assigned port %d (is another client attached to lcfd?)", p)
+		}
+	}
+
+	var (
+		delivered atomic.Int64
+		nacked    atomic.Int64
+	)
+	latency := metrics.NewLiveHistogram(metrics.ExponentialBounds(float64(50*time.Microsecond), 1.5, 32))
+	var latencyMu sync.Mutex
+	latencyStream := &metrics.Stream{}
+
+	var receivers sync.WaitGroup
+	for _, c := range conns {
+		receivers.Add(1)
+		go func(c *portConn) {
+			defer receivers.Done()
+			var hdr [1]byte
+			buf := make([]byte, 64)
+			for {
+				if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+					return
+				}
+				flen := clint.FrameLen(hdr[0])
+				if flen == 0 {
+					fmt.Fprintf(os.Stderr, "lcfload: port %d: unknown frame type %#02x\n", c.port, hdr[0])
+					return
+				}
+				frame := buf[:flen]
+				frame[0] = hdr[0]
+				if _, err := io.ReadFull(c.r, frame[1:]); err != nil {
+					return
+				}
+				switch hdr[0] {
+				case clint.TypeData:
+					d, err := clint.DecodeData(frame)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "lcfload: port %d: %v\n", c.port, err)
+						return
+					}
+					lat := float64(uint64(time.Now().UnixNano()) - d.Stamp)
+					delivered.Add(1)
+					latency.Observe(lat)
+					latencyMu.Lock()
+					latencyStream.Add(lat)
+					latencyMu.Unlock()
+				case clint.TypeNack:
+					nacked.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// The pacer: one goroutine ticks the generator clock and fans frames
+	// out over all connections (writes are pacer-only, reads are
+	// receiver-only, so no per-connection locking).
+	var sent int64
+	var seq uint64
+	frame := make([]byte, clint.DataLen)
+	start := time.Now()
+	ticker := time.NewTicker(*slot)
+	for t := 0; t < *slots; t++ {
+		<-ticker.C
+		for in := 0; in < *n; in++ {
+			dst := gen.Next(in)
+			if dst == traffic.NoPacket {
+				continue
+			}
+			seq++
+			clint.Data{
+				Dst:   uint8(dst),
+				Seq:   seq,
+				Stamp: uint64(time.Now().UnixNano()),
+			}.EncodeTo(frame)
+			if _, err := conns[in].w.Write(frame); err != nil {
+				fatal("port %d: write: %v", in, err)
+			}
+			sent++
+		}
+		gen.Advance()
+		for _, c := range conns {
+			if err := c.w.Flush(); err != nil {
+				fatal("port %d: flush: %v", c.port, err)
+			}
+		}
+	}
+	ticker.Stop()
+	elapsed := time.Since(start)
+
+	// Closed loop: every sent frame comes back as a delivery or a nack.
+	deadline := time.Now().Add(*drain)
+	for delivered.Load()+nacked.Load() < sent && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	receivers.Wait()
+
+	del, nak := delivered.Load(), nacked.Load()
+	lost := sent - del - nak
+	offered := float64(sent) / float64(*slots**n)
+	achieved := float64(del) / float64(*slots**n)
+	fmt.Printf("lcfload: n=%d pattern=%s load=%.2f slots=%d slot=%v elapsed=%v\n",
+		*n, *pattern, *load, *slots, *slot, elapsed.Round(time.Millisecond))
+	fmt.Printf("sent %d frames (offered %.3f/port/slot), delivered %d, nacked %d, unaccounted %d\n",
+		sent, offered, del, nak, lost)
+	if offered > 0 {
+		fmt.Printf("achieved throughput %.3f frames/port/slot (%.1f%% of offered)\n",
+			achieved, 100*achieved/offered)
+	}
+	if del > 0 {
+		latencyMu.Lock()
+		mean := latencyStream.Mean()
+		max := latencyStream.Max()
+		latencyMu.Unlock()
+		fmt.Printf("end-to-end latency: mean %v p50 %v p95 %v p99 %v max %v\n",
+			time.Duration(mean).Round(10*time.Microsecond),
+			time.Duration(latency.Quantile(0.50)).Round(10*time.Microsecond),
+			time.Duration(latency.Quantile(0.95)).Round(10*time.Microsecond),
+			time.Duration(latency.Quantile(0.99)).Round(10*time.Microsecond),
+			time.Duration(max).Round(10*time.Microsecond))
+	}
+	if lost > 0 {
+		fmt.Fprintf(os.Stderr, "lcfload: %d frames unaccounted for after %v drain\n", lost, *drain)
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lcfload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// portConn is one host connection after the hello handshake.
+type portConn struct {
+	conn net.Conn
+	port int
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// dialPort connects and completes the Clint initialization grant, learning
+// which port the switch assigned us.
+func dialPort(addr string) (*portConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r := bufio.NewReader(conn)
+	hello := make([]byte, clint.GrantLen)
+	if _, err := io.ReadFull(r, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	g, err := clint.DecodeGrant(hello)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	if !g.GntVal {
+		conn.Close()
+		return nil, fmt.Errorf("switch refused the connection (all ports taken)")
+	}
+	return &portConn{conn: conn, port: int(g.NodeID), r: r, w: bufio.NewWriter(conn)}, nil
+}
+
+// buildGenerator maps a pattern name to the repository's traffic
+// generators (the same set cmd/lcfsim sweeps offline).
+func buildGenerator(pattern string, n int, load, burst, hotfrac float64, seed uint64) (traffic.Generator, error) {
+	switch pattern {
+	case "uniform":
+		return traffic.NewBernoulli(n, load, traffic.NewUniform(n), seed), nil
+	case "hotspot":
+		return traffic.NewBernoulli(n, load, traffic.NewHotspot(n, 0, hotfrac), seed), nil
+	case "diagonal":
+		return traffic.NewBernoulli(n, load, traffic.NewDiagonal(n), seed), nil
+	case "logdiagonal":
+		return traffic.NewBernoulli(n, load, traffic.NewLogDiagonal(n), seed), nil
+	case "bursty":
+		return traffic.NewBursty(n, load, burst, traffic.NewUniform(n), seed), nil
+	default:
+		return nil, fmt.Errorf("unknown traffic pattern %q (known: uniform, hotspot, diagonal, logdiagonal, bursty)", pattern)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -48,6 +49,14 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit JSON for figures 12a/12b")
 	)
 	flag.Parse()
+
+	// Validate flags up front with usage exit code 2: these used to be
+	// accepted silently (negative -workers ran serially, bad -pattern
+	// failed deep inside the sweep) instead of failing fast.
+	if err := checkFlags(*workers, *speedup, *n, *iterations, *repeats, *pattern); err != nil {
+		usage("%v", err)
+	}
+
 	if *jsonOut {
 		*csv = false
 	}
@@ -129,6 +138,52 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "lcfsim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// knownPatterns mirrors the patterns internal/experiment accepts; keep the
+// two in sync (TestCheckFlags pins the rejection behaviour).
+var knownPatterns = map[string]bool{
+	"uniform": true, "hotspot": true, "diagonal": true,
+	"logdiagonal": true, "bursty": true, "unbalanced": true,
+}
+
+func patternList() string {
+	names := make([]string, 0, len(knownPatterns))
+	for p := range knownPatterns {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// checkFlags rejects flag combinations that would otherwise be accepted
+// silently or fail deep inside a run.
+func checkFlags(workers, speedup, n, iterations, repeats int, pattern string) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be ≥ 0 (0 = all CPUs), got %d", workers)
+	}
+	if speedup < 1 {
+		return fmt.Errorf("-speedup must be ≥ 1 (1 = no speedup), got %d", speedup)
+	}
+	if pattern != "" && !knownPatterns[pattern] {
+		return fmt.Errorf("unknown -pattern %q (known: %s)", pattern, patternList())
+	}
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", n)
+	}
+	if iterations < 1 {
+		return fmt.Errorf("-iterations must be ≥ 1, got %d", iterations)
+	}
+	if repeats < 1 {
+		return fmt.Errorf("-repeat must be ≥ 1, got %d", repeats)
+	}
+	return nil
+}
+
+// usage reports a flag error and exits with the conventional usage status 2.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lcfsim: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 // emitJSON switches the 12a/12b emitters to JSON output.

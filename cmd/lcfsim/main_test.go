@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	lcf "repro"
+)
+
+func TestCheckFlags(t *testing.T) {
+	ok := func(workers, speedup, n, iters, repeats int, pattern string) {
+		t.Helper()
+		if err := checkFlags(workers, speedup, n, iters, repeats, pattern); err != nil {
+			t.Errorf("checkFlags(%d,%d,%d,%d,%d,%q) = %v, want nil",
+				workers, speedup, n, iters, repeats, pattern, err)
+		}
+	}
+	bad := func(workers, speedup, n, iters, repeats int, pattern, wantSub string) {
+		t.Helper()
+		err := checkFlags(workers, speedup, n, iters, repeats, pattern)
+		if err == nil {
+			t.Errorf("checkFlags(%d,%d,%d,%d,%d,%q) accepted, want error",
+				workers, speedup, n, iters, repeats, pattern)
+			return
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("error %q does not mention %q", err, wantSub)
+		}
+	}
+
+	ok(0, 1, 16, 4, 1, "")
+	ok(8, 2, 16, 4, 3, "bursty")
+	for p := range knownPatterns {
+		ok(0, 1, 16, 4, 1, p)
+	}
+
+	bad(-1, 1, 16, 4, 1, "", "-workers")
+	bad(0, 0, 16, 4, 1, "", "-speedup")
+	bad(0, -3, 16, 4, 1, "", "-speedup")
+	bad(0, 1, 16, 4, 1, "nonsense", "-pattern")
+	bad(0, 1, 0, 4, 1, "", "-n")
+	bad(0, 1, 16, 0, 1, "", "-iterations")
+	bad(0, 1, 16, 4, 0, "", "-repeat")
+}
+
+// TestKnownPatternsMatchSimulator keeps the CLI's up-front pattern list in
+// sync with what a sweep actually accepts: every known pattern must
+// survive config normalization end-to-end.
+func TestKnownPatternsMatchSimulator(t *testing.T) {
+	for p := range knownPatterns {
+		cfg := lcf.SweepConfig{
+			N: 4, Pattern: p, Loads: []float64{0.1},
+			Schedulers: []string{"islip"}, WarmupSlots: 1, MeasureSlots: 2,
+		}
+		if _, err := lcf.Sweep(cfg); err != nil {
+			t.Errorf("pattern %q rejected by the sweep harness: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge %d, want 0", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge %d after Set, want 42", g.Value())
+	}
+}
+
+func TestLiveHistogramBuckets(t *testing.T) {
+	h := NewLiveHistogram([]float64{1, 2, 4, 8})
+	for _, x := range []float64{0.5, 1, 1.5, 3, 9} {
+		h.Observe(x)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 1, 1, 0}
+	for k, w := range want {
+		if s.Counts[k] != w {
+			t.Errorf("bucket %d: count %d, want %d", k, s.Counts[k], w)
+		}
+	}
+	if s.Overflow != 1 {
+		t.Errorf("overflow %d, want 1", s.Overflow)
+	}
+	if s.Total != 5 {
+		t.Errorf("total %d, want 5", s.Total)
+	}
+	// The p50 observation is 1.5 (3rd of 5), which lies in the ≤2 bucket.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %g, want 2", got)
+	}
+	if got := h.Quantile(0.8); got != 4 {
+		t.Errorf("p80 = %g, want 4", got)
+	}
+	if !math.IsInf(h.Quantile(1), 1) {
+		t.Errorf("p100 = %g, want +Inf (overflow observation)", h.Quantile(1))
+	}
+}
+
+func TestLiveHistogramEmpty(t *testing.T) {
+	h := NewLiveHistogram(ExponentialBounds(1, 2, 4))
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Total() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestLiveHistogramConcurrent(t *testing.T) {
+	h := NewLiveHistogram(ExponentialBounds(1, 2, 10))
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 700))
+				if i%100 == 0 {
+					_ = h.Snapshot()
+					_ = h.Quantile(0.99)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Total() != workers*per {
+		t.Fatalf("total %d, want %d", h.Total(), workers*per)
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	exp := ExponentialBounds(1000, 2, 4)
+	wantExp := []float64{1000, 2000, 4000, 8000}
+	for i := range wantExp {
+		if exp[i] != wantExp[i] {
+			t.Fatalf("ExponentialBounds = %v, want %v", exp, wantExp)
+		}
+	}
+	lin := LinearBounds(1, 3, 3)
+	wantLin := []float64{1, 4, 7}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("LinearBounds = %v, want %v", lin, wantLin)
+		}
+	}
+}

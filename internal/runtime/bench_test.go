@@ -1,0 +1,102 @@
+package runtime_test
+
+import (
+	"testing"
+
+	rt "repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+	"repro/internal/traffic"
+)
+
+// benchmarkSlot measures the full runtime hot path — admit → snapshot →
+// schedule → dispatch → consume — per slot, in lockstep so only engine
+// work is on the clock (no ticker sleeps). Arrivals are pre-drawn outside
+// the timed region.
+func benchmarkSlot(b *testing.B, schedName string, n int, load float64) {
+	s, err := registry.New(schedName, n, sched.Options{Iterations: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := rt.New(rt.Config{N: n, Scheduler: s, VOQCap: 256, OutCap: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const traceLen = 4096
+	arrivals := make([][]int, traceLen)
+	gen := traffic.NewBernoulli(n, load, traffic.NewUniform(n), 3)
+	for t := range arrivals {
+		row := make([]int, n)
+		for i := 0; i < n; i++ {
+			row[i] = gen.Next(i)
+		}
+		gen.Advance()
+		arrivals[t] = row
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		for i, dst := range arrivals[k%traceLen] {
+			if dst == traffic.NoPacket {
+				continue
+			}
+			// Backpressure means the sustained load exceeds what the
+			// scheduler drains; drop, as a real front-end would.
+			_ = e.Admit(i, dst, 0, 0)
+		}
+		e.Tick()
+		for j := 0; j < n; j++ {
+			out := e.Output(j)
+			for {
+				select {
+				case <-out:
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkEngineSlotLCFRRN16(b *testing.B) { benchmarkSlot(b, "lcf_central_rr", 16, 0.9) }
+func BenchmarkEngineSlotLCFRRN64(b *testing.B) { benchmarkSlot(b, "lcf_central_rr", 64, 0.9) }
+func BenchmarkEngineSlotISLIPN16(b *testing.B) { benchmarkSlot(b, "islip", 16, 0.9) }
+func BenchmarkEngineSlotISLIPN64(b *testing.B) { benchmarkSlot(b, "islip", 64, 0.9) }
+
+// BenchmarkAdmit isolates the admission path: one uncontended bounded-VOQ
+// push plus counter updates. The engine is swapped out (off the clock)
+// whenever every VOQ is full, so the measured path is always a successful
+// bounded admit.
+func BenchmarkAdmit(b *testing.B) {
+	const n, voqCap = 16, 256
+	newEngine := func() *rt.Engine {
+		s, err := registry.New("lcf_central_rr", n, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := rt.New(rt.Config{N: n, Scheduler: s, VOQCap: voqCap})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	const batch = n * n * voqCap // admissions until every VOQ is full
+	e := newEngine()
+	filled := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		if filled == batch {
+			b.StopTimer()
+			e = newEngine()
+			filled = 0
+			b.StartTimer()
+		}
+		if err := e.Admit(filled%n, (filled/n)%n, uint64(k), 0); err != nil {
+			b.Fatal(err)
+		}
+		filled++
+	}
+}

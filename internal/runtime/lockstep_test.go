@@ -1,0 +1,202 @@
+package runtime_test
+
+import (
+	"fmt"
+	"testing"
+
+	rt "repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+	"repro/internal/simswitch"
+	"repro/internal/traffic"
+)
+
+// genArrivals pre-draws a Bernoulli/uniform arrival trace so the offline
+// simulator and the live engine see byte-identical arrivals.
+func genArrivals(n int, load float64, seed uint64, slots int) [][]int {
+	gen := traffic.NewBernoulli(n, load, traffic.NewUniform(n), seed)
+	arrivals := make([][]int, slots)
+	for t := range arrivals {
+		row := make([]int, n)
+		for i := 0; i < n; i++ {
+			row[i] = gen.Next(i)
+		}
+		gen.Advance()
+		arrivals[t] = row
+	}
+	return arrivals
+}
+
+// TestRuntimeMatchesSimswitch drives the live engine in deterministic
+// lockstep against the offline simulator with the same scheduler, seed and
+// arrival trace, and asserts the two produce identical per-slot matchings.
+//
+// Alignment (DESIGN.md §7): simswitch's slot is promote → schedule → drain
+// → arrivals, so slot t's arrivals are first schedulable in slot t+1. The
+// engine linearizes admissions at the next snapshot, so "Tick, then admit
+// slot t's arrivals" puts both machines in the same state at every
+// schedule call. Queue capacities are set high enough that neither side
+// ever hits a bound (a blocked PQ promotion has no engine analogue).
+func TestRuntimeMatchesSimswitch(t *testing.T) {
+	const (
+		n     = 8
+		load  = 0.85
+		seed  = 42
+		slots = 2000
+		cap   = 4096
+	)
+	for _, name := range []string{"lcf_central_rr", "islip", "lcf_central", "lcf_dist_rr", "pim"} {
+		t.Run(name, func(t *testing.T) {
+			arrivals := genArrivals(n, load, seed, slots)
+			opts := sched.Options{Iterations: 4, Seed: 99}
+
+			// Offline reference: record each slot's matching.
+			simSched, err := registry.New(name, n, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var simMatches [][]int
+			_, err = simswitch.Run(simswitch.Config{
+				N:            n,
+				Mode:         simswitch.VOQ,
+				Scheduler:    simSched,
+				Gen:          traffic.NewTrace(n, arrivals),
+				VOQCap:       cap,
+				PQCap:        cap,
+				MeasureSlots: slots,
+				Validate:     true,
+				Trace: func(ev simswitch.TraceEvent) {
+					simMatches = append(simMatches, append([]int(nil), ev.Match.InToOut...))
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Live engine, lockstep.
+			rtSched, err := registry.New(name, n, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rtMatches [][]int
+			e, err := rt.New(rt.Config{
+				N:         n,
+				Scheduler: rtSched,
+				VOQCap:    cap,
+				OutCap:    4,
+				OnSlot: func(ev rt.SlotEvent) {
+					rtMatches = append(rtMatches, append([]int(nil), ev.Match.InToOut...))
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var deliveredRT int64
+			for tt := 0; tt < slots; tt++ {
+				e.Tick()
+				for i, dst := range arrivals[tt] {
+					if dst == traffic.NoPacket {
+						continue
+					}
+					if err := e.Admit(i, dst, uint64(tt), 0); err != nil {
+						t.Fatalf("slot %d: Admit(%d,%d): %v", tt, i, dst, err)
+					}
+				}
+				for j := 0; j < n; j++ {
+					for {
+						select {
+						case <-e.Output(j):
+							deliveredRT++
+							continue
+						default:
+						}
+						break
+					}
+				}
+			}
+
+			if len(simMatches) != slots || len(rtMatches) != slots {
+				t.Fatalf("recorded %d sim / %d runtime matches, want %d", len(simMatches), len(rtMatches), slots)
+			}
+			for tt := 0; tt < slots; tt++ {
+				if err := equalMatch(simMatches[tt], rtMatches[tt]); err != nil {
+					t.Fatalf("slot %d: %v\n  sim: %v\n  rt:  %v", tt, err, simMatches[tt], rtMatches[tt])
+				}
+			}
+			if d := e.Snapshot().Delivered; d != deliveredRT {
+				t.Fatalf("engine counted %d deliveries, consumer saw %d", d, deliveredRT)
+			}
+		})
+	}
+}
+
+func equalMatch(a, b []int) error {
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("input %d granted %d vs %d", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// TestLockstepConservation runs a longer lockstep session and checks frame
+// conservation: admitted = delivered + backlog, with no wasted grants for
+// a correct scheduler.
+func TestLockstepConservation(t *testing.T) {
+	const (
+		n     = 16
+		slots = 5000
+	)
+	s, err := registry.New("lcf_central_rr", n, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := rt.New(rt.Config{N: n, Scheduler: s, VOQCap: 64, OutCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := traffic.NewBernoulli(n, 0.9, traffic.NewUniform(n), 7)
+	var admitted, refused, delivered int64
+	for tt := 0; tt < slots; tt++ {
+		e.Tick()
+		for i := 0; i < n; i++ {
+			dst := gen.Next(i)
+			if dst == traffic.NoPacket {
+				continue
+			}
+			if err := e.Admit(i, dst, 0, 0); err != nil {
+				refused++
+			} else {
+				admitted++
+			}
+		}
+		gen.Advance()
+		for j := 0; j < n; j++ {
+			for {
+				select {
+				case <-e.Output(j):
+					delivered++
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+	s1 := e.Snapshot()
+	if s1.Admitted != admitted || s1.Backpressured != refused {
+		t.Fatalf("admission accounting: snapshot %d/%d, local %d/%d", s1.Admitted, s1.Backpressured, admitted, refused)
+	}
+	if s1.Delivered != delivered {
+		t.Fatalf("delivery accounting: snapshot %d, consumer %d", s1.Delivered, delivered)
+	}
+	if s1.Admitted != s1.Delivered+s1.Backlog {
+		t.Fatalf("conservation: admitted %d != delivered %d + backlog %d", s1.Admitted, s1.Delivered, s1.Backlog)
+	}
+	if s1.WastedGrants != 0 {
+		t.Fatalf("wasted grants %d, want 0", s1.WastedGrants)
+	}
+	if s1.MatchRatio <= 0 || s1.MatchRatio > 1 {
+		t.Fatalf("match ratio %g out of (0,1]", s1.MatchRatio)
+	}
+}

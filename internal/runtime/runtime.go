@@ -1,0 +1,547 @@
+// Package runtime is the live counterpart of internal/simswitch: a
+// concurrent switch engine that wraps any registered sched.Scheduler in a
+// real-time slot loop and actually serves traffic instead of replaying a
+// trace.
+//
+// The moving parts mirror the paper's Figure 11 model, mapped onto
+// goroutines:
+//
+//   - Admission (any goroutine): Engine.Admit enqueues a frame on the
+//     bounded VOQ of its (input, output) pair. A full VOQ returns
+//     ErrBackpressure — the finite-buffer behaviour of the paper's model,
+//     surfaced to the caller instead of silently dropped, so a network
+//     front-end can push the signal back to the sender.
+//   - Arbitration (one goroutine): every slot the arbiter snapshots the
+//     request matrix (non-empty VOQs whose output channel has room), runs
+//     the scheduler, pops the matched head-of-VOQ frames and sends them to
+//     the per-output delivery channels. One frame per input and per output
+//     per slot — the crossbar constraint.
+//   - Delivery (any goroutine): consumers receive from Engine.Output(j).
+//     A slow consumer fills its bounded channel; the arbiter then masks
+//     that output's column in the request matrix, so backpressure
+//     propagates from output to VOQ to Admit, never blocking the slot
+//     loop.
+//
+// Two clocking modes share all of that machinery. With Config.SlotPeriod >
+// 0, Start launches the arbiter on a time.Ticker (the live mode cmd/lcfd
+// uses). With SlotPeriod == 0 the engine is in lockstep mode: the caller
+// advances slots one Tick at a time, which is what makes the engine
+// testable against the offline simulator slot for slot (see
+// TestRuntimeMatchesSimswitch).
+//
+// Timing convention (vs simswitch): a slot runs snapshot → schedule →
+// dispatch. Admissions are linearized at the snapshot — a frame admitted
+// during slot t's tick is schedulable in slot t+1 at the latest. simswitch
+// orders its slot promote → schedule → drain → arrivals, so an arrival in
+// slot t is likewise first schedulable in slot t+1; driving the lockstep
+// engine with "Tick, then admit slot t's arrivals" reproduces simswitch's
+// matchings exactly (DESIGN.md §7).
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Admission and lifecycle errors.
+var (
+	// ErrBackpressure reports a full VOQ: the frame was not admitted and
+	// the caller should slow down or retry later (the paper's finite
+	// PQ/VOQ model, surfaced instead of dropped).
+	ErrBackpressure = errors.New("runtime: VOQ full (backpressure)")
+	// ErrClosed reports admission after Close.
+	ErrClosed = errors.New("runtime: engine closed")
+	// ErrBadPort reports an out-of-range input or output port.
+	ErrBadPort = errors.New("runtime: port out of range")
+)
+
+// Frame is one fixed-size cell travelling through the live switch. Payload
+// bytes are not modelled (as in the paper, scheduling only cares about
+// endpoints); Seq and Stamp are opaque caller values echoed on delivery so
+// a client can correlate and time its frames.
+type Frame struct {
+	Src, Dst int
+	Seq      uint64
+	Stamp    uint64
+	// Admitted and Departed are the engine slots the frame entered its VOQ
+	// and crossed the fabric.
+	Admitted, Departed int64
+}
+
+// SlotEvent is the per-slot view handed to Config.OnSlot (lockstep
+// observation and tracing). Match is valid during the callback only.
+type SlotEvent struct {
+	Slot      int64
+	Match     *matching.Match
+	Requested int // request-matrix bits this slot
+	Matched   int // frames dispatched this slot
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	N         int
+	Scheduler sched.Scheduler
+
+	// VOQCap bounds each of the n² VOQs; Admit returns ErrBackpressure
+	// when the target VOQ is full. Default 256 (the paper's Figure 12
+	// VOQ capacity).
+	VOQCap int
+	// OutCap bounds each per-output delivery channel. A full channel masks
+	// the output's request column until the consumer catches up.
+	// Default 256.
+	OutCap int
+
+	// SlotPeriod > 0 selects live mode: Start runs the arbiter on a
+	// ticker with this period. 0 selects lockstep mode: the caller drives
+	// slots via Tick.
+	SlotPeriod time.Duration
+
+	// DrainSlots bounds the graceful-shutdown drain: Close ticks until
+	// every VOQ is empty or this many extra slots have elapsed, whichever
+	// comes first. Default 4·n·VOQCap (enough to drain full VOQs even
+	// under total output contention).
+	DrainSlots int
+
+	// OnSlot, when non-nil, is invoked at the end of every slot with a
+	// read-only view of the slot's outcome. It runs on the arbiter
+	// goroutine; keep it fast.
+	OnSlot func(SlotEvent)
+}
+
+func (c *Config) normalize() error {
+	if c.N <= 0 {
+		return fmt.Errorf("runtime: port count %d", c.N)
+	}
+	if c.Scheduler == nil {
+		return fmt.Errorf("runtime: no scheduler")
+	}
+	if c.Scheduler.N() != c.N {
+		return fmt.Errorf("runtime: scheduler for %d ports, engine has %d", c.Scheduler.N(), c.N)
+	}
+	if c.VOQCap == 0 {
+		c.VOQCap = 256
+	}
+	if c.OutCap == 0 {
+		c.OutCap = 256
+	}
+	if c.VOQCap < 0 || c.OutCap < 0 {
+		return fmt.Errorf("runtime: negative capacity (VOQCap %d, OutCap %d)", c.VOQCap, c.OutCap)
+	}
+	if c.SlotPeriod < 0 {
+		return fmt.Errorf("runtime: negative slot period %v", c.SlotPeriod)
+	}
+	if c.DrainSlots == 0 {
+		c.DrainSlots = 4 * c.N * c.VOQCap
+	}
+	if c.DrainSlots < 0 {
+		return fmt.Errorf("runtime: negative drain bound %d", c.DrainSlots)
+	}
+	return nil
+}
+
+// inputPort is one input's bank of n bounded frame queues. The mutex is
+// per input, so admission on different inputs never contends and the
+// arbiter holds at most one input lock at a time.
+type inputPort struct {
+	mu      sync.Mutex
+	voqs    []frameRing
+	backlog int // total frames across this input's VOQs
+}
+
+// frameRing is a bounded power-of-two ring of frames (the live analogue of
+// queue.FIFO, holding frames by value so admission does not allocate).
+type frameRing struct {
+	buf      []Frame
+	head     int
+	len      int
+	capLimit int
+}
+
+func newFrameRing(capLimit int) frameRing {
+	initial := 16
+	if capLimit > 0 && capLimit < initial {
+		initial = ceilPow2(capLimit)
+	}
+	return frameRing{buf: make([]Frame, initial), capLimit: capLimit}
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (r *frameRing) full() bool  { return r.capLimit > 0 && r.len >= r.capLimit }
+func (r *frameRing) empty() bool { return r.len == 0 }
+
+func (r *frameRing) push(f Frame) bool {
+	if r.full() {
+		return false
+	}
+	if r.len == len(r.buf) {
+		nb := make([]Frame, len(r.buf)*2)
+		for i := 0; i < r.len; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.len)&(len(r.buf)-1)] = f
+	r.len++
+	return true
+}
+
+func (r *frameRing) pop() (Frame, bool) {
+	if r.len == 0 {
+		return Frame{}, false
+	}
+	f := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.len--
+	return f, true
+}
+
+func (r *frameRing) pushFront(f Frame) {
+	if r.len == len(r.buf) {
+		nb := make([]Frame, len(r.buf)*2)
+		for i := 0; i < r.len; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.head = (r.head - 1 + len(r.buf)) & (len(r.buf) - 1)
+	r.buf[r.head] = f
+	r.len++
+}
+
+// Engine is one live switch instance.
+type Engine struct {
+	cfg Config
+	n   int
+
+	inputs []inputPort
+	outs   []chan Frame
+
+	// Arbiter-only scratch (never touched by other goroutines).
+	req     *bitvec.Matrix
+	match   *matching.Match
+	ctx     sched.Context
+	outFull []bool
+
+	slot    atomic.Int64
+	closed  atomic.Bool // admission gate
+	started atomic.Bool
+
+	met Stats
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Stats holds the engine's live counters. All fields are safe to read
+// concurrently with a running engine.
+type Stats struct {
+	Admitted      metrics.Counter // frames accepted by Admit
+	Backpressured metrics.Counter // Admit calls rejected with ErrBackpressure
+	Delivered     metrics.Counter // frames sent to an output channel
+	Requested     metrics.Counter // request-matrix bits, summed over slots
+	Matched       metrics.Counter // grants dispatched, summed over slots
+	WastedGrants  metrics.Counter // grants whose VOQ drained before dispatch
+	MaskedOutputs metrics.Counter // request bits suppressed by a full output channel
+	Backlog       metrics.Gauge   // frames currently queued in VOQs
+
+	PerInputAdmitted      []metrics.Counter
+	PerInputBackpressured []metrics.Counter
+	PerOutputDelivered    []metrics.Counter
+
+	// VOQDepth samples every non-empty VOQ's length once per slot;
+	// SlotLatency records the arbiter's per-tick compute time in
+	// nanoseconds (how much of the slot budget scheduling consumes).
+	VOQDepth    *metrics.LiveHistogram
+	SlotLatency *metrics.LiveHistogram
+}
+
+// New builds an engine. In live mode (SlotPeriod > 0) call Start to launch
+// the arbiter; in lockstep mode drive it with Tick.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	e := &Engine{
+		cfg:     cfg,
+		n:       n,
+		inputs:  make([]inputPort, n),
+		outs:    make([]chan Frame, n),
+		req:     bitvec.NewMatrix(n),
+		match:   matching.NewMatch(n),
+		outFull: make([]bool, n),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i := range e.inputs {
+		e.inputs[i].voqs = make([]frameRing, n)
+		for j := range e.inputs[i].voqs {
+			e.inputs[i].voqs[j] = newFrameRing(cfg.VOQCap)
+		}
+	}
+	for j := range e.outs {
+		e.outs[j] = make(chan Frame, cfg.OutCap)
+	}
+	e.met = Stats{
+		PerInputAdmitted:      make([]metrics.Counter, n),
+		PerInputBackpressured: make([]metrics.Counter, n),
+		PerOutputDelivered:    make([]metrics.Counter, n),
+		// Depth buckets 1,2,4,…,VOQCap; latency buckets 1µs…~4ms.
+		VOQDepth:    metrics.NewLiveHistogram(metrics.ExponentialBounds(1, 2, depthBuckets(cfg.VOQCap))),
+		SlotLatency: metrics.NewLiveHistogram(metrics.ExponentialBounds(1000, 2, 13)),
+	}
+	return e, nil
+}
+
+func depthBuckets(voqCap int) int {
+	b := 1
+	for 1<<b < voqCap {
+		b++
+	}
+	return b + 1
+}
+
+// N returns the port count.
+func (e *Engine) N() int { return e.n }
+
+// SchedulerName returns the wrapped scheduler's evaluation label. Safe
+// concurrently: Name is a pure getter on every registered scheduler.
+func (e *Engine) SchedulerName() string { return e.cfg.Scheduler.Name() }
+
+// Slot returns the current slot number (the number of completed ticks).
+func (e *Engine) Slot() int64 { return e.slot.Load() }
+
+// Stats returns the engine's live counters for scraping.
+func (e *Engine) Stats() *Stats { return &e.met }
+
+// Output returns the delivery channel for output port j. The channel is
+// closed after Close has drained the engine.
+func (e *Engine) Output(j int) <-chan Frame {
+	if j < 0 || j >= e.n {
+		panic(fmt.Sprintf("runtime: output %d out of range [0,%d)", j, e.n))
+	}
+	return e.outs[j]
+}
+
+// Admit offers a frame from input src destined to output dst. It returns
+// nil on acceptance, ErrBackpressure when the (src,dst) VOQ is full,
+// ErrClosed after Close, and ErrBadPort for out-of-range ports. Safe for
+// concurrent use from any goroutine.
+func (e *Engine) Admit(src, dst int, seq, stamp uint64) error {
+	if src < 0 || src >= e.n || dst < 0 || dst >= e.n {
+		return fmt.Errorf("%w: src %d dst %d (n=%d)", ErrBadPort, src, dst, e.n)
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	f := Frame{Src: src, Dst: dst, Seq: seq, Stamp: stamp, Admitted: e.slot.Load(), Departed: -1}
+	in := &e.inputs[src]
+	in.mu.Lock()
+	ok := in.voqs[dst].push(f)
+	if ok {
+		in.backlog++
+	}
+	in.mu.Unlock()
+	if !ok {
+		e.met.Backpressured.Inc()
+		e.met.PerInputBackpressured[src].Inc()
+		return ErrBackpressure
+	}
+	e.met.Admitted.Inc()
+	e.met.PerInputAdmitted[src].Inc()
+	e.met.Backlog.Add(1)
+	return nil
+}
+
+// Tick advances the engine by one slot synchronously: snapshot the request
+// matrix, run the scheduler, dispatch the matched frames. Lockstep mode
+// only — it must not be called concurrently with itself or with a Started
+// arbiter.
+func (e *Engine) Tick() {
+	if e.started.Load() {
+		panic("runtime: Tick on a Started engine")
+	}
+	e.tick()
+}
+
+// Start launches the arbiter goroutine (live mode). It errors in lockstep
+// mode (SlotPeriod == 0) or if already started.
+func (e *Engine) Start() error {
+	if e.cfg.SlotPeriod <= 0 {
+		return fmt.Errorf("runtime: Start needs SlotPeriod > 0 (lockstep engines are driven by Tick)")
+	}
+	if !e.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("runtime: already started")
+	}
+	go e.run()
+	return nil
+}
+
+func (e *Engine) run() {
+	ticker := time.NewTicker(e.cfg.SlotPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			e.drain(func() { time.Sleep(e.cfg.SlotPeriod) })
+			close(e.done)
+			return
+		case <-ticker.C:
+			e.tick()
+		}
+	}
+}
+
+// drain keeps ticking until every VOQ is empty or the drain bound or a
+// stall (no backlog progress with nothing deliverable, i.e. consumers
+// gone) cuts it short. wait paces the drain ticks in live mode.
+func (e *Engine) drain(wait func()) {
+	stalled := 0
+	last := e.met.Backlog.Value()
+	for s := 0; s < e.cfg.DrainSlots && last > 0; s++ {
+		e.tick()
+		cur := e.met.Backlog.Value()
+		if cur >= last {
+			stalled++
+			// Backlog can only fall during drain (admission is closed).
+			// 2n no-progress slots means every remaining frame is stuck
+			// behind a full output channel nobody is reading.
+			if stalled > 2*e.n {
+				break
+			}
+		} else {
+			stalled = 0
+		}
+		last = cur
+		if wait != nil {
+			wait()
+		}
+	}
+	for _, ch := range e.outs {
+		close(ch)
+	}
+}
+
+// Close stops admission, drains queued frames through the slot loop, then
+// closes the output channels. It blocks until the drain completes. Safe to
+// call more than once.
+func (e *Engine) Close() {
+	e.stopOnce.Do(func() {
+		e.closed.Store(true)
+		if e.started.Load() {
+			close(e.stop)
+			<-e.done
+			return
+		}
+		// Lockstep: drain inline at full speed.
+		e.drain(nil)
+		close(e.done)
+	})
+	<-e.done
+}
+
+// tick is one slot of the arbiter: snapshot → schedule → dispatch.
+func (e *Engine) tick() {
+	start := time.Now()
+	now := e.slot.Load()
+
+	// Output-side backpressure: a full delivery channel masks its column.
+	// Only the arbiter sends on outs, so "not full here" cannot become
+	// full before dispatch below.
+	for j := range e.outs {
+		e.outFull[j] = len(e.outs[j]) == cap(e.outs[j])
+	}
+
+	requested := 0
+	e.req.Reset()
+	for i := range e.inputs {
+		in := &e.inputs[i]
+		in.mu.Lock()
+		for j := range in.voqs {
+			q := &in.voqs[j]
+			if q.empty() {
+				continue
+			}
+			e.met.VOQDepth.Observe(float64(q.len))
+			if e.outFull[j] {
+				e.met.MaskedOutputs.Inc()
+				continue
+			}
+			e.req.Set(i, j)
+			requested++
+		}
+		in.mu.Unlock()
+	}
+
+	// Run the scheduler every slot, requests or not: round-robin pointers
+	// and other slot-to-slot state must advance exactly as they do in the
+	// offline simulator for the lockstep cross-check to hold.
+	e.ctx.Req = e.req
+	e.match.Reset()
+	e.cfg.Scheduler.Schedule(&e.ctx, e.match)
+
+	matched := 0
+	for i := 0; i < e.n; i++ {
+		j := e.match.InToOut[i]
+		if j == matching.Unmatched {
+			continue
+		}
+		in := &e.inputs[i]
+		in.mu.Lock()
+		f, ok := in.voqs[j].pop()
+		if ok {
+			in.backlog--
+		}
+		in.mu.Unlock()
+		if !ok {
+			// Cannot happen with a correct scheduler (grants imply
+			// requests and only the arbiter pops), but a buggy scheduler
+			// must not lose accounting.
+			e.met.WastedGrants.Inc()
+			continue
+		}
+		f.Departed = now
+		select {
+		case e.outs[j] <- f:
+			matched++
+			e.met.Delivered.Inc()
+			e.met.PerOutputDelivered[j].Inc()
+			e.met.Backlog.Add(-1)
+		default:
+			// Unreachable while the mask above holds (consumers only
+			// drain); keep the frame rather than lose it.
+			in.mu.Lock()
+			in.voqs[j].pushFront(f)
+			in.backlog++
+			in.mu.Unlock()
+			e.met.WastedGrants.Inc()
+		}
+	}
+
+	e.met.Requested.Add(int64(requested))
+	e.met.Matched.Add(int64(matched))
+	e.met.SlotLatency.Observe(float64(time.Since(start).Nanoseconds()))
+
+	if e.cfg.OnSlot != nil {
+		e.cfg.OnSlot(SlotEvent{Slot: now, Match: e.match, Requested: requested, Matched: matched})
+	}
+	e.slot.Add(1)
+}

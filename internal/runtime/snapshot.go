@@ -1,0 +1,81 @@
+package runtime
+
+import "repro/internal/metrics"
+
+// PortSnapshot is one port's cumulative counters.
+type PortSnapshot struct {
+	Port          int   `json:"port"`
+	Admitted      int64 `json:"admitted"`
+	Backpressured int64 `json:"backpressured"`
+	Delivered     int64 `json:"delivered"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of the engine's
+// counters, served by cmd/lcfd's metrics endpoint.
+type Snapshot struct {
+	Slot          int64 `json:"slot"`
+	Admitted      int64 `json:"admitted"`
+	Backpressured int64 `json:"backpressured"`
+	Delivered     int64 `json:"delivered"`
+	Backlog       int64 `json:"backlog"`
+	Requested     int64 `json:"requested"`
+	Matched       int64 `json:"matched"`
+	WastedGrants  int64 `json:"wasted_grants"`
+	MaskedOutputs int64 `json:"masked_outputs"`
+
+	// MatchRatio is cumulative matched grants over cumulative request
+	// bits — the live matched/requested efficiency of the scheduler.
+	MatchRatio float64 `json:"match_ratio"`
+	// ThroughputPerSlot is delivered frames per output per slot, the live
+	// analogue of metrics.Counters.Throughput.
+	ThroughputPerSlot float64 `json:"throughput_per_slot"`
+
+	Ports []PortSnapshot `json:"ports"`
+
+	VOQDepth metrics.HistogramSnapshot `json:"voq_depth"`
+
+	SlotLatencyNs  metrics.HistogramSnapshot `json:"slot_latency_ns"`
+	SlotLatencyP50 float64                   `json:"slot_latency_p50_ns"`
+	SlotLatencyP90 float64                   `json:"slot_latency_p90_ns"`
+	SlotLatencyP99 float64                   `json:"slot_latency_p99_ns"`
+}
+
+// Snapshot captures the current counters. Safe to call concurrently with
+// a running engine; the counters are read atomically but not as one
+// transaction, so totals may be off by the frames in flight during the
+// call — fine for monitoring.
+func (e *Engine) Snapshot() Snapshot {
+	m := &e.met
+	s := Snapshot{
+		Slot:          e.slot.Load(),
+		Admitted:      m.Admitted.Value(),
+		Backpressured: m.Backpressured.Value(),
+		Delivered:     m.Delivered.Value(),
+		Backlog:       m.Backlog.Value(),
+		Requested:     m.Requested.Value(),
+		Matched:       m.Matched.Value(),
+		WastedGrants:  m.WastedGrants.Value(),
+		MaskedOutputs: m.MaskedOutputs.Value(),
+		VOQDepth:      m.VOQDepth.Snapshot(),
+		SlotLatencyNs: m.SlotLatency.Snapshot(),
+	}
+	if s.Requested > 0 {
+		s.MatchRatio = float64(s.Matched) / float64(s.Requested)
+	}
+	if s.Slot > 0 {
+		s.ThroughputPerSlot = float64(s.Delivered) / float64(s.Slot*int64(e.n))
+	}
+	s.SlotLatencyP50 = m.SlotLatency.Quantile(0.50)
+	s.SlotLatencyP90 = m.SlotLatency.Quantile(0.90)
+	s.SlotLatencyP99 = m.SlotLatency.Quantile(0.99)
+	s.Ports = make([]PortSnapshot, e.n)
+	for p := range s.Ports {
+		s.Ports[p] = PortSnapshot{
+			Port:          p,
+			Admitted:      m.PerInputAdmitted[p].Value(),
+			Backpressured: m.PerInputBackpressured[p].Value(),
+			Delivered:     m.PerOutputDelivered[p].Value(),
+		}
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+package registry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Names() golden file")
+
+// TestNamesGolden locks the public scheduler-name list: registering,
+// renaming or removing a scheduler must come with a deliberate update of
+// testdata/names.golden (go test ./internal/sched/registry -update),
+// because these names are public API — CLI flags, the lcf facade, saved
+// experiment CSVs and EXPERIMENTS.md all refer to them.
+func TestNamesGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "names.golden")
+	got := strings.Join(Names(), "\n") + "\n"
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("scheduler name list drifted from %s:\n got: %v\nwant: %v\n"+
+			"if the change is intentional, regenerate with: go test ./internal/sched/registry -update",
+			goldenPath, Names(), strings.Fields(string(want)))
+	}
+}

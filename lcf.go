@@ -31,6 +31,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/matching"
+	switchruntime "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sched/registry"
 	"repro/internal/simswitch"
@@ -228,4 +229,38 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		}
 	}
 	return simswitch.Run(simCfg)
+}
+
+// Live switch runtime (internal/runtime): the concurrent engine behind
+// cmd/lcfd that serves traffic through a real-time slot loop instead of
+// replaying a trace. See the runtime package documentation for the
+// admission/arbitration/delivery model and the backpressure contract.
+type (
+	// RuntimeConfig parameterizes a live engine; SlotPeriod > 0 selects
+	// the free-running arbiter, 0 the test-oriented lockstep mode.
+	RuntimeConfig = switchruntime.Config
+	// RuntimeEngine is one live switch instance.
+	RuntimeEngine = switchruntime.Engine
+	// RuntimeFrame is one cell travelling through the live switch.
+	RuntimeFrame = switchruntime.Frame
+	// RuntimeSnapshot is the JSON-serializable counter view served by
+	// lcfd's metrics endpoint.
+	RuntimeSnapshot = switchruntime.Snapshot
+	// RuntimeSlotEvent is the per-slot trace callback payload.
+	RuntimeSlotEvent = switchruntime.SlotEvent
+)
+
+// Live-engine admission errors.
+var (
+	// ErrBackpressure reports a full VOQ: the frame was refused, the
+	// caller should slow down (the paper's finite-buffer model surfaced
+	// as flow control).
+	ErrBackpressure = switchruntime.ErrBackpressure
+	// ErrRuntimeClosed reports admission after Close.
+	ErrRuntimeClosed = switchruntime.ErrClosed
+)
+
+// NewRuntime builds a live switch engine around any Scheduler.
+func NewRuntime(cfg RuntimeConfig) (*RuntimeEngine, error) {
+	return switchruntime.New(cfg)
 }

@@ -143,6 +143,9 @@ func fatal(format string, args ...any) {
 
 // client is one connected host: a port, an outbox serialized by a writer
 // goroutine, and a gone signal that unblocks anyone queuing toward it.
+// The outbox is never closed — senders race with disconnection, and a
+// send on a closed channel would panic the daemon. Instead close(gone)
+// retires the writer; buffered leftovers go to the GC with the client.
 type client struct {
 	conn   net.Conn
 	port   int
@@ -213,27 +216,29 @@ func (s *server) closeConns() {
 }
 
 // outputPump forwards output port j's deliveries to whichever connection
-// currently owns port j. It exits when the engine closes its outputs. A
-// slow client fills its outbox; the pump then blocks, the output channel
-// fills, and the arbiter masks the column — backpressure propagates all
-// the way to the senders' VOQs instead of buffering without bound.
+// owns port j at dequeue time. It exits when the engine closes its
+// outputs. A slow client fills its outbox; the pump then blocks, the
+// output channel fills, and the arbiter masks the column — backpressure
+// propagates all the way to the senders' VOQs instead of buffering
+// without bound. A frame whose owner vanished mid-queue is dropped and
+// counted, never forwarded to the port's next owner: a fresh connection
+// must not receive a previous session's Seq/Stamp values.
 func (s *server) outputPump(j int) {
 	defer s.wg.Done()
 	for f := range s.engine.Output(j) {
+		c := s.lookup(j)
+		if c == nil {
+			s.droppedNoClient.Inc()
+			continue
+		}
 		buf := make([]byte, clint.DataLen)
 		clint.Data{Src: uint8(f.Src), Dst: uint8(f.Dst), Seq: f.Seq, Stamp: f.Stamp}.EncodeTo(buf)
-		for {
-			c := s.lookup(j)
-			if c == nil {
-				s.droppedNoClient.Inc()
-				break
-			}
-			select {
-			case c.outbox <- buf:
-			case <-c.gone:
-				continue // client vanished mid-queue; re-look-up
-			}
-			break
+		select {
+		case c.outbox <- buf:
+			// A frame buffered just as the client dies is dropped with the
+			// outbox (the writer exits via gone and the channel is GC'd).
+		case <-c.gone:
+			s.droppedNoClient.Inc()
 		}
 	}
 }
@@ -264,12 +269,16 @@ func (s *server) serveConn(conn net.Conn) {
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		for b := range c.outbox {
-			if _, err := conn.Write(b); err != nil {
-				// Reader will notice the dead conn; keep draining the
-				// outbox so pumps never block on a corpse.
-				for range c.outbox {
+		for {
+			select {
+			case b := <-c.outbox:
+				if _, err := conn.Write(b); err != nil {
+					// Close the conn so the read loop errors out promptly
+					// (it then closes c.gone); keep draining the outbox in
+					// the meantime so pumps never block on a corpse.
+					conn.Close()
 				}
+			case <-c.gone:
 				return
 			}
 		}
@@ -280,7 +289,6 @@ func (s *server) serveConn(conn net.Conn) {
 	s.release(c)
 	close(c.gone)
 	conn.Close()
-	close(c.outbox)
 	writerWG.Wait()
 }
 

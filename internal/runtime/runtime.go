@@ -355,9 +355,18 @@ func (e *Engine) Admit(src, dst int, seq, stamp uint64) error {
 	f := Frame{Src: src, Dst: dst, Seq: seq, Stamp: stamp, Admitted: e.slot.Load(), Departed: -1}
 	in := &e.inputs[src]
 	in.mu.Lock()
+	// Re-check under the lock: Close sets the flag and then takes each
+	// input lock once, so a frame pushed here is guaranteed visible (VOQ
+	// and Backlog gauge both) before the drain decides the engine is
+	// empty — Admit never strands a frame behind a nil return.
+	if e.closed.Load() {
+		in.mu.Unlock()
+		return ErrClosed
+	}
 	ok := in.voqs[dst].push(f)
 	if ok {
 		in.backlog++
+		e.met.Backlog.Add(1)
 	}
 	in.mu.Unlock()
 	if !ok {
@@ -367,7 +376,6 @@ func (e *Engine) Admit(src, dst int, seq, stamp uint64) error {
 	}
 	e.met.Admitted.Inc()
 	e.met.PerInputAdmitted[src].Inc()
-	e.met.Backlog.Add(1)
 	return nil
 }
 
@@ -446,6 +454,14 @@ func (e *Engine) drain(wait func()) {
 func (e *Engine) Close() {
 	e.stopOnce.Do(func() {
 		e.closed.Store(true)
+		// Barrier: an Admit that read closed==false holds its input lock
+		// until the push and backlog update land; cycling every lock here
+		// means the drain below cannot observe Backlog==0 while such a
+		// frame is still in flight. Admits locking after this see the flag.
+		for i := range e.inputs {
+			e.inputs[i].mu.Lock()
+			e.inputs[i].mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		}
 		if e.started.Load() {
 			close(e.stop)
 			<-e.done

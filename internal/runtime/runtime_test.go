@@ -237,6 +237,79 @@ func TestCloseDrains(t *testing.T) {
 	}
 }
 
+// TestAdmitCloseRace checks the Admit/Close atomicity contract: a frame
+// admitted with a nil return concurrently with Close must still come out
+// of an output channel — never accepted and then stranded in a VOQ the
+// drain already decided was empty. Iterated to widen the race window.
+func TestAdmitCloseRace(t *testing.T) {
+	const n = 4
+	for round := 0; round < 20; round++ {
+		e, err := rt.New(rt.Config{
+			N:          n,
+			Scheduler:  newScheduler(t, "lcf_central_rr", n),
+			VOQCap:     64,
+			OutCap:     64,
+			SlotPeriod: 50 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+
+		var received int64
+		var consumers sync.WaitGroup
+		var rmu sync.Mutex
+		for j := 0; j < n; j++ {
+			consumers.Add(1)
+			go func(j int) {
+				defer consumers.Done()
+				local := int64(0)
+				for range e.Output(j) {
+					local++
+				}
+				rmu.Lock()
+				received += local
+				rmu.Unlock()
+			}(j)
+		}
+
+		var accepted int64
+		var producers sync.WaitGroup
+		var amu sync.Mutex
+		for i := 0; i < n; i++ {
+			producers.Add(1)
+			go func(i int) {
+				defer producers.Done()
+				local := int64(0)
+				for k := 0; ; k++ {
+					err := e.Admit(i, k%n, uint64(k), 0)
+					if errors.Is(err, rt.ErrClosed) {
+						break
+					}
+					if err == nil {
+						local++
+					}
+				}
+				amu.Lock()
+				accepted += local
+				amu.Unlock()
+			}(i)
+		}
+
+		time.Sleep(time.Millisecond) // let producers and Close collide
+		e.Close()
+		producers.Wait()
+		consumers.Wait()
+
+		if received != accepted {
+			t.Fatalf("round %d: %d frames accepted by Admit but %d delivered (%d stranded)",
+				round, accepted, received, accepted-received)
+		}
+	}
+}
+
 // TestAdmitErrors checks port validation.
 func TestAdmitErrors(t *testing.T) {
 	e, err := rt.New(rt.Config{N: 4, Scheduler: newScheduler(t, "islip", 4)})

@@ -221,9 +221,6 @@ func (c *Config) runOne(schedName string, load float64, repeat int) (*simswitch.
 			return nil, err
 		}
 		simCfg.Scheduler = s
-		if schedName == "lqf" {
-			simCfg.TrackQueueLens = true
-		}
 	}
 	return simswitch.Run(simCfg)
 }

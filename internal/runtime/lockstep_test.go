@@ -30,6 +30,16 @@ func genArrivals(n int, load float64, seed uint64, slots int) [][]int {
 // TestRuntimeMatchesSimswitch drives the live engine in deterministic
 // lockstep against the offline simulator with the same scheduler, seed and
 // arrival trace, and asserts the two produce identical per-slot matchings.
+// It covers every registered scheduler (registry.Names()), so a new
+// registration is cross-checked automatically; both machines now share the
+// switchcore datapath, making this a check on the two time-domain drivers,
+// not on duplicated queue code. The weight-aware "lqf" entry additionally
+// pins that both sides feed identical QueueLens to the scheduler.
+//
+// The only exclusion is "fifo": it schedules the single-FIFO-per-input
+// switch organization (at most one request bit per row, built from HOL
+// destinations) and panics on the VOQ-style multi-destination rows the
+// live engine produces — the live engine has no FIFO organization.
 //
 // Alignment (DESIGN.md §7): simswitch's slot is promote → schedule → drain
 // → arrivals, so slot t's arrivals are first schedulable in slot t+1. The
@@ -45,7 +55,12 @@ func TestRuntimeMatchesSimswitch(t *testing.T) {
 		slots = 2000
 		cap   = 4096
 	)
-	for _, name := range []string{"lcf_central_rr", "islip", "lcf_central", "lcf_dist_rr", "pim"} {
+	covered := 0
+	for _, name := range registry.Names() {
+		if name == "fifo" {
+			continue // FIFO-organization scheduler; no VOQ analogue (see above)
+		}
+		covered++
 		t.Run(name, func(t *testing.T) {
 			arrivals := genArrivals(n, load, seed, slots)
 			opts := sched.Options{Iterations: 4, Seed: 99}
@@ -127,6 +142,9 @@ func TestRuntimeMatchesSimswitch(t *testing.T) {
 				t.Fatalf("engine counted %d deliveries, consumer saw %d", d, deliveredRT)
 			}
 		})
+	}
+	if covered < 2 {
+		t.Fatalf("lockstep covered %d schedulers; registry looks broken", covered)
 	}
 }
 

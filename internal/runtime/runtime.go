@@ -3,6 +3,13 @@
 // real-time slot loop and actually serves traffic instead of replaying a
 // trace.
 //
+// Since the switchcore extraction, the engine holds no datapath of its
+// own: the VOQ store, the incrementally maintained request matrix, the
+// per-VOQ backlogs feeding sched.Context.QueueLens, and the slot scratch
+// all live in one switchcore.Core[Frame] shared (as code) with the
+// offline simulator. What remains here is the time domain: goroutines,
+// locks, channels and clocks.
+//
 // The moving parts mirror the paper's Figure 11 model, mapped onto
 // goroutines:
 //
@@ -21,6 +28,12 @@
 //     that output's column in the request matrix, so backpressure
 //     propagates from output to VOQ to Admit, never blocking the slot
 //     loop.
+//
+// Locking is sharded per input, matching the core's concurrency contract:
+// input i's VOQ operations (admission pushes, the arbiter's snapshot of
+// row i, grant pops) run under inMu[i], so admissions on different inputs
+// never contend and the arbiter holds at most one input lock at a time.
+// The slot scratch inside the core is arbiter-only.
 //
 // Two clocking modes share all of that machinery. With Config.SlotPeriod >
 // 0, Start launches the arbiter on a time.Ticker (the live mode cmd/lcfd
@@ -45,10 +58,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bitvec"
 	"repro/internal/matching"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/switchcore"
 )
 
 // Admission and lifecycle errors.
@@ -147,97 +160,17 @@ func (c *Config) normalize() error {
 	return nil
 }
 
-// inputPort is one input's bank of n bounded frame queues. The mutex is
-// per input, so admission on different inputs never contends and the
-// arbiter holds at most one input lock at a time.
-type inputPort struct {
-	mu      sync.Mutex
-	voqs    []frameRing
-	backlog int // total frames across this input's VOQs
-}
-
-// frameRing is a bounded power-of-two ring of frames (the live analogue of
-// queue.FIFO, holding frames by value so admission does not allocate).
-type frameRing struct {
-	buf      []Frame
-	head     int
-	len      int
-	capLimit int
-}
-
-func newFrameRing(capLimit int) frameRing {
-	initial := 16
-	if capLimit > 0 && capLimit < initial {
-		initial = ceilPow2(capLimit)
-	}
-	return frameRing{buf: make([]Frame, initial), capLimit: capLimit}
-}
-
-func ceilPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
-	}
-	return p
-}
-
-func (r *frameRing) full() bool  { return r.capLimit > 0 && r.len >= r.capLimit }
-func (r *frameRing) empty() bool { return r.len == 0 }
-
-func (r *frameRing) push(f Frame) bool {
-	if r.full() {
-		return false
-	}
-	if r.len == len(r.buf) {
-		nb := make([]Frame, len(r.buf)*2)
-		for i := 0; i < r.len; i++ {
-			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
-		}
-		r.buf = nb
-		r.head = 0
-	}
-	r.buf[(r.head+r.len)&(len(r.buf)-1)] = f
-	r.len++
-	return true
-}
-
-func (r *frameRing) pop() (Frame, bool) {
-	if r.len == 0 {
-		return Frame{}, false
-	}
-	f := r.buf[r.head]
-	r.head = (r.head + 1) & (len(r.buf) - 1)
-	r.len--
-	return f, true
-}
-
-func (r *frameRing) pushFront(f Frame) {
-	if r.len == len(r.buf) {
-		nb := make([]Frame, len(r.buf)*2)
-		for i := 0; i < r.len; i++ {
-			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
-		}
-		r.buf = nb
-		r.head = 0
-	}
-	r.head = (r.head - 1 + len(r.buf)) & (len(r.buf) - 1)
-	r.buf[r.head] = f
-	r.len++
-}
-
 // Engine is one live switch instance.
 type Engine struct {
 	cfg Config
 	n   int
 
-	inputs []inputPort
-	outs   []chan Frame
+	// core holds the shared VOQ datapath; inMu[i] guards every core
+	// operation touching input i (see the package comment).
+	core *switchcore.Core[Frame]
+	inMu []sync.Mutex
 
-	// Arbiter-only scratch (never touched by other goroutines).
-	req     *bitvec.Matrix
-	match   *matching.Match
-	ctx     sched.Context
-	outFull []bool
+	outs []chan Frame
 
 	slot    atomic.Int64
 	closed  atomic.Bool // admission gate
@@ -283,19 +216,11 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:     cfg,
 		n:       n,
-		inputs:  make([]inputPort, n),
-		outs:    make([]chan Frame, n),
-		req:     bitvec.NewMatrix(n),
-		match:   matching.NewMatch(n),
-		outFull: make([]bool, n),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-	}
-	for i := range e.inputs {
-		e.inputs[i].voqs = make([]frameRing, n)
-		for j := range e.inputs[i].voqs {
-			e.inputs[i].voqs[j] = newFrameRing(cfg.VOQCap)
-		}
+		core:    switchcore.New[Frame](n, cfg.VOQCap),
+		inMu:    make([]sync.Mutex, n),
+		outs: make([]chan Frame, n),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	for j := range e.outs {
 		e.outs[j] = make(chan Frame, cfg.OutCap)
@@ -353,22 +278,21 @@ func (e *Engine) Admit(src, dst int, seq, stamp uint64) error {
 		return ErrClosed
 	}
 	f := Frame{Src: src, Dst: dst, Seq: seq, Stamp: stamp, Admitted: e.slot.Load(), Departed: -1}
-	in := &e.inputs[src]
-	in.mu.Lock()
+	mu := &e.inMu[src]
+	mu.Lock()
 	// Re-check under the lock: Close sets the flag and then takes each
 	// input lock once, so a frame pushed here is guaranteed visible (VOQ
 	// and Backlog gauge both) before the drain decides the engine is
 	// empty — Admit never strands a frame behind a nil return.
 	if e.closed.Load() {
-		in.mu.Unlock()
+		mu.Unlock()
 		return ErrClosed
 	}
-	ok := in.voqs[dst].push(f)
+	ok := e.core.Enqueue(src, dst, f)
 	if ok {
-		in.backlog++
 		e.met.Backlog.Add(1)
 	}
-	in.mu.Unlock()
+	mu.Unlock()
 	if !ok {
 		e.met.Backpressured.Inc()
 		e.met.PerInputBackpressured[src].Inc()
@@ -458,9 +382,9 @@ func (e *Engine) Close() {
 		// until the push and backlog update land; cycling every lock here
 		// means the drain below cannot observe Backlog==0 while such a
 		// frame is still in flight. Admits locking after this see the flag.
-		for i := range e.inputs {
-			e.inputs[i].mu.Lock()
-			e.inputs[i].mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		for i := range e.inMu {
+			e.inMu[i].Lock()
+			e.inMu[i].Unlock() //nolint:staticcheck // empty critical section is the point
 		}
 		if e.started.Load() {
 			close(e.stop)
@@ -482,51 +406,49 @@ func (e *Engine) tick() {
 	// Output-side backpressure: a full delivery channel masks its column.
 	// Only the arbiter sends on outs, so "not full here" cannot become
 	// full before dispatch below.
+	e.core.ResetOutputMask()
 	for j := range e.outs {
-		e.outFull[j] = len(e.outs[j]) == cap(e.outs[j])
+		if len(e.outs[j]) == cap(e.outs[j]) {
+			e.core.MaskOutput(j)
+		}
 	}
 
+	// Snapshot each input's occupancy row and queue lengths under that
+	// input's lock; after this loop the scheduler reads only the core's
+	// slot scratch, never state a concurrent Admit is writing.
 	requested := 0
-	e.req.Reset()
-	for i := range e.inputs {
-		in := &e.inputs[i]
-		in.mu.Lock()
-		for j := range in.voqs {
-			q := &in.voqs[j]
-			if q.empty() {
-				continue
-			}
-			e.met.VOQDepth.Observe(float64(q.len))
-			if e.outFull[j] {
-				e.met.MaskedOutputs.Inc()
-				continue
-			}
-			e.req.Set(i, j)
-			requested++
+	masked := 0
+	for i := 0; i < e.n; i++ {
+		mu := &e.inMu[i]
+		mu.Lock()
+		row := e.core.OccupiedRow(i)
+		for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
+			e.met.VOQDepth.Observe(float64(e.core.Len(i, j)))
 		}
-		in.mu.Unlock()
+		r, m := e.core.SnapshotRow(i)
+		requested += r
+		masked += m
+		mu.Unlock()
+	}
+	if masked > 0 {
+		e.met.MaskedOutputs.Add(int64(masked))
 	}
 
 	// Run the scheduler every slot, requests or not: round-robin pointers
 	// and other slot-to-slot state must advance exactly as they do in the
 	// offline simulator for the lockstep cross-check to hold.
-	e.ctx.Req = e.req
-	e.match.Reset()
-	e.cfg.Scheduler.Schedule(&e.ctx, e.match)
+	match := e.core.Schedule(e.cfg.Scheduler)
 
 	matched := 0
 	for i := 0; i < e.n; i++ {
-		j := e.match.InToOut[i]
+		j := match.InToOut[i]
 		if j == matching.Unmatched {
 			continue
 		}
-		in := &e.inputs[i]
-		in.mu.Lock()
-		f, ok := in.voqs[j].pop()
-		if ok {
-			in.backlog--
-		}
-		in.mu.Unlock()
+		mu := &e.inMu[i]
+		mu.Lock()
+		f, ok := e.core.Dequeue(i, j)
+		mu.Unlock()
 		if !ok {
 			// Cannot happen with a correct scheduler (grants imply
 			// requests and only the arbiter pops), but a buggy scheduler
@@ -544,10 +466,9 @@ func (e *Engine) tick() {
 		default:
 			// Unreachable while the mask above holds (consumers only
 			// drain); keep the frame rather than lose it.
-			in.mu.Lock()
-			in.voqs[j].pushFront(f)
-			in.backlog++
-			in.mu.Unlock()
+			mu.Lock()
+			e.core.Requeue(i, j, f)
+			mu.Unlock()
 			e.met.WastedGrants.Inc()
 		}
 	}
@@ -557,7 +478,7 @@ func (e *Engine) tick() {
 	e.met.SlotLatency.Observe(float64(time.Since(start).Nanoseconds()))
 
 	if e.cfg.OnSlot != nil {
-		e.cfg.OnSlot(SlotEvent{Slot: now, Match: e.match, Requested: requested, Matched: matched})
+		e.cfg.OnSlot(SlotEvent{Slot: now, Match: match, Requested: requested, Matched: matched})
 	}
 	e.slot.Add(1)
 }

@@ -2,12 +2,15 @@ package runtime
 
 import "repro/internal/metrics"
 
-// PortSnapshot is one port's cumulative counters.
+// PortSnapshot is one port's cumulative counters plus its instantaneous
+// VOQ backlog (frames queued across the input's n VOQs, read from the
+// switchcore datapath).
 type PortSnapshot struct {
 	Port          int   `json:"port"`
 	Admitted      int64 `json:"admitted"`
 	Backpressured int64 `json:"backpressured"`
 	Delivered     int64 `json:"delivered"`
+	Backlog       int64 `json:"backlog"`
 }
 
 // Snapshot is a point-in-time, JSON-serializable view of the engine's
@@ -70,11 +73,15 @@ func (e *Engine) Snapshot() Snapshot {
 	s.SlotLatencyP99 = m.SlotLatency.Quantile(0.99)
 	s.Ports = make([]PortSnapshot, e.n)
 	for p := range s.Ports {
+		e.inMu[p].Lock()
+		backlog := e.core.InputBacklog(p)
+		e.inMu[p].Unlock()
 		s.Ports[p] = PortSnapshot{
 			Port:          p,
 			Admitted:      m.PerInputAdmitted[p].Value(),
 			Backpressured: m.PerInputBackpressured[p].Value(),
 			Delivered:     m.PerOutputDelivered[p].Value(),
+			Backlog:       int64(backlog),
 		}
 	}
 	return s

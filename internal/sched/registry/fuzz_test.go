@@ -1,0 +1,89 @@
+package registry_test
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+)
+
+// FuzzAllSchedulers feeds arbitrary request matrices (and queue lengths,
+// for the weight-aware schedulers) to every registered scheduler and
+// asserts the schedule invariants: matching.Validate passes — internal
+// consistency, conflict-freedom, and grant-implies-request — on each of
+// several consecutive slots, so stateful schedulers (round-robin
+// pointers, RNGs) are exercised across state transitions too.
+//
+// The seeded corpus below runs as part of plain `go test`; use
+// `go test -fuzz=FuzzAllSchedulers ./internal/sched/registry` to explore.
+func FuzzAllSchedulers(f *testing.F) {
+	f.Add(uint8(1), uint64(0), []byte{})
+	f.Add(uint8(4), uint64(1), []byte{0xff, 0xff})
+	f.Add(uint8(8), uint64(42), []byte{0x0f, 0xf0, 0xaa, 0x55, 0x13, 0x37, 0x00, 0xff})
+	f.Add(uint8(16), uint64(7), []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x04, 0x08,
+		0x10, 0x20, 0x40, 0x80, 0xfe, 0xca, 0xef, 0xbe})
+	f.Add(uint8(65), uint64(9), []byte{0x77}) // multi-word bitvec rows
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed uint64, bits []byte) {
+		n := int(nRaw)
+		if n == 0 {
+			n = 1
+		}
+		if n > 66 {
+			n = n%66 + 1 // keep maxsize/lqf sorting affordable under fuzzing
+		}
+
+		// Request matrix: bit k of the byte stream drives cell (k/n, k%n),
+		// cycling when the stream is short. Queue lengths derive from the
+		// same stream so lqf sees weights consistent with the requests.
+		req := bitvec.NewMatrix(n)
+		lens := make([][]int, n)
+		bitAt := func(k int) bool {
+			if len(bits) == 0 {
+				return false
+			}
+			b := bits[(k/8)%len(bits)]
+			return b>>(k%8)&1 == 1
+		}
+		for i := 0; i < n; i++ {
+			lens[i] = make([]int, n)
+			for j := 0; j < n; j++ {
+				if bitAt(i*n + j) {
+					req.Set(i, j)
+					lens[i][j] = 1 + int(bits[(i*n+j)%len(bits)])
+				}
+			}
+		}
+		// The fifo scheduler models single-FIFO inputs and rejects
+		// multi-destination rows: give it at most the first request bit
+		// per row, as the simulator's HOL matrix would.
+		fifoReq := bitvec.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			if j := req.Row(i).FirstSet(); j >= 0 {
+				fifoReq.Set(i, j)
+			}
+		}
+
+		for _, name := range registry.Names() {
+			s, err := registry.New(name, n, sched.Options{Iterations: 2, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			r := req
+			if name == "fifo" {
+				r = fifoReq
+			}
+			m := matching.NewMatch(n)
+			ctx := &sched.Context{Req: r, QueueLens: lens}
+			for slot := 0; slot < 3; slot++ {
+				m.Reset()
+				s.Schedule(ctx, m)
+				if err := matching.Validate(m, sched.AsRequests(r)); err != nil {
+					t.Fatalf("%s n=%d slot %d: %v\nrequests:\n%v\nmatch: %v",
+						name, n, slot, err, r, m.InToOut)
+				}
+			}
+		}
+	})
+}

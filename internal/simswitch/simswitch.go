@@ -19,6 +19,15 @@
 // slot t+1 and its minimum queuing delay (departure − generation) is one
 // slot for every organization, which is what lets Figure 12b plot ratios
 // that converge to 1 at low load.
+//
+// The VOQ organization's datapath — the bounded VOQ store, the
+// incrementally maintained request matrix, and the per-VOQ backlogs that
+// populate sched.Context.QueueLens — lives in internal/switchcore and is
+// shared verbatim with the live engine (internal/runtime); this package
+// contributes only the synchronous time domain: the trace-driven slot
+// loop, the PQ/FIFO/output-buffer stages around the core, and the
+// measurement plumbing. The FIFO and OutputBuffered organizations have no
+// VOQs and keep their plain queue.FIFO stages.
 package simswitch
 
 import (
@@ -32,6 +41,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/queue"
 	"repro/internal/sched"
+	"repro/internal/switchcore"
 	"repro/internal/traffic"
 )
 
@@ -108,8 +118,6 @@ type Config struct {
 	// VOQ organization only.
 	PipelineDepth int
 
-	// TrackQueueLens provides VOQ backlog to weight-aware schedulers.
-	TrackQueueLens bool
 	// Validate re-checks every schedule against the request matrix (the
 	// crossbar always enforces physical conflict-freedom; this adds the
 	// "grant implies request" check). Cheap; on by default in tests.
@@ -240,15 +248,17 @@ type Sim struct {
 	xbar *fabric.Crossbar
 	pool *packet.Pool
 
-	pqs   []*queue.FIFO    // per-input packet queues
-	voqs  []*queue.VOQBank // VOQ organization
-	ififo []*queue.FIFO    // FIFO organization: single input queue
-	obufs []*queue.FIFO    // OutputBuffered organization (also unused for others)
+	pqs   []*queue.FIFO // per-input packet queues
+	ififo []*queue.FIFO // FIFO organization: single input queue
+	obufs []*queue.FIFO // OutputBuffered organization (also unused for others)
 
-	req      *bitvec.Matrix
-	match    *matching.Match
-	queueLen [][]int
-	departed []DepartInfo // per-slot scratch for Config.Trace
+	// core is the shared VOQ datapath (VOQ organization only): queues,
+	// incremental request matrix, backlogs, per-slot scratch.
+	core *switchcore.Core[*packet.Packet]
+
+	req      *bitvec.Matrix  // FIFO organization's HOL request matrix
+	match    *matching.Match // FIFO organization's match scratch
+	departed []DepartInfo    // per-slot scratch for Config.Trace
 
 	// pipeline holds matches computed but not yet applied (depth−1 of
 	// them at steady state), oldest first.
@@ -282,10 +292,7 @@ func New(cfg Config) (*Sim, error) {
 	}
 	switch cfg.Mode {
 	case VOQ:
-		s.voqs = make([]*queue.VOQBank, n)
-		for i := 0; i < n; i++ {
-			s.voqs[i] = queue.NewVOQBank(n, cfg.VOQCap)
-		}
+		s.core = switchcore.New[*packet.Packet](n, cfg.VOQCap)
 	case FIFO:
 		s.ififo = make([]*queue.FIFO, n)
 		for i := 0; i < n; i++ {
@@ -313,12 +320,6 @@ func New(cfg Config) (*Sim, error) {
 		s.inflight = make([][]int, n)
 		for i := range s.inflight {
 			s.inflight[i] = make([]int, n)
-		}
-	}
-	if cfg.TrackQueueLens && cfg.Mode == VOQ {
-		s.queueLen = make([][]int, n)
-		for i := range s.queueLen {
-			s.queueLen[i] = make([]int, n)
 		}
 	}
 	s.res = Result{
@@ -423,7 +424,7 @@ func (s *Sim) promote() {
 			var accepted bool
 			switch s.cfg.Mode {
 			case VOQ:
-				accepted = s.voqs[in].Push(head)
+				accepted = s.core.Enqueue(in, head.Dst, head)
 			case FIFO:
 				accepted = s.ififo[in].Push(head)
 			case OutputBuffered:
@@ -439,25 +440,18 @@ func (s *Sim) promote() {
 }
 
 // scheduleAndTransfer builds the request matrix, runs the scheduler, and
-// moves the matched packets through the crossbar.
+// moves the matched packets through the crossbar. The VOQ organization
+// runs on the shared switchcore datapath (word-copy request snapshot,
+// incrementally maintained occupancy and queue lengths); the FIFO
+// organization builds its one-bit-per-row HOL matrix locally.
 func (s *Sim) scheduleAndTransfer() error {
 	n := s.cfg.N
-	s.req.Reset()
+	var req *bitvec.Matrix
+	var computed *matching.Match
 	switch s.cfg.Mode {
 	case VOQ:
-		for i := 0; i < n; i++ {
-			bank := s.voqs[i]
-			for j := 0; j < n; j++ {
-				if bank.HasPacket(j) {
-					s.req.Set(i, j)
-					if s.queueLen != nil {
-						s.queueLen[i][j] = bank.Queue(j).Len()
-					}
-				} else if s.queueLen != nil {
-					s.queueLen[i][j] = 0
-				}
-			}
-		}
+		s.core.SnapshotAll()
+		req = s.core.Requests()
 		if s.cfg.PipelineDepth > 1 {
 			// A pipelined requester knows its own outstanding grants (in
 			// Clint the grant packet arrives before the next configuration
@@ -471,43 +465,50 @@ func (s *Sim) scheduleAndTransfer() error {
 				}
 			}
 			for i := 0; i < n; i++ {
-				bank := s.voqs[i]
 				for j := 0; j < n; j++ {
 					if k := s.inflight[i][j]; k > 0 {
-						if bank.Queue(j).Len() <= k {
-							s.req.Clear(i, j)
+						if s.core.Len(i, j) <= k {
+							s.core.ClearRequest(i, j)
 						}
 						s.inflight[i][j] = 0
 					}
 				}
 			}
 		}
+		computed = s.core.Schedule(s.cfg.Scheduler)
+		if s.cfg.Validate {
+			if err := s.core.Validate(); err != nil {
+				return fmt.Errorf("scheduler %s produced invalid schedule: %w", s.cfg.Scheduler.Name(), err)
+			}
+		}
 	case FIFO:
+		s.req.Reset()
 		for i := 0; i < n; i++ {
 			if head := s.ififo[i].Peek(); head != nil {
 				s.req.Set(i, head.Dst)
 			}
 		}
-	}
-
-	ctx := &sched.Context{Req: s.req, QueueLens: s.queueLen}
-	s.cfg.Scheduler.Schedule(ctx, s.match)
-
-	if s.cfg.Validate {
-		if err := matching.Validate(s.match, ctx.Requests()); err != nil {
-			return fmt.Errorf("scheduler %s produced invalid schedule: %w", s.cfg.Scheduler.Name(), err)
+		req = s.req
+		ctx := &sched.Context{Req: s.req}
+		s.match.Reset()
+		s.cfg.Scheduler.Schedule(ctx, s.match)
+		computed = s.match
+		if s.cfg.Validate {
+			if err := matching.Validate(s.match, ctx.Requests()); err != nil {
+				return fmt.Errorf("scheduler %s produced invalid schedule: %w", s.cfg.Scheduler.Name(), err)
+			}
 		}
 	}
 
-	applied := s.match
+	applied := computed
 	if s.cfg.PipelineDepth > 1 {
 		// Enqueue the fresh schedule; apply the one that has aged through
 		// the pipeline, dropping grants whose VOQ has drained since the
 		// schedule was computed.
-		s.pipeline = append(s.pipeline, s.match.Clone())
+		s.pipeline = append(s.pipeline, computed.Clone())
 		if len(s.pipeline) < s.cfg.PipelineDepth {
 			if s.cfg.Trace != nil {
-				s.cfg.Trace(TraceEvent{Slot: s.now, Requests: s.req, Match: s.stale, Moved: 0, Departures: s.departed})
+				s.cfg.Trace(TraceEvent{Slot: s.now, Requests: req, Match: s.stale, Moved: 0, Departures: s.departed})
 			}
 			return nil // pipeline still filling: nothing transfers yet
 		}
@@ -520,7 +521,7 @@ func (s *Sim) scheduleAndTransfer() error {
 			if j == matching.Unmatched {
 				continue
 			}
-			if s.voqs[i].HasPacket(j) {
+			if s.core.HasBacklog(i, j) {
 				s.stale.Pair(i, j)
 			} else {
 				s.res.WastedGrants++
@@ -539,7 +540,7 @@ func (s *Sim) scheduleAndTransfer() error {
 	}
 	if s.cfg.Trace != nil {
 		s.cfg.Trace(TraceEvent{
-			Slot: s.now, Requests: s.req, Match: applied, Moved: moved,
+			Slot: s.now, Requests: req, Match: applied, Moved: moved,
 			Departures: s.departed,
 		})
 	}
@@ -550,7 +551,8 @@ func (s *Sim) scheduleAndTransfer() error {
 func (s *Sim) pop(in, out int) *packet.Packet {
 	switch s.cfg.Mode {
 	case VOQ:
-		return s.voqs[in].Pop(out)
+		p, _ := s.core.Dequeue(in, out)
+		return p
 	case FIFO:
 		head := s.ififo[in].Peek()
 		if head == nil || head.Dst != out {
@@ -595,9 +597,8 @@ func (s *Sim) trackOccupancy() {
 	case VOQ:
 		occupied := 0
 		var sum, sumSq float64
-		for _, bank := range s.voqs {
-			for j := 0; j < s.cfg.N; j++ {
-				l := bank.Queue(j).Len()
+		for i := 0; i < s.cfg.N; i++ {
+			for _, l := range s.core.LenRow(i) {
 				if l > max {
 					max = l
 				}

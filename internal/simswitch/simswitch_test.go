@@ -312,14 +312,14 @@ func TestTraceCallback(t *testing.T) {
 	}
 }
 
+// TestQueueLensProvidedToLQF: the switchcore datapath always populates
+// sched.Context.QueueLens, so LQF gets real backlogs with no opt-in flag.
 func TestQueueLensProvidedToLQF(t *testing.T) {
 	s, err := registry.New("lqf", 8, sched.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := voqConfig(8, 0.9, 13, s)
-	cfg.TrackQueueLens = true
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(voqConfig(8, 0.9, 13, s)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -625,16 +625,17 @@ func TestPipelineReservationsPreventWaste(t *testing.T) {
 	}
 }
 
-func BenchmarkSimSlotLCFCentral16Load09(b *testing.B) {
+func benchmarkSimSlot(b *testing.B, n int) {
 	s, err := New(Config{
-		N: 16, Mode: VOQ, Scheduler: core.NewCentral(16, true),
-		Gen:          traffic.NewBernoulli(16, 0.9, traffic.NewUniform(16), 1),
+		N: n, Mode: VOQ, Scheduler: core.NewCentral(n, true),
+		Gen:          traffic.NewBernoulli(n, 0.9, traffic.NewUniform(n), 1),
 		WarmupSlots:  0,
 		MeasureSlots: 1 << 62,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.step(); err != nil {
@@ -643,3 +644,6 @@ func BenchmarkSimSlotLCFCentral16Load09(b *testing.B) {
 		s.now++
 	}
 }
+
+func BenchmarkSimSlotLCFCentral16Load09(b *testing.B) { benchmarkSimSlot(b, 16) }
+func BenchmarkSimSlotLCFCentral64Load09(b *testing.B) { benchmarkSimSlot(b, 64) }

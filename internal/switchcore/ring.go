@@ -1,0 +1,77 @@
+package switchcore
+
+// ring is a bounded power-of-two ring buffer, the storage behind every
+// VOQ. It generalizes the old queue.FIFO (pointer elements) and the old
+// runtime frameRing (value elements): items are held by value of T, so a
+// by-value driver enqueues without allocating and a pointer driver pays
+// only for the pointer slot. The buffer starts small and doubles up to
+// the capacity bound; once at its working size the ring never allocates
+// again.
+type ring[T any] struct {
+	buf      []T
+	head     int
+	len      int
+	capLimit int // 0 = unbounded
+}
+
+func newRing[T any](capLimit int) ring[T] {
+	initial := 16
+	if capLimit > 0 && capLimit < initial {
+		initial = ceilPow2(capLimit)
+	}
+	return ring[T]{buf: make([]T, initial), capLimit: capLimit}
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (r *ring[T]) full() bool { return r.capLimit > 0 && r.len >= r.capLimit }
+
+func (r *ring[T]) grow() {
+	nb := make([]T, len(r.buf)*2)
+	for i := 0; i < r.len; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+func (r *ring[T]) push(v T) bool {
+	if r.full() {
+		return false
+	}
+	if r.len == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.len)&(len(r.buf)-1)] = v
+	r.len++
+	return true
+}
+
+func (r *ring[T]) pop() (T, bool) {
+	var zero T
+	if r.len == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // release references when T holds pointers
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.len--
+	return v, true
+}
+
+// pushFront prepends v, making it the next pop. It grows rather than
+// rejects: the only caller is Requeue, returning a just-popped item.
+func (r *ring[T]) pushFront(v T) {
+	if r.len == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1 + len(r.buf)) & (len(r.buf) - 1)
+	r.buf[r.head] = v
+	r.len++
+}

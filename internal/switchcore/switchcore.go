@@ -1,0 +1,280 @@
+// Package switchcore is the canonical VOQ switch datapath shared by the
+// offline simulator (internal/simswitch) and the live engine
+// (internal/runtime). Both machines run the same per-slot pipeline —
+//
+//	enqueue → snapshot requests → schedule → dequeue grants
+//
+// — and differ only in the time domain (a synchronous slot loop replaying
+// a trace vs. a clocked arbiter fed by concurrent admissions). Before this
+// package existed each carried its own copy of the VOQ store, request
+// matrix and backlog accounting, kept consistent only by lockstep tests;
+// now there is exactly one implementation and the drivers are thin.
+//
+// # Incremental request-matrix maintenance
+//
+// The paper's Section 2 request matrix R (bit (i,j) set ⇔ input i has at
+// least one packet queued for output j) is the union of non-empty VOQs.
+// The old drivers rebuilt it every slot by scanning all n² queues. The
+// core instead maintains an occupancy matrix incrementally: Enqueue sets
+// bit (i,j) when the VOQ goes 0→1, Dequeue clears it on 1→0. Per-slot
+// request construction is then a row-wise word copy of the occupancy
+// matrix (O(n²/64) words) plus an optional AndNot with the output
+// backpressure mask, instead of O(n²) queue probes. Per-VOQ backlogs
+// (sched.Context.QueueLens) are maintained the same way — an increment on
+// enqueue, a decrement on dequeue — so weight-aware schedulers (LQF) get
+// real queue lengths in both time domains for free.
+//
+// # Concurrency contract
+//
+// The core itself takes no locks; synchronization belongs to the driver
+// because only the live engine needs it. State is split so a driver can
+// shard locking per input:
+//
+//   - Per-input state (the VOQ rings of row i, occupancy row i, lens row
+//     i, backlog counter i) is touched only by Enqueue/Dequeue/Requeue/
+//     Len/InputBacklog on that input and by SnapshotRow(i). The live
+//     engine guards each input's calls with that input's mutex; the
+//     simulator is single-threaded and needs no locks.
+//   - Slot scratch (the request snapshot, queue-length snapshot, output
+//     mask, match, context) is touched only by the snapshot/schedule/
+//     mask/validate methods, which must all run on one goroutine (the
+//     arbiter). The snapshot *copies* occupancy and lengths, so the
+//     scheduler never reads state that a concurrent admission is writing.
+//
+// All scratch is allocated at construction: a slot costs zero heap
+// allocations regardless of n (VOQ rings amortize to zero once grown to
+// their working size, exactly like the queues they replaced).
+package switchcore
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// Core is the datapath for one n-port VOQ switch, generic over the queued
+// item type: the simulator stores *packet.Packet, the live engine stores
+// its Frame by value.
+type Core[T any] struct {
+	n      int
+	voqCap int
+
+	// Per-input state (see the package comment's concurrency contract).
+	voqs    []ring[T]      // flattened n×n, index i*n+j
+	occ     *bitvec.Matrix // bit (i,j) ⇔ VOQ (i,j) non-empty
+	lens    [][]int        // live per-VOQ backlog, rows into one flat array
+	backlog []int          // per-input totals
+
+	// Slot scratch (arbiter-only).
+	mask     *bitvec.Vector // output columns suppressed this slot
+	maskAny  bool
+	req      *bitvec.Matrix // request snapshot handed to the scheduler
+	lensSnap [][]int        // queue-length snapshot handed to the scheduler
+	match    *matching.Match
+	ctx      sched.Context
+}
+
+// New returns a core for an n-port switch whose n² VOQs each hold at most
+// voqCap items (0 = unbounded). It panics on non-positive n or negative
+// voqCap: both drivers validate their configs first, so a bad value here
+// is a programming error.
+func New[T any](n, voqCap int) *Core[T] {
+	if n <= 0 {
+		panic(fmt.Sprintf("switchcore: port count %d", n))
+	}
+	if voqCap < 0 {
+		panic(fmt.Sprintf("switchcore: negative VOQ capacity %d", voqCap))
+	}
+	c := &Core[T]{
+		n:       n,
+		voqCap:  voqCap,
+		voqs:    make([]ring[T], n*n),
+		occ:     bitvec.NewMatrix(n),
+		backlog: make([]int, n),
+		mask:    bitvec.New(n),
+		req:     bitvec.NewMatrix(n),
+		match:   matching.NewMatch(n),
+	}
+	for k := range c.voqs {
+		c.voqs[k] = newRing[T](voqCap)
+	}
+	c.lens = flatRows(n)
+	c.lensSnap = flatRows(n)
+	return c
+}
+
+// flatRows carves an n×n int matrix out of one allocation.
+func flatRows(n int) [][]int {
+	flat := make([]int, n*n)
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	return rows
+}
+
+// N returns the port count.
+func (c *Core[T]) N() int { return c.n }
+
+// VOQCap returns the per-VOQ capacity bound (0 = unbounded).
+func (c *Core[T]) VOQCap() int { return c.voqCap }
+
+// Enqueue appends v to VOQ (i,j) and reports acceptance; a full VOQ
+// rejects (the driver decides whether that is a drop or backpressure).
+// The occupancy bit, queue length and input backlog update incrementally.
+func (c *Core[T]) Enqueue(i, j int, v T) bool {
+	q := &c.voqs[i*c.n+j]
+	if !q.push(v) {
+		return false
+	}
+	if q.len == 1 {
+		c.occ.Set(i, j)
+	}
+	c.lens[i][j]++
+	c.backlog[i]++
+	return true
+}
+
+// Dequeue removes and returns the head of VOQ (i,j); ok is false on an
+// empty VOQ (a granted pair whose queue drained — the driver accounts it
+// as a wasted grant).
+func (c *Core[T]) Dequeue(i, j int) (v T, ok bool) {
+	q := &c.voqs[i*c.n+j]
+	v, ok = q.pop()
+	if !ok {
+		return v, false
+	}
+	c.lens[i][j]--
+	c.backlog[i]--
+	if q.len == 0 {
+		c.occ.Clear(i, j)
+	}
+	return v, true
+}
+
+// Requeue prepends v to VOQ (i,j), undoing a Dequeue whose delivery could
+// not complete (the live engine's full-output fallback). It bypasses the
+// capacity bound: the item just vacated its slot, so the queue cannot
+// exceed the bound it satisfied before the Dequeue.
+func (c *Core[T]) Requeue(i, j int, v T) {
+	q := &c.voqs[i*c.n+j]
+	if q.len == 0 {
+		c.occ.Set(i, j)
+	}
+	q.pushFront(v)
+	c.lens[i][j]++
+	c.backlog[i]++
+}
+
+// Len returns the backlog of VOQ (i,j).
+func (c *Core[T]) Len(i, j int) int { return c.lens[i][j] }
+
+// LenRow returns input i's live per-output backlogs. The slice aliases
+// core state: callers must treat it as read-only and, in a concurrent
+// driver, hold input i's lock while reading.
+func (c *Core[T]) LenRow(i int) []int { return c.lens[i] }
+
+// HasBacklog reports whether VOQ (i,j) is non-empty.
+func (c *Core[T]) HasBacklog(i, j int) bool { return c.occ.Get(i, j) }
+
+// OccupiedRow returns input i's live occupancy bits (set ⇔ that VOQ is
+// non-empty). Read-only; same aliasing caveat as LenRow.
+func (c *Core[T]) OccupiedRow(i int) *bitvec.Vector { return c.occ.Row(i) }
+
+// InputBacklog returns the total backlog across input i's VOQs.
+func (c *Core[T]) InputBacklog(i int) int { return c.backlog[i] }
+
+// TotalBacklog returns the backlog summed over all inputs. In a
+// concurrent driver the per-input reads are not one transaction; the
+// result may be off by items in flight, which is fine for monitoring.
+func (c *Core[T]) TotalBacklog() int {
+	t := 0
+	for _, b := range c.backlog {
+		t += b
+	}
+	return t
+}
+
+// ResetOutputMask clears the per-slot output backpressure mask. Call at
+// the top of a slot, before MaskOutput/SnapshotRow.
+func (c *Core[T]) ResetOutputMask() {
+	if c.maskAny {
+		c.mask.Reset()
+		c.maskAny = false
+	}
+}
+
+// MaskOutput suppresses output j's column in this slot's request
+// snapshot: a backpressured output (full delivery channel) must not
+// attract grants it cannot accept.
+func (c *Core[T]) MaskOutput(j int) {
+	c.mask.Set(j)
+	c.maskAny = true
+}
+
+// SnapshotRow copies input i's occupancy row (minus masked outputs) and
+// queue lengths into the slot scratch, and returns how many requests the
+// row contributes and how many non-empty VOQs the output mask suppressed.
+// A concurrent driver calls it under input i's lock; after it returns,
+// the scheduler reads only the snapshot, never live state.
+func (c *Core[T]) SnapshotRow(i int) (requested, masked int) {
+	row := c.req.Row(i)
+	row.Copy(c.occ.Row(i))
+	occupied := row.PopCount()
+	if c.maskAny {
+		row.AndNot(c.mask)
+		requested = row.PopCount()
+		masked = occupied - requested
+	} else {
+		requested = occupied
+	}
+	copy(c.lensSnap[i], c.lens[i])
+	return requested, masked
+}
+
+// SnapshotAll snapshots every row (the single-threaded driver's path) and
+// returns the total request count.
+func (c *Core[T]) SnapshotAll() int {
+	total := 0
+	for i := 0; i < c.n; i++ {
+		r, _ := c.SnapshotRow(i)
+		total += r
+	}
+	return total
+}
+
+// Requests returns the current request snapshot. Valid until the next
+// snapshot; the driver may clear individual bits (ClearRequest) before
+// scheduling but must otherwise treat it as read-only.
+func (c *Core[T]) Requests() *bitvec.Matrix { return c.req }
+
+// ClearRequest clears bit (i,j) of the request snapshot — the pipelined
+// simulator's reservation masking, where backlog already covered by an
+// in-flight grant is not re-advertised.
+func (c *Core[T]) ClearRequest(i, j int) { c.req.Clear(i, j) }
+
+// QueueLens returns the queue-length snapshot aligned with Requests.
+func (c *Core[T]) QueueLens() [][]int { return c.lensSnap }
+
+// Schedule runs s on the current snapshot and returns the match. The
+// match is core scratch, valid until the next Schedule; clone to retain.
+// sched.Context.QueueLens is always populated from the snapshot, so
+// weight-aware schedulers see real backlogs in every driver.
+func (c *Core[T]) Schedule(s sched.Scheduler) *matching.Match {
+	c.ctx.Req = c.req
+	c.ctx.QueueLens = c.lensSnap
+	c.match.Reset()
+	s.Schedule(&c.ctx, c.match)
+	return c.match
+}
+
+// Match returns the last computed match (core scratch).
+func (c *Core[T]) Match() *matching.Match { return c.match }
+
+// Validate re-checks the last match against the request snapshot it was
+// computed from: conflict-freedom plus grant-implies-request.
+func (c *Core[T]) Validate() error {
+	return matching.Validate(c.match, sched.AsRequests(c.req))
+}

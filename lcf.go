@@ -223,10 +223,10 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	case cfg.Scheduler.Name() == "fifo":
 		simCfg.Mode = simswitch.FIFO
 	default:
+		// The VOQ datapath (internal/switchcore) always feeds per-VOQ
+		// backlogs to the scheduler, so weight-aware schedulers (lqf)
+		// need no special configuration here.
 		simCfg.Mode = simswitch.VOQ
-		if cfg.Scheduler.Name() == "lqf" {
-			simCfg.TrackQueueLens = true
-		}
 	}
 	return simswitch.Run(simCfg)
 }

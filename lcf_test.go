@@ -109,6 +109,47 @@ func TestSimulatePatterns(t *testing.T) {
 	}
 }
 
+// TestLQFPrefersLongerQueues pins, end to end through Simulate, that the
+// VOQ datapath feeds real per-VOQ backlogs to weight-aware schedulers.
+// Every input sends only to output 0 at aggregate load 3.6, so all four
+// VOQ(i,0) queues are persistently backlogged and output 0 serves one
+// packet per slot. Longest-queue-first then self-balances: whichever input
+// is served least grows the longest queue and wins next, giving each input
+// ~1/4 of output 0. If QueueLens population regresses (all weights read as
+// equal), LQF degenerates to a fixed tie-break order that starves the
+// losing inputs, and the minimum share collapses toward zero.
+//
+// The queue capacities are deliberately huge: with the default 256-entry
+// VOQs the overload would clamp every backlog to the cap, the lengths
+// would tie, and even a correct LQF would starve by tie-break.
+func TestLQFPrefersLongerQueues(t *testing.T) {
+	s, err := NewScheduler("lqf", 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{
+		N:            4,
+		Scheduler:    s,
+		Load:         0.9,
+		Seed:         11,
+		Pattern:      Hotspot,
+		HotspotFrac:  1.0,
+		VOQCap:       1 << 20,
+		PQCap:        1 << 20,
+		WarmupSlots:  500,
+		MeasureSlots: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minShare := res.Flows.MinShare(func(i, j int) bool { return j == 0 })
+	if minShare < 0.15 {
+		t.Fatalf("LQF min per-input share of hotspot output = %.3f, want ≥ 0.15 "+
+			"(fair is ~0.25; a collapse means the scheduler no longer sees queue lengths)",
+			minShare)
+	}
+}
+
 func TestSweepFacade(t *testing.T) {
 	cfg := SweepConfig{
 		N:            8,

@@ -17,15 +17,27 @@
 //     the connection that owns port j (each connection is both input and
 //     output port of the same index, as in Clint's host↔switch star).
 //
-// Live counters (per-port throughput, matched/requested ratio, VOQ depth
-// histogram, slot-loop compute latency percentiles) are served as JSON on
-// -http at /metrics.
+// Observability (see OBSERVABILITY.md for the complete reference):
+//
+//   - GET /metrics on -http serves the live counters (per-port
+//     throughput, matched/requested ratio, grant attribution by LCF rule,
+//     VOQ depth and match-size histograms, slot-loop compute latency) as
+//     JSON by default, or as Prometheus text exposition format 0.0.4 when
+//     the Accept header asks for text/plain.
+//   - GET /trace drains the in-memory slot-event ring (enabled with
+//     -trace, sized with -trace-ring) as JSONL; POST /trace?enabled=true
+//     toggles recording at runtime. cmd/lcftrace renders the JSONL.
+//   - -debug-addr serves net/http/pprof profiles and /debug/trace
+//     runtime execution traces on a separate listener.
 //
 // Usage:
 //
 //	lcfd                                  # lcf_central_rr, n=16, :9416
 //	lcfd -sched islip -slot 100us
 //	curl localhost:9417/metrics | jq .engine.match_ratio
+//	curl -H 'Accept: text/plain' localhost:9417/metrics   # Prometheus
+//	curl -X POST 'localhost:9417/trace?enabled=true'
+//	curl localhost:9417/trace | lcftrace
 //
 // See cmd/lcfload for the matching closed-loop load generator.
 package main
@@ -46,6 +58,7 @@ import (
 
 	"repro/internal/clint"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sched/registry"
@@ -62,6 +75,9 @@ func main() {
 		outCap     = flag.Int("outcap", 256, "per-output delivery buffer (frames)")
 		iterations = flag.Int("iterations", 4, "iterations for the iterative schedulers")
 		seed       = flag.Uint64("seed", 1, "scheduler RNG seed")
+		traceRing  = flag.Int("trace-ring", 4096, "slot-event trace ring capacity (0 removes the tracer entirely)")
+		traceOn    = flag.Bool("trace", false, "start with slot-event tracing enabled (toggle later with POST /trace)")
+		debugAddr  = flag.String("debug-addr", "", "HTTP address for pprof and runtime execution traces (empty disables)")
 	)
 	flag.Parse()
 	if *n <= 0 || *n > clint.NumPorts {
@@ -75,14 +91,24 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(*n, *traceRing)
+		tracer.SetEnabled(*traceOn)
+	} else if *traceOn {
+		fatal("-trace needs a ring: set -trace-ring > 0")
+	}
 	engine, err := rt.New(rt.Config{
 		N: *n, Scheduler: s, VOQCap: *voqCap, OutCap: *outCap, SlotPeriod: *slot,
+		Tracer: tracer,
 	})
 	if err != nil {
 		fatal("%v", err)
 	}
 
 	srv := newServer(engine, *n)
+	srv.tracer = tracer
+	srv.registry = srv.buildRegistry()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal("%v", err)
@@ -98,10 +124,18 @@ func main() {
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", srv.handleMetrics)
+		mux.HandleFunc("/trace", srv.handleTrace)
 		mux.HandleFunc("/", srv.handleRoot)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "lcfd: metrics endpoint: %v\n", err)
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debugMux()); err != nil {
+				fmt.Fprintf(os.Stderr, "lcfd: debug endpoint: %v\n", err)
 			}
 		}()
 	}
@@ -154,8 +188,10 @@ type client struct {
 }
 
 type server struct {
-	engine *rt.Engine
-	n      int
+	engine   *rt.Engine
+	n        int
+	tracer   *obs.Tracer   // nil when -trace-ring 0
+	registry *obs.Registry // the Prometheus view of /metrics
 
 	mu    sync.Mutex
 	ports []*client // index = port; nil = free
@@ -389,11 +425,36 @@ func (s *server) payload() metricsPayload {
 	return p
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.payload())
+// handleMetrics serves the live counters, content-negotiated: JSON by
+// default (the format this endpoint has always spoken), Prometheus text
+// exposition 0.0.4 when the Accept header prefers text/plain. Only GET
+// (and HEAD) are meaningful on a read-only resource; anything else is
+// 405 with the Allow header set.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch obs.NegotiateMetricsFormat(r) {
+	case obs.FormatPrometheus:
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+		if r.Method == http.MethodHead {
+			return
+		}
+		if err := s.registry.WritePrometheus(w); err != nil {
+			// The writer is the socket; nothing sensible left to send.
+			return
+		}
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodHead {
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.payload())
+	}
 }
 
 func (s *server) handleRoot(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	rt "repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+)
+
+// newTestServer builds a lockstep daemon front-end (no ticker, no
+// listener) with a few slots of traffic already through it.
+func newTestServer(t *testing.T, ringCap int) *server {
+	t.Helper()
+	const n = 4
+	s, err := registry.New("lcf_central_rr", n, sched.Options{Iterations: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tracer *obs.Tracer
+	if ringCap > 0 {
+		tracer = obs.NewTracer(n, ringCap)
+		tracer.Enable()
+	}
+	engine, err := rt.New(rt.Config{N: n, Scheduler: s, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(engine, n)
+	srv.tracer = tracer
+	srv.registry = srv.buildRegistry()
+	for slot := 0; slot < 3; slot++ {
+		for i := 0; i < n; i++ {
+			if err := engine.Admit(i, (i+slot)%n, uint64(slot), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		engine.Tick()
+	}
+	return srv
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	srv := newTestServer(t, 64)
+
+	// Default (no Accept header): the JSON document this endpoint has
+	// always served, now with an explicit Content-Type.
+	rec := httptest.NewRecorder()
+	srv.handleMetrics(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default Content-Type = %q", ct)
+	}
+	var p metricsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("JSON body does not parse: %v", err)
+	}
+	if p.Engine.Slot != 3 || p.N != 4 {
+		t.Errorf("payload slot=%d n=%d", p.Engine.Slot, p.N)
+	}
+
+	// Accept: text/plain selects the Prometheus exposition.
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec = httptest.NewRecorder()
+	srv.handleMetrics(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Errorf("Prometheus Content-Type = %q", ct)
+	}
+	scrape, err := obs.ParsePrometheus(rec.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if v, ok := scrape.Value("lcf_engine_slots_total"); !ok || v != 3 {
+		t.Errorf("lcf_engine_slots_total = %g,%v", v, ok)
+	}
+	if v, ok := scrape.Value("lcf_trace_enabled"); !ok || v != 1 {
+		t.Errorf("lcf_trace_enabled = %g,%v", v, ok)
+	}
+
+	// A JSON-preferring Accept still gets JSON.
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "application/json, text/plain")
+	rec = httptest.NewRecorder()
+	srv.handleMetrics(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Accept json Content-Type = %q", ct)
+	}
+
+	// HEAD: headers only.
+	req = httptest.NewRequest(http.MethodHead, "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec = httptest.NewRecorder()
+	srv.handleMetrics(rec, req)
+	if rec.Body.Len() != 0 || rec.Header().Get("Content-Type") != obs.ContentTypePrometheus {
+		t.Errorf("HEAD wrote %d body bytes, Content-Type %q", rec.Body.Len(), rec.Header().Get("Content-Type"))
+	}
+
+	// Writes are not a thing /metrics does.
+	rec = httptest.NewRecorder()
+	srv.handleMetrics(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); allow != "GET, HEAD" {
+		t.Errorf("Allow = %q", allow)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	srv := newTestServer(t, 64)
+
+	rec := httptest.NewRecorder()
+	srv.handleTrace(rec, httptest.NewRequest(http.MethodGet, "/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	evs, err := obs.ReadJSONL(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("drained %d events, want 3", len(evs))
+	}
+	for _, g := range evs[0].Grants {
+		if g.Rule == "" || g.Choices == 0 {
+			t.Errorf("grant lacks attribution: %+v", g)
+		}
+	}
+
+	// Toggle off, then a disabled engine slot records nothing new.
+	rec = httptest.NewRecorder()
+	srv.handleTrace(rec, httptest.NewRequest(http.MethodPost, "/trace?enabled=false", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /trace?enabled=false = %d: %s", rec.Code, rec.Body.String())
+	}
+	srv.engine.Tick()
+	if got := srv.tracer.Emitted(); got != 3 {
+		t.Errorf("disabled tracer emitted %d events, want 3", got)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.handleTrace(rec, httptest.NewRequest(http.MethodPost, "/trace?enabled=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bogus toggle = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.handleTrace(rec, httptest.NewRequest(http.MethodDelete, "/trace", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /trace = %d, want 405", rec.Code)
+	}
+}
+
+func TestTraceEndpointWithoutRing(t *testing.T) {
+	srv := newTestServer(t, 0)
+	rec := httptest.NewRecorder()
+	srv.handleTrace(rec, httptest.NewRequest(http.MethodGet, "/trace", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("GET /trace without a ring = %d, want 404", rec.Code)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	mux := debugMux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace?seconds=0", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("seconds=0 = %d, want 400", rec.Code)
+	}
+
+	// A cancelled request context ends the capture immediately, so the
+	// happy path is testable without sleeping out the window.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/debug/trace?seconds=60", nil).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Errorf("execution trace: code %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+}
+
+// TestMetricsDocumented diffs the daemon's metric registry against
+// OBSERVABILITY.md in both directions: every registered metric must be
+// documented, and every documented lcf_* base name must exist in the
+// registry. Renaming or adding a metric without updating the doc fails
+// here; so does documenting vapor.
+func TestMetricsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("OBSERVABILITY.md must ship with the daemon: %v", err)
+	}
+	registered := newTestServer(t, 64).registry.Names()
+
+	// Documented names are backticked `lcf_*` tokens. Histogram series
+	// suffixes (_bucket/_sum/_count) and label-carrying examples refer to
+	// a base metric and are not names of their own.
+	re := regexp.MustCompile("`(lcf_[a-z0-9_]+)`")
+	documented := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
+		name := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		documented[name] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("OBSERVABILITY.md documents no `lcf_*` metrics")
+	}
+
+	regSet := map[string]bool{}
+	for _, name := range registered {
+		regSet[name] = true
+		if !documented[name] {
+			t.Errorf("metric %s is registered but not documented in OBSERVABILITY.md", name)
+		}
+	}
+	var stale []string
+	for name := range documented {
+		if !regSet[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		t.Errorf("OBSERVABILITY.md documents %s, which no longer exists in the registry", name)
+	}
+}

@@ -28,28 +28,32 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clint"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9416", "lcfd data-plane address")
-		n       = flag.Int("n", 16, "connections to open (= ports driven)")
-		pattern = flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, diagonal, logdiagonal, bursty")
-		load    = flag.Float64("load", 0.8, "offered load per port in [0,1]")
-		slots   = flag.Int("slots", 5000, "generator slots to run")
-		slot    = flag.Duration("slot", time.Millisecond, "generator slot period")
-		seed    = flag.Uint64("seed", 1, "arrival RNG seed")
-		burst   = flag.Float64("burst", 16, "mean burst length (bursty pattern)")
-		hotfrac = flag.Float64("hotfrac", 0.5, "traffic fraction to the hot port (hotspot pattern)")
-		drain   = flag.Duration("drain", 3*time.Second, "wait for in-flight frames after the last slot")
+		addr       = flag.String("addr", "127.0.0.1:9416", "lcfd data-plane address")
+		n          = flag.Int("n", 16, "connections to open (= ports driven)")
+		pattern    = flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, diagonal, logdiagonal, bursty")
+		load       = flag.Float64("load", 0.8, "offered load per port in [0,1]")
+		slots      = flag.Int("slots", 5000, "generator slots to run")
+		slot       = flag.Duration("slot", time.Millisecond, "generator slot period")
+		seed       = flag.Uint64("seed", 1, "arrival RNG seed")
+		burst      = flag.Float64("burst", 16, "mean burst length (bursty pattern)")
+		hotfrac    = flag.Float64("hotfrac", 0.5, "traffic fraction to the hot port (hotspot pattern)")
+		drain      = flag.Duration("drain", 3*time.Second, "wait for in-flight frames after the last slot")
+		metricsURL = flag.String("metrics", "", "lcfd metrics URL (e.g. http://127.0.0.1:9417/metrics); scraped after the run for the switch-side view")
 	)
 	flag.Parse()
 	if *n <= 0 {
@@ -202,10 +206,57 @@ func main() {
 			time.Duration(latency.Quantile(0.99)).Round(10*time.Microsecond),
 			time.Duration(max).Round(10*time.Microsecond))
 	}
+	if *metricsURL != "" {
+		if err := reportSwitchSide(*metricsURL); err != nil {
+			fmt.Fprintf(os.Stderr, "lcfload: switch-side metrics: %v\n", err)
+		}
+	}
 	if lost > 0 {
 		fmt.Fprintf(os.Stderr, "lcfload: %d frames unaccounted for after %v drain\n", lost, *drain)
 		os.Exit(1)
 	}
+}
+
+// reportSwitchSide scrapes lcfd's Prometheus exposition and prints the
+// switch's own view of the run — what the scheduler saw and decided —
+// next to the client-side numbers above.
+func reportSwitchSide(url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	s, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		return err
+	}
+	slots, _ := s.Value("lcf_engine_slots_total")
+	requested, _ := s.Value("lcf_engine_requested_total")
+	matched, _ := s.Value("lcf_engine_matched_total")
+	backpressured, _ := s.Value("lcf_engine_backpressured_total")
+	fmt.Printf("switch side: %0.f slots, %0.f requests, %0.f matched", slots, requested, matched)
+	if requested > 0 {
+		fmt.Printf(" (match ratio %.3f)", matched/requested)
+	}
+	fmt.Printf(", %0.f backpressured\n", backpressured)
+	var parts []string
+	for _, rule := range []string{"lcf", "diagonal", "prescheduled", "unattributed"} {
+		if v, ok := s.Value(`lcf_grants_total{rule="` + rule + `"}`); ok && v > 0 {
+			parts = append(parts, fmt.Sprintf("%s %.0f", rule, v))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Printf("grants by rule: %s\n", strings.Join(parts, ", "))
+	}
+	return nil
 }
 
 func fatal(format string, args ...any) {

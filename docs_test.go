@@ -1,0 +1,85 @@
+package lcf_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target) /
+// ![alt](target). Reference-style links and autolinks are out of scope —
+// the repository's documents don't use them.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks fails if any markdown document in the repository
+// links to a file that does not exist. External links (http, https,
+// mailto) are not fetched; pure-fragment links (#section) are skipped.
+// This is what keeps OBSERVABILITY.md, README.md and DESIGN.md honest as
+// files move: CI runs it in the docs job.
+func TestMarkdownLinks(t *testing.T) {
+	var docs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			docs = append(docs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown files found; test running from the wrong directory?")
+	}
+
+	for _, doc := range docs {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range linkTargets(string(raw)) {
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" { // pure fragment: #section
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %s, which does not exist", doc, target)
+			}
+		}
+	}
+}
+
+// linkTargets extracts link targets outside fenced code blocks (YAML and
+// shell examples legitimately contain [x](y)-shaped text).
+func linkTargets(doc string) []string {
+	var targets []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+	}
+	return targets
+}

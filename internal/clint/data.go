@@ -14,6 +14,7 @@
 // hosts send 0. Seq and Stamp are opaque to the switch and echoed on
 // delivery, which is how the load generator correlates departures with
 // its own send timestamps without any shared clock with the switch.
+
 package clint
 
 import (

@@ -77,9 +77,18 @@ type Central struct {
 	// Scratch state reused across slots to keep Schedule allocation-free.
 	r   *bitvec.Matrix // working copy of the request matrix
 	nrq []int          // outstanding request count per requester
+
+	// Grant attribution for the last computed matching (sched.Explainer):
+	// which decision rule matched each input and how many outstanding
+	// requests the winner held at decision time.
+	rules   []sched.GrantRule
+	choices []int
 }
 
-var _ sched.Scheduler = (*Central)(nil)
+var (
+	_ sched.Scheduler = (*Central)(nil)
+	_ sched.Explainer = (*Central)(nil)
+)
 
 // NewCentral returns a central LCF scheduler for an n-port switch.
 // roundRobin selects between the paper's lcf_central_rr (true: the rotating
@@ -105,10 +114,12 @@ func NewCentralRR(n int, mode RRMode) *Central {
 		panic("core: unknown RR mode")
 	}
 	return &Central{
-		n:      n,
-		rrMode: mode,
-		r:      bitvec.NewMatrix(n),
-		nrq:    make([]int, n),
+		n:       n,
+		rrMode:  mode,
+		r:       bitvec.NewMatrix(n),
+		nrq:     make([]int, n),
+		rules:   make([]sched.GrantRule, n),
+		choices: make([]int, n),
 	}
 }
 
@@ -154,6 +165,8 @@ func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 	c.r.Copy(ctx.Req)
 	for req := 0; req < n; req++ {
 		c.nrq[req] = c.r.RowCount(req)
+		c.rules[req] = sched.RuleUnattributed
+		c.choices[req] = -1
 	}
 
 	// RRPrescheduled: grant the entire rotating diagonal before the LCF
@@ -165,6 +178,8 @@ func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 			rrPos := (c.i + res) % n
 			if c.r.Get(rrPos, resource) && !m.InputMatched(rrPos) {
 				m.Pair(rrPos, resource)
+				c.rules[rrPos] = sched.RulePrescheduled
+				c.choices[rrPos] = c.nrq[rrPos]
 				c.r.ClearRow(rrPos)
 				c.nrq[rrPos] = 0
 				for req := 0; req < n; req++ {
@@ -187,9 +202,11 @@ func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 			continue // taken by the prescheduled diagonal
 		}
 		gnt := -1
+		rule := sched.RuleLCF
 
 		if c.rrMode == RRInterleaved && c.r.Get(rrPos, resource) {
 			gnt = rrPos // round-robin position wins
+			rule = sched.RuleDiagonal
 		} else {
 			// Find the requester with the smallest number of requests;
 			// the scan order (req+I+res) mod n is the rotating priority
@@ -207,6 +224,8 @@ func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 
 		if gnt != -1 {
 			m.Pair(gnt, resource)
+			c.rules[gnt] = rule
+			c.choices[gnt] = c.nrq[gnt]
 			// The granted requester leaves the competition: clear its row
 			// and zero its count, then discount every remaining request
 			// for the resource just taken so later priorities only reflect
@@ -227,4 +246,14 @@ func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 	if c.i == 0 {
 		c.j = (c.j + 1) % n
 	}
+}
+
+// Explain implements sched.Explainer: it attributes input i's grant in
+// the last computed matching to the decision rule that produced it
+// (diagonal, prescheduled diagonal, or the LCF comparison) and reports
+// the number of outstanding requests the input held when it won — the
+// LCF priority level (1 = the input had only one choice left). Unmatched
+// inputs report (RuleUnattributed, -1).
+func (c *Central) Explain(i int) (rule sched.GrantRule, choices int) {
+	return c.rules[i], c.choices[i]
 }

@@ -9,6 +9,7 @@
 // a consistent-enough snapshot for monitoring (individual fields are
 // atomically read; cross-field exactness is not guaranteed and not needed
 // for a metrics endpoint).
+
 package metrics
 
 import (
@@ -168,6 +169,9 @@ type HistogramSnapshot struct {
 	Overflow int64     `json:"overflow"`
 	Total    int64     `json:"total"`
 	Mean     float64   `json:"mean"`
+	// Sum is the sum of all observations (truncated to integers as they
+	// were recorded), the Prometheus histogram's _sum series.
+	Sum float64 `json:"sum"`
 }
 
 // Snapshot copies the current bucket counts.
@@ -178,6 +182,7 @@ func (h *LiveHistogram) Snapshot() HistogramSnapshot {
 		Overflow: h.over.Load(),
 		Total:    h.total.Load(),
 		Mean:     h.Mean(),
+		Sum:      float64(h.sum.Load()),
 	}
 	for k := range h.counts {
 		s.Counts[k] = h.counts[k].Load()

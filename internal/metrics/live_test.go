@@ -111,3 +111,79 @@ func TestBoundsHelpers(t *testing.T) {
 		}
 	}
 }
+
+// TestLiveHistogramBucketBoundaries pins the le-style closed-upper-bound
+// semantics the Prometheus exposition in internal/obs depends on: an
+// observation equal to a bound belongs to that bound's bucket, the next
+// representable value above the last bound is overflow.
+func TestLiveHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0, 1, 2, 4}
+	cases := []struct {
+		x      float64
+		bucket int // index into bounds, -1 = overflow
+	}{
+		{-1, 0}, // below the first bound still lands in it
+		{0, 0},  // exactly on a bound: that bucket, not the next
+		{1, 1},
+		{math.Nextafter(1, 2), 2}, // just above a bound: next bucket
+		{2, 2},
+		{4, 3}, // the last bound is still inside the histogram
+		{math.Nextafter(4, 5), -1},
+		{math.Inf(1), -1},
+	}
+	for _, c := range cases {
+		h := NewLiveHistogram(bounds)
+		h.Observe(c.x)
+		s := h.Snapshot()
+		got := -1
+		for k, n := range s.Counts {
+			if n == 1 {
+				got = k
+			}
+		}
+		if c.bucket == -1 {
+			if s.Overflow != 1 || got != -1 {
+				t.Errorf("Observe(%g): counts %v overflow %d, want pure overflow", c.x, s.Counts, s.Overflow)
+			}
+		} else if got != c.bucket || s.Overflow != 0 {
+			t.Errorf("Observe(%g): landed in bucket %d (overflow %d), want bucket %d", c.x, got, s.Overflow, c.bucket)
+		}
+	}
+}
+
+// TestCounterMonotonic reads a counter while writers hammer it and fails
+// if any read goes backwards — the monotonicity that lets Prometheus
+// rate() over every lcf_*_total series.
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					c.Inc()
+					c.Add(3)
+				}
+			}
+		}()
+	}
+	var prev int64
+	for i := 0; i < 200_000; i++ {
+		v := c.Value()
+		if v < prev {
+			t.Fatalf("counter went backwards: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	close(done)
+	wg.Wait()
+	if c.Value()%4 != 0 {
+		t.Fatalf("counter %d not a multiple of 4 (each writer round adds 4)", c.Value())
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// MetricsFormat is the response format chosen for a /metrics request.
+type MetricsFormat int
+
+// Formats a metrics endpoint can serve.
+const (
+	// FormatJSON is the repository's pre-existing JSON document.
+	FormatJSON MetricsFormat = iota
+	// FormatPrometheus is the text exposition format 0.0.4.
+	FormatPrometheus
+)
+
+// NegotiateMetricsFormat picks the response format from the request's
+// Accept header. JSON stays the default (existing scrapers and the
+// curl-and-jq workflow predate the Prometheus support); any Accept
+// preferring text/plain — what Prometheus servers and
+// `curl -H 'Accept: text/plain'` send — selects the exposition format.
+// An explicit application/json or */* keeps JSON.
+func NegotiateMetricsFormat(r *http.Request) MetricsFormat {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mediaType {
+		case "application/json", "*/*":
+			return FormatJSON
+		case "text/plain", "application/openmetrics-text", "text/*":
+			return FormatPrometheus
+		}
+	}
+	return FormatJSON
+}
+
+// Scrape is a parsed Prometheus text exposition: sample values keyed by
+// `name` for unlabelled samples and `name{labels}` (labels exactly as
+// rendered) for labelled ones.
+type Scrape map[string]float64
+
+// Value returns the sample under the exact key.
+func (s Scrape) Value(key string) (float64, bool) {
+	v, ok := s[key]
+	return v, ok
+}
+
+// ParsePrometheus reads a text exposition back into a Scrape. It parses
+// the subset the Registry writes — comment lines, `name value` and
+// `name{labels} value` samples — which also covers any standard
+// exposition without timestamps or exemplars. cmd/lcfload uses it to
+// report switch-side counters next to its own client-side measurements.
+func ParsePrometheus(r io.Reader) (Scrape, error) {
+	s := make(Scrape)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the key is
+		// everything before it (label values may contain spaces).
+		cut := strings.LastIndexByte(text, ' ')
+		if cut < 0 {
+			return nil, fmt.Errorf("obs: exposition line %d: no value: %q", line, text)
+		}
+		key := strings.TrimSpace(text[:cut])
+		v, err := parseValue(text[cut+1:])
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: %w", line, err)
+		}
+		s[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: exposition: %w", err)
+	}
+	return s, nil
+}
+
+func parseValue(raw string) (float64, error) {
+	// strconv accepts the exposition spellings +Inf/-Inf/NaN directly.
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", raw)
+	}
+	return v, nil
+}

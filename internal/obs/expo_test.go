@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNegotiateMetricsFormat(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   MetricsFormat
+	}{
+		{"", FormatJSON},
+		{"application/json", FormatJSON},
+		{"*/*", FormatJSON},
+		{"text/plain", FormatPrometheus},
+		{"text/plain; version=0.0.4", FormatPrometheus},
+		{"text/plain;version=0.0.4;q=0.9, */*;q=0.1", FormatPrometheus},
+		{"application/openmetrics-text; version=1.0.0, text/plain;q=0.5", FormatPrometheus},
+		{"text/*", FormatPrometheus},
+		{"application/json, text/plain", FormatJSON}, // first acceptable wins
+		{"text/html", FormatJSON},                    // unknown: default
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		if got := NegotiateMetricsFormat(req); got != tc.want {
+			t.Errorf("Accept %q negotiated %v, want %v", tc.accept, got, tc.want)
+		}
+	}
+}
+
+func TestParsePrometheusErrors(t *testing.T) {
+	if _, err := ParsePrometheus(strings.NewReader("lcf_x_total\n")); err == nil {
+		t.Error("line without value parsed")
+	}
+	if _, err := ParsePrometheus(strings.NewReader("lcf_x_total notanumber\n")); err == nil {
+		t.Error("bad value parsed")
+	}
+	s, err := ParsePrometheus(strings.NewReader("# HELP x y\n\nlcf_x_total +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("lcf_x_total"); !ok || !math.IsInf(v, 1) {
+		t.Errorf("inf value: %g %v", v, ok)
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// Grant is one granted (input, output) pair of a traced slot, with the
+// decision attribution reported by the scheduler's sched.Explainer (the
+// LCF variants). Rule is the sched.GrantRule label value; Choices is the
+// LCF priority level — how many outstanding requests the winner held at
+// decision time (-1 when the scheduler cannot attribute its grants).
+type Grant struct {
+	In      int    `json:"in"`
+	Out     int    `json:"out"`
+	Rule    string `json:"rule"`
+	Choices int    `json:"choices"`
+}
+
+// Event is one drained slot record: the slot number, the request-matrix
+// cardinality advertised to the scheduler, and the chosen matching with
+// per-grant attribution. Matched always equals len(Grants); it is
+// serialized anyway so JSONL consumers can aggregate without scanning.
+type Event struct {
+	Slot      int64   `json:"slot"`
+	Requested int     `json:"requested"`
+	Matched   int     `json:"matched"`
+	Grants    []Grant `json:"grants"`
+}
+
+// traceSlot is one preallocated ring entry. Every field is accessed
+// atomically so a concurrent drain is race-free; the seq field is a
+// per-entry sequence lock: 2w+1 while entry w is being written, 2w+2
+// once complete. A reader that observes any other value (an older
+// generation, or mid-write) discards the entry.
+type traceSlot struct {
+	seq    atomic.Uint64
+	slot   atomic.Int64
+	counts atomic.Uint64   // requested<<32 | ngrants
+	grants []atomic.Uint64 // packed Grant records, capacity n
+}
+
+// packGrant packs a grant into one word: in(16) out(16) choices+1(16)
+// rule(8). Choices is offset by one so the "unknown" sentinel -1 packs
+// to zero.
+func packGrant(in, out int, rule sched.GrantRule, choices int) uint64 {
+	return uint64(uint16(in))<<48 | uint64(uint16(out))<<32 |
+		uint64(uint16(choices+1))<<16 | uint64(rule)
+}
+
+func unpackGrant(g uint64) Grant {
+	return Grant{
+		In:      int(uint16(g >> 48)),
+		Out:     int(uint16(g >> 32)),
+		Rule:    sched.GrantRule(g & 0xff).String(),
+		Choices: int(uint16(g>>16)) - 1,
+	}
+}
+
+// Tracer is a bounded, preallocated, lock-free ring of slot-decision
+// events. One goroutine (the arbiter) emits; any goroutine may Drain or
+// toggle concurrently. Emit performs atomic stores into preallocated
+// entries only — zero heap allocations — and a disabled tracer costs
+// exactly one atomic load per Emit, which is why the emit hooks can stay
+// compiled into the slot loop unconditionally.
+type Tracer struct {
+	n       int
+	enabled atomic.Bool
+	pos     atomic.Uint64 // events emitted since construction
+	ring    []traceSlot
+}
+
+// NewTracer returns a disabled tracer for an n-port switch retaining the
+// last capacity slot events. It panics on non-positive arguments: both
+// come from validated configs.
+func NewTracer(n, capacity int) *Tracer {
+	if n <= 0 || capacity <= 0 {
+		panic(fmt.Sprintf("obs: tracer n=%d capacity=%d", n, capacity))
+	}
+	t := &Tracer{n: n, ring: make([]traceSlot, capacity)}
+	for i := range t.ring {
+		t.ring[i].grants = make([]atomic.Uint64, n)
+	}
+	return t
+}
+
+// Enable turns event recording on.
+func (t *Tracer) Enable() { t.enabled.Store(true) }
+
+// Disable turns event recording off; the ring keeps its contents.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// SetEnabled sets the recording state.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Capacity returns the ring size in events.
+func (t *Tracer) Capacity() int { return len(t.ring) }
+
+// Emitted returns the number of events recorded since construction
+// (including events since overwritten by ring wraparound).
+func (t *Tracer) Emitted() int64 { return int64(t.pos.Load()) }
+
+// Emit records one slot decision: the request cardinality, the matching,
+// and — when ex is non-nil — the rule and choice count behind each grant.
+// Nil-safe and cheap when disabled (one atomic load). Emit is single-
+// writer: it must not be called concurrently with itself (the drivers'
+// arbiter/slot-loop goroutine is the only emitter), but Drain and the
+// enable toggles may run concurrently.
+func (t *Tracer) Emit(slot int64, requested int, m *matching.Match, ex sched.Explainer) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	w := t.pos.Load()
+	e := &t.ring[w%uint64(len(t.ring))]
+	e.seq.Store(2*w + 1)
+	e.slot.Store(slot)
+	ngrants := 0
+	for i, j := range m.InToOut {
+		if j == matching.Unmatched {
+			continue
+		}
+		rule, choices := sched.RuleUnattributed, -1
+		if ex != nil {
+			rule, choices = ex.Explain(i)
+		}
+		if ngrants < len(e.grants) { // cannot overflow with a valid match; belt and braces
+			e.grants[ngrants].Store(packGrant(i, j, rule, choices))
+			ngrants++
+		}
+	}
+	e.counts.Store(uint64(uint32(requested))<<32 | uint64(uint16(ngrants)))
+	e.seq.Store(2*w + 2)
+	t.pos.Store(w + 1)
+}
+
+// Drain returns the ring's current window of events, oldest first. It
+// does not consume: two immediate drains return the same window. Entries
+// being overwritten by a concurrent Emit are skipped (the window then has
+// a hole at its oldest end, never a torn record).
+func (t *Tracer) Drain() []Event {
+	pos := t.pos.Load()
+	capacity := uint64(len(t.ring))
+	start := uint64(0)
+	if pos > capacity {
+		start = pos - capacity
+	}
+	evs := make([]Event, 0, pos-start)
+	for w := start; w < pos; w++ {
+		e := &t.ring[w%capacity]
+		s1 := e.seq.Load()
+		if s1 != 2*w+2 {
+			continue // mid-write, or already overwritten by a newer generation
+		}
+		counts := e.counts.Load()
+		ev := Event{
+			Slot:      e.slot.Load(),
+			Requested: int(counts >> 32),
+			Matched:   int(counts & 0xffff),
+		}
+		if ev.Matched > len(e.grants) {
+			continue // torn counts (the seq re-check below would reject it anyway)
+		}
+		ev.Grants = make([]Grant, ev.Matched)
+		for k := range ev.Grants {
+			ev.Grants[k] = unpackGrant(e.grants[k].Load())
+		}
+		if e.seq.Load() != s1 {
+			continue // overwritten mid-copy: discard the torn record
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// Register adds the tracer's own meta-metrics to a registry.
+func (t *Tracer) Register(r *Registry) {
+	r.Gauge("lcf_trace_enabled",
+		"Whether slot-event tracing is currently recording (1) or disabled (0).",
+		func() float64 {
+			if t.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	r.Counter("lcf_trace_events_total",
+		"Slot events recorded since startup, including events since overwritten by ring wraparound.",
+		t.Emitted)
+	r.Gauge("lcf_trace_capacity_events",
+		"Size of the slot-event trace ring: how many of the most recent events a drain can return.",
+		func() float64 { return float64(t.Capacity()) })
+}
+
+// WriteJSONL writes events one JSON object per line (the /trace wire
+// format and the lcftrace -jsonl file format).
+func WriteJSONL(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a stream of JSONL events (blank lines are skipped).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var evs []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return evs, nil
+		} else if err != nil {
+			return evs, fmt.Errorf("obs: trace JSONL: %w", err)
+		}
+		evs = append(evs, ev)
+	}
+}

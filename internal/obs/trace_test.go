@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// fixedExplainer attributes every matched input the same way.
+type fixedExplainer struct {
+	n       int
+	m       *matching.Match
+	rule    sched.GrantRule
+	choices int
+}
+
+func (f *fixedExplainer) Explain(i int) (sched.GrantRule, int) {
+	if f.m.InToOut[i] == matching.Unmatched {
+		return sched.RuleUnattributed, -1
+	}
+	return f.rule, f.choices
+}
+
+func diagonalMatch(n int) *matching.Match {
+	m := matching.NewMatch(n)
+	for i := 0; i < n; i++ {
+		m.Pair(i, (i+1)%n)
+	}
+	return m
+}
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	tr := NewTracer(4, 8)
+	tr.Emit(1, 4, diagonalMatch(4), nil)
+	if got := tr.Emitted(); got != 0 {
+		t.Fatalf("disabled tracer emitted %d events", got)
+	}
+	if evs := tr.Drain(); len(evs) != 0 {
+		t.Fatalf("disabled tracer drained %d events", len(evs))
+	}
+	var nilTracer *Tracer
+	nilTracer.Emit(1, 4, diagonalMatch(4), nil) // nil-safe: must not panic
+}
+
+func TestTracerRecordsGrantsAndAttribution(t *testing.T) {
+	tr := NewTracer(4, 8)
+	tr.Enable()
+	m := diagonalMatch(4)
+	ex := &fixedExplainer{n: 4, m: m, rule: sched.RuleDiagonal, choices: 2}
+	tr.Emit(7, 9, m, ex)
+	evs := tr.Drain()
+	if len(evs) != 1 {
+		t.Fatalf("drained %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Slot != 7 || ev.Requested != 9 || ev.Matched != 4 || len(ev.Grants) != 4 {
+		t.Fatalf("event %+v", ev)
+	}
+	for k, g := range ev.Grants {
+		if g.In != k || g.Out != (k+1)%4 {
+			t.Errorf("grant %d: %d→%d", k, g.In, g.Out)
+		}
+		if g.Rule != "diagonal" || g.Choices != 2 {
+			t.Errorf("grant %d attribution: rule=%s choices=%d", k, g.Rule, g.Choices)
+		}
+	}
+}
+
+func TestTracerNoExplainer(t *testing.T) {
+	tr := NewTracer(4, 8)
+	tr.Enable()
+	tr.Emit(0, 4, diagonalMatch(4), nil)
+	ev := tr.Drain()[0]
+	if ev.Grants[0].Rule != "unattributed" || ev.Grants[0].Choices != -1 {
+		t.Fatalf("grant without explainer: %+v", ev.Grants[0])
+	}
+}
+
+// TestTracerWraparound overfills the ring and checks that exactly the
+// newest capacity events survive, in order.
+func TestTracerWraparound(t *testing.T) {
+	const capacity = 16
+	tr := NewTracer(4, capacity)
+	tr.Enable()
+	m := diagonalMatch(4)
+	for s := int64(0); s < 3*capacity+5; s++ {
+		tr.Emit(s, int(s%5), m, nil)
+	}
+	evs := tr.Drain()
+	if len(evs) != capacity {
+		t.Fatalf("drained %d events, want %d", len(evs), capacity)
+	}
+	first := int64(3*capacity + 5 - capacity)
+	for k, ev := range evs {
+		if ev.Slot != first+int64(k) {
+			t.Fatalf("event %d has slot %d, want %d (oldest-first window)", k, ev.Slot, first+int64(k))
+		}
+		if ev.Requested != int(ev.Slot%5) {
+			t.Fatalf("event %d requested %d, want %d", k, ev.Requested, ev.Slot%5)
+		}
+	}
+	if tr.Emitted() != 3*capacity+5 {
+		t.Fatalf("Emitted = %d", tr.Emitted())
+	}
+}
+
+// TestTracerConcurrentEmitDrain runs a writer against draining readers
+// and toggling; under -race this checks the ring is data-race free, and
+// the assertions check no torn event is ever surfaced.
+func TestTracerConcurrentEmitDrain(t *testing.T) {
+	const n, capacity, slots = 8, 32, 20000
+	tr := NewTracer(n, capacity)
+	tr.Enable()
+	m := diagonalMatch(n)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // the single emitter (the arbiter role)
+		defer wg.Done()
+		for s := int64(0); s < slots; s++ {
+			tr.Emit(s, n, m, nil)
+		}
+		close(stop)
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				for _, ev := range tr.Drain() {
+					// A surfaced event must never be torn: its payload is
+					// internally consistent regardless of ring overwrites.
+					if ev.Requested != n || ev.Matched != n || len(ev.Grants) != n {
+						t.Errorf("torn event surfaced: %+v", ev)
+						return
+					}
+					for k, g := range ev.Grants {
+						if g.In != k || g.Out != (k+1)%n {
+							t.Errorf("torn grant surfaced in slot %d: %+v", ev.Slot, g)
+							return
+						}
+					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Emitted() != slots {
+		t.Fatalf("Emitted = %d, want %d", tr.Emitted(), slots)
+	}
+}
+
+// TestTracerEmitZeroAlloc pins the hot-path contract: Emit allocates
+// nothing, enabled or disabled.
+func TestTracerEmitZeroAlloc(t *testing.T) {
+	tr := NewTracer(16, 64)
+	m := diagonalMatch(16)
+	for name, enabled := range map[string]bool{"disabled": false, "enabled": true} {
+		tr.SetEnabled(enabled)
+		slot := int64(0)
+		allocs := testing.AllocsPerRun(500, func() {
+			tr.Emit(slot, 16, m, nil)
+			slot++
+		})
+		if allocs != 0 {
+			t.Errorf("%s Emit allocates %.1f times, want 0", name, allocs)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(4, 8)
+	tr.Enable()
+	m := diagonalMatch(4)
+	ex := &fixedExplainer{n: 4, m: m, rule: sched.RuleLCF, choices: 1}
+	for s := int64(0); s < 5; s++ {
+		tr.Emit(s, 7, m, ex)
+	}
+	evs := tr.Drain()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round-trip lost events: %d vs %d", len(back), len(evs))
+	}
+	for k := range back {
+		if back[k].Slot != evs[k].Slot || back[k].Requested != evs[k].Requested ||
+			len(back[k].Grants) != len(evs[k].Grants) || back[k].Grants[0] != evs[k].Grants[0] {
+			t.Fatalf("event %d drifted: %+v vs %+v", k, back[k], evs[k])
+		}
+	}
+}
+
+func TestTracerRegisterMetrics(t *testing.T) {
+	tr := NewTracer(4, 8)
+	r := NewRegistry()
+	tr.Register(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value("lcf_trace_enabled"); v != 0 {
+		t.Errorf("lcf_trace_enabled = %g, want 0", v)
+	}
+	tr.Enable()
+	tr.Emit(0, 4, diagonalMatch(4), nil)
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err = ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value("lcf_trace_enabled"); v != 1 {
+		t.Errorf("lcf_trace_enabled = %g, want 1", v)
+	}
+	if v, _ := s.Value("lcf_trace_events_total"); v != 1 {
+		t.Errorf("lcf_trace_events_total = %g, want 1", v)
+	}
+	if v, _ := s.Value("lcf_trace_capacity_events"); v != 8 {
+		t.Errorf("lcf_trace_capacity_events = %g, want 8", v)
+	}
+}

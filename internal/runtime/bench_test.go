@@ -3,22 +3,39 @@ package runtime_test
 import (
 	"testing"
 
+	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sched/registry"
 	"repro/internal/traffic"
 )
 
+// tracerMode selects the Tracer configuration for the slot benchmarks:
+// absent (the baseline), attached but disabled (the cost of shipping the
+// hook), and actively recording.
+type tracerMode int
+
+const (
+	tracerNone tracerMode = iota
+	tracerDisabled
+	tracerEnabled
+)
+
 // benchmarkSlot measures the full runtime hot path — admit → snapshot →
 // schedule → dispatch → consume — per slot, in lockstep so only engine
 // work is on the clock (no ticker sleeps). Arrivals are pre-drawn outside
 // the timed region.
-func benchmarkSlot(b *testing.B, schedName string, n int, load float64) {
+func benchmarkSlot(b *testing.B, schedName string, n int, load float64, tm tracerMode) {
 	s, err := registry.New(schedName, n, sched.Options{Iterations: 4, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	e, err := rt.New(rt.Config{N: n, Scheduler: s, VOQCap: 256, OutCap: 256})
+	var tr *obs.Tracer
+	if tm != tracerNone {
+		tr = obs.NewTracer(n, 4096)
+		tr.SetEnabled(tm == tracerEnabled)
+	}
+	e, err := rt.New(rt.Config{N: n, Scheduler: s, VOQCap: 256, OutCap: 256, Tracer: tr})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -60,10 +77,25 @@ func benchmarkSlot(b *testing.B, schedName string, n int, load float64) {
 	}
 }
 
-func BenchmarkEngineSlotLCFRRN16(b *testing.B) { benchmarkSlot(b, "lcf_central_rr", 16, 0.9) }
-func BenchmarkEngineSlotLCFRRN64(b *testing.B) { benchmarkSlot(b, "lcf_central_rr", 64, 0.9) }
-func BenchmarkEngineSlotISLIPN16(b *testing.B) { benchmarkSlot(b, "islip", 16, 0.9) }
-func BenchmarkEngineSlotISLIPN64(b *testing.B) { benchmarkSlot(b, "islip", 64, 0.9) }
+func BenchmarkEngineSlotLCFRRN16(b *testing.B) {
+	benchmarkSlot(b, "lcf_central_rr", 16, 0.9, tracerNone)
+}
+func BenchmarkEngineSlotLCFRRN64(b *testing.B) {
+	benchmarkSlot(b, "lcf_central_rr", 64, 0.9, tracerNone)
+}
+func BenchmarkEngineSlotISLIPN16(b *testing.B) { benchmarkSlot(b, "islip", 16, 0.9, tracerNone) }
+func BenchmarkEngineSlotISLIPN64(b *testing.B) { benchmarkSlot(b, "islip", 64, 0.9, tracerNone) }
+
+// The traced variants quantify the observability tax at n=64: attached-
+// but-disabled must be within noise of the baseline (the zero-overhead-
+// when-disabled contract, EXPERIMENTS.md records the measured delta), and
+// enabled shows the full recording cost.
+func BenchmarkEngineSlotLCFRRN64TraceOff(b *testing.B) {
+	benchmarkSlot(b, "lcf_central_rr", 64, 0.9, tracerDisabled)
+}
+func BenchmarkEngineSlotLCFRRN64TraceOn(b *testing.B) {
+	benchmarkSlot(b, "lcf_central_rr", 64, 0.9, tracerEnabled)
+}
 
 // BenchmarkAdmit isolates the admission path: one uncontended bounded-VOQ
 // push plus counter updates. The engine is swapped out (off the clock)

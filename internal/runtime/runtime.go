@@ -60,6 +60,7 @@ import (
 
 	"repro/internal/matching"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/switchcore"
 )
@@ -127,6 +128,14 @@ type Config struct {
 	// read-only view of the slot's outcome. It runs on the arbiter
 	// goroutine; keep it fast.
 	OnSlot func(SlotEvent)
+
+	// Tracer, when non-nil, receives one obs slot event per tick: the
+	// request cardinality, the matching, and per-grant attribution when
+	// the scheduler implements sched.Explainer. A disabled tracer costs
+	// one atomic load per slot; an enabled one performs atomic stores
+	// into preallocated ring entries only (zero heap allocations either
+	// way — see the traced BenchmarkEngineSlot variants).
+	Tracer *obs.Tracer
 }
 
 func (c *Config) normalize() error {
@@ -170,6 +179,10 @@ type Engine struct {
 	core *switchcore.Core[Frame]
 	inMu []sync.Mutex
 
+	// explainer is cfg.Scheduler's sched.Explainer view, or nil — cached
+	// at construction so tick pays a nil check instead of a type assert.
+	explainer sched.Explainer
+
 	outs []chan Frame
 
 	slot    atomic.Int64
@@ -194,15 +207,25 @@ type Stats struct {
 	WastedGrants  metrics.Counter // grants whose VOQ drained before dispatch
 	MaskedOutputs metrics.Counter // request bits suppressed by a full output channel
 	Backlog       metrics.Gauge   // frames currently queued in VOQs
+	OccupiedVOQs  metrics.Gauge   // non-empty VOQs at the last snapshot (pre-mask)
+
+	// GrantsByRule attributes every grant to the LCF decision rule that
+	// produced it (sched.GrantRule order: unattributed, lcf, diagonal,
+	// prescheduled). Schedulers that do not implement sched.Explainer
+	// count everything as unattributed.
+	GrantsByRule [sched.NumGrantRules]metrics.Counter
 
 	PerInputAdmitted      []metrics.Counter
 	PerInputBackpressured []metrics.Counter
 	PerOutputDelivered    []metrics.Counter
 
 	// VOQDepth samples every non-empty VOQ's length once per slot;
-	// SlotLatency records the arbiter's per-tick compute time in
-	// nanoseconds (how much of the slot budget scheduling consumes).
+	// MatchSize records the matching cardinality of every slot (the
+	// paper's match-size distribution, Figure 5 territory); SlotLatency
+	// records the arbiter's per-tick compute time in nanoseconds (how
+	// much of the slot budget scheduling consumes).
 	VOQDepth    *metrics.LiveHistogram
+	MatchSize   *metrics.LiveHistogram
 	SlotLatency *metrics.LiveHistogram
 }
 
@@ -214,10 +237,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	n := cfg.N
 	e := &Engine{
-		cfg:     cfg,
-		n:       n,
-		core:    switchcore.New[Frame](n, cfg.VOQCap),
-		inMu:    make([]sync.Mutex, n),
+		cfg:  cfg,
+		n:    n,
+		core: switchcore.New[Frame](n, cfg.VOQCap),
+		inMu: make([]sync.Mutex, n),
 		outs: make([]chan Frame, n),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -229,10 +252,15 @@ func New(cfg Config) (*Engine, error) {
 		PerInputAdmitted:      make([]metrics.Counter, n),
 		PerInputBackpressured: make([]metrics.Counter, n),
 		PerOutputDelivered:    make([]metrics.Counter, n),
-		// Depth buckets 1,2,4,…,VOQCap; latency buckets 1µs…~4ms.
+		// Depth buckets 1,2,4,…,VOQCap; match-size buckets 0..n (one per
+		// possible cardinality); latency buckets 1µs…~4ms.
 		VOQDepth:    metrics.NewLiveHistogram(metrics.ExponentialBounds(1, 2, depthBuckets(cfg.VOQCap))),
+		MatchSize:   metrics.NewLiveHistogram(metrics.LinearBounds(0, 1, n+1)),
 		SlotLatency: metrics.NewLiveHistogram(metrics.ExponentialBounds(1000, 2, 13)),
 	}
+	// Grant attribution is resolved once here, not per slot: the type
+	// assertion would be cheap but the nil check in tick is cheaper.
+	e.explainer, _ = cfg.Scheduler.(sched.Explainer)
 	return e, nil
 }
 
@@ -433,6 +461,9 @@ func (e *Engine) tick() {
 	if masked > 0 {
 		e.met.MaskedOutputs.Add(int64(masked))
 	}
+	// requested+masked is the number of non-empty VOQs at snapshot time:
+	// masking suppresses request bits but not occupancy.
+	e.met.OccupiedVOQs.Set(int64(requested + masked))
 
 	// Run the scheduler every slot, requests or not: round-robin pointers
 	// and other slot-to-slot state must advance exactly as they do in the
@@ -445,6 +476,14 @@ func (e *Engine) tick() {
 		if j == matching.Unmatched {
 			continue
 		}
+		// Attribute the grant to its decision rule. This counts the
+		// scheduler's decision, not the dispatch outcome: a grant wasted
+		// on a drained VOQ or a full channel was still decided.
+		rule := sched.RuleUnattributed
+		if e.explainer != nil {
+			rule, _ = e.explainer.Explain(i)
+		}
+		e.met.GrantsByRule[rule].Inc()
 		mu := &e.inMu[i]
 		mu.Lock()
 		f, ok := e.core.Dequeue(i, j)
@@ -475,7 +514,10 @@ func (e *Engine) tick() {
 
 	e.met.Requested.Add(int64(requested))
 	e.met.Matched.Add(int64(matched))
+	e.met.MatchSize.Observe(float64(match.Size()))
 	e.met.SlotLatency.Observe(float64(time.Since(start).Nanoseconds()))
+
+	e.core.EmitTrace(e.cfg.Tracer, now, requested, match, e.cfg.Scheduler)
 
 	if e.cfg.OnSlot != nil {
 		e.cfg.OnSlot(SlotEvent{Slot: now, Match: match, Requested: requested, Matched: matched})

@@ -1,6 +1,9 @@
 package runtime
 
-import "repro/internal/metrics"
+import (
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
 
 // PortSnapshot is one port's cumulative counters plus its instantaneous
 // VOQ backlog (frames queued across the input's n VOQs, read from the
@@ -25,6 +28,12 @@ type Snapshot struct {
 	Matched       int64 `json:"matched"`
 	WastedGrants  int64 `json:"wasted_grants"`
 	MaskedOutputs int64 `json:"masked_outputs"`
+	OccupiedVOQs  int64 `json:"occupied_voqs"`
+
+	// GrantsByRule attributes cumulative grants to the LCF decision rule
+	// that produced them, keyed by sched.GrantRule.String(). Rules that
+	// never fired are omitted.
+	GrantsByRule map[string]int64 `json:"grants_by_rule,omitempty"`
 
 	// MatchRatio is cumulative matched grants over cumulative request
 	// bits — the live matched/requested efficiency of the scheduler.
@@ -35,7 +44,8 @@ type Snapshot struct {
 
 	Ports []PortSnapshot `json:"ports"`
 
-	VOQDepth metrics.HistogramSnapshot `json:"voq_depth"`
+	VOQDepth  metrics.HistogramSnapshot `json:"voq_depth"`
+	MatchSize metrics.HistogramSnapshot `json:"match_size"`
 
 	SlotLatencyNs  metrics.HistogramSnapshot `json:"slot_latency_ns"`
 	SlotLatencyP50 float64                   `json:"slot_latency_p50_ns"`
@@ -59,8 +69,18 @@ func (e *Engine) Snapshot() Snapshot {
 		Matched:       m.Matched.Value(),
 		WastedGrants:  m.WastedGrants.Value(),
 		MaskedOutputs: m.MaskedOutputs.Value(),
+		OccupiedVOQs:  m.OccupiedVOQs.Value(),
 		VOQDepth:      m.VOQDepth.Snapshot(),
+		MatchSize:     m.MatchSize.Snapshot(),
 		SlotLatencyNs: m.SlotLatency.Snapshot(),
+	}
+	for rule := sched.GrantRule(0); rule < sched.NumGrantRules; rule++ {
+		if v := m.GrantsByRule[rule].Value(); v > 0 {
+			if s.GrantsByRule == nil {
+				s.GrantsByRule = make(map[string]int64, sched.NumGrantRules)
+			}
+			s.GrantsByRule[rule.String()] = v
+		}
 	}
 	if s.Requested > 0 {
 		s.MatchRatio = float64(s.Matched) / float64(s.Requested)

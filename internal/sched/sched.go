@@ -69,6 +69,63 @@ func CheckDims(s Scheduler, ctx *Context, m *matching.Match) {
 	}
 }
 
+// GrantRule attributes one grant of a computed matching to the decision
+// rule that produced it. The LCF schedulers distinguish the round-robin
+// diagonal (the fairness mechanism of Section 3) from the least-choice
+// rule itself; schedulers without that structure report every grant as
+// RuleUnattributed.
+type GrantRule uint8
+
+// Grant attribution values, in registration order of the lcf_grants_total
+// Prometheus label.
+const (
+	// RuleUnattributed marks a grant from a scheduler that does not
+	// implement Explainer (or an explained grant outside a named rule).
+	RuleUnattributed GrantRule = iota
+	// RuleLCF marks a grant decided by the least-choice-first comparison:
+	// the winner had the fewest outstanding requests for the resource.
+	RuleLCF
+	// RuleDiagonal marks an RRInterleaved grant where the rotating
+	// round-robin position won unconditionally (Figure 2's "rr position
+	// wins" branch).
+	RuleDiagonal
+	// RulePrescheduled marks a grant of the prescheduled diagonal
+	// (RRPrescheduled), granted before any LCF decision ran.
+	RulePrescheduled
+
+	// NumGrantRules sizes per-rule counter arrays.
+	NumGrantRules = 4
+)
+
+// String returns the Prometheus label value for the rule.
+func (r GrantRule) String() string {
+	switch r {
+	case RuleLCF:
+		return "lcf"
+	case RuleDiagonal:
+		return "diagonal"
+	case RulePrescheduled:
+		return "prescheduled"
+	default:
+		return "unattributed"
+	}
+}
+
+// Explainer is optionally implemented by schedulers that can attribute
+// each grant of their most recent Schedule call to a decision rule —
+// the per-decision visibility the observability layer (internal/obs)
+// records in slot traces and per-rule grant counters.
+type Explainer interface {
+	// Explain reports how input i's grant in the last computed matching
+	// was decided: the rule that won, and the number of outstanding
+	// requests ("choices") the winner held at decision time — the LCF
+	// priority level, 1 meaning the input had only one option left.
+	// For inputs left unmatched by the last Schedule call, Explain
+	// returns (RuleUnattributed, -1). Like Schedule itself, Explain is
+	// not safe for use concurrently with Schedule.
+	Explain(i int) (rule GrantRule, choices int)
+}
+
 // Options bundles the tunables shared across scheduler constructors.
 type Options struct {
 	// Iterations bounds the request/grant/accept rounds of the iterative

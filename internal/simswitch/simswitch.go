@@ -38,6 +38,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/matching"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/queue"
 	"repro/internal/sched"
@@ -127,6 +128,14 @@ type Config struct {
 	// Trace, when non-nil, is invoked once per slot after transfer with a
 	// read-only view of the slot's activity.
 	Trace func(TraceEvent)
+
+	// Tracer, when non-nil, records each slot's scheduling decision (the
+	// freshly computed match, not the pipeline-aged one that transfers)
+	// into the shared obs ring, with per-grant rule attribution when the
+	// scheduler implements sched.Explainer. This is the offline twin of
+	// runtime.Config.Tracer: cmd/lcftrace uses it to produce timelines
+	// from deterministic replays.
+	Tracer *obs.Tracer
 }
 
 // DepartInfo is a by-value record of one departure, safe to retain after
@@ -448,9 +457,10 @@ func (s *Sim) scheduleAndTransfer() error {
 	n := s.cfg.N
 	var req *bitvec.Matrix
 	var computed *matching.Match
+	requested := 0
 	switch s.cfg.Mode {
 	case VOQ:
-		s.core.SnapshotAll()
+		requested = s.core.SnapshotAll()
 		req = s.core.Requests()
 		if s.cfg.PipelineDepth > 1 {
 			// A pipelined requester knows its own outstanding grants (in
@@ -493,11 +503,20 @@ func (s *Sim) scheduleAndTransfer() error {
 		s.match.Reset()
 		s.cfg.Scheduler.Schedule(ctx, s.match)
 		computed = s.match
+		requested = s.req.PopCount()
 		if s.cfg.Validate {
 			if err := matching.Validate(s.match, ctx.Requests()); err != nil {
 				return fmt.Errorf("scheduler %s produced invalid schedule: %w", s.cfg.Scheduler.Name(), err)
 			}
 		}
+	}
+
+	// Record the decision while the scheduler's Explain state still
+	// describes it (the pipeline below ages a clone; attribution for the
+	// aged match is long gone).
+	if tr := s.cfg.Tracer; tr != nil && tr.Enabled() {
+		ex, _ := s.cfg.Scheduler.(sched.Explainer)
+		tr.Emit(int64(s.now), requested, computed, ex)
 	}
 
 	applied := computed

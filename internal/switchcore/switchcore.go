@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -277,4 +278,24 @@ func (c *Core[T]) Match() *matching.Match { return c.match }
 // computed from: conflict-freedom plus grant-implies-request.
 func (c *Core[T]) Validate() error {
 	return matching.Validate(c.match, sched.AsRequests(c.req))
+}
+
+// EmitTrace is the per-slot trace emit point shared by both drivers: it
+// records slot's decision — the request cardinality, the matching m, and
+// (when s implements sched.Explainer, i.e. the LCF schedulers) the
+// decision rule and choice count behind every grant — into tr. m is
+// passed explicitly rather than taken from the core scratch because a
+// pipelined driver applies an aged clone of an earlier decision.
+//
+// Nil-safe on tr, and effectively free when tracing is disabled: the only
+// work before the enabled check inside Tracer.Emit is one interface
+// assertion, so the hook stays in the hot path unconditionally (the
+// zero-overhead-when-disabled contract pinned by TestSlotPathAllocFree
+// and the traced BenchmarkEngineSlot variants).
+func (c *Core[T]) EmitTrace(tr *obs.Tracer, slot int64, requested int, m *matching.Match, s sched.Scheduler) {
+	if tr == nil || !tr.Enabled() {
+		return
+	}
+	ex, _ := s.(sched.Explainer)
+	tr.Emit(slot, requested, m, ex)
 }

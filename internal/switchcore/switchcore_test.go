@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -243,38 +244,59 @@ func TestTotalBacklog(t *testing.T) {
 
 // TestSlotPathAllocFree pins the hot-path property the drivers rely on:
 // once the rings have grown to their working size, a full slot (snapshot
-// + schedule + dequeue + re-enqueue) performs zero heap allocations.
+// + schedule + dequeue + re-enqueue) performs zero heap allocations —
+// with the trace emit point compiled in, whether the tracer is absent,
+// attached but disabled, or actively recording.
 func TestSlotPathAllocFree(t *testing.T) {
-	const n = 16
-	c := New[int](n, 64)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			c.Enqueue(i, j, i*n+j)
-			c.Enqueue(i, j, i*n+j)
-		}
-	}
-	rec := &lensRecorder{n: n, schedule: func(ctx *sched.Context, m *matching.Match) {
-		for i := 0; i < n; i++ {
-			m.Pair(i, i)
-		}
-	}}
-	allocs := testing.AllocsPerRun(200, func() {
-		c.ResetOutputMask()
-		c.MaskOutput(3)
-		c.SnapshotAll()
-		m := c.Schedule(rec)
-		for i := 0; i < n; i++ {
-			j := m.InToOut[i]
-			if j == matching.Unmatched {
-				continue
+	for _, tc := range []struct {
+		name   string
+		tracer func(n int) *obs.Tracer
+	}{
+		{"no tracer", func(int) *obs.Tracer { return nil }},
+		{"tracer disabled", func(n int) *obs.Tracer { return obs.NewTracer(n, 128) }},
+		{"tracer enabled", func(n int) *obs.Tracer {
+			tr := obs.NewTracer(n, 128)
+			tr.Enable()
+			return tr
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 16
+			c := New[int](n, 64)
+			tr := tc.tracer(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					c.Enqueue(i, j, i*n+j)
+					c.Enqueue(i, j, i*n+j)
+				}
 			}
-			if v, ok := c.Dequeue(i, j); ok {
-				c.Enqueue(i, j, v)
+			rec := &lensRecorder{n: n, schedule: func(ctx *sched.Context, m *matching.Match) {
+				for i := 0; i < n; i++ {
+					m.Pair(i, i)
+				}
+			}}
+			slot := int64(0)
+			allocs := testing.AllocsPerRun(200, func() {
+				c.ResetOutputMask()
+				c.MaskOutput(3)
+				requested := c.SnapshotAll()
+				m := c.Schedule(rec)
+				for i := 0; i < n; i++ {
+					j := m.InToOut[i]
+					if j == matching.Unmatched {
+						continue
+					}
+					if v, ok := c.Dequeue(i, j); ok {
+						c.Enqueue(i, j, v)
+					}
+				}
+				c.EmitTrace(tr, slot, requested, m, rec)
+				slot++
+			})
+			if allocs != 0 {
+				t.Fatalf("slot path allocates %.1f times per slot, want 0", allocs)
 			}
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("slot path allocates %.1f times per slot, want 0", allocs)
+		})
 	}
 }
 

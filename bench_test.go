@@ -4,6 +4,7 @@
 package lcf
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -242,38 +243,52 @@ func BenchmarkMulticastPolicies(b *testing.B) {
 	}
 }
 
-// BenchmarkSchedulerDecision measures one scheduling decision per
-// scheduler on a dense 16-port request matrix — the per-slot cost that
-// bounds achievable line rate in a software implementation.
-func BenchmarkSchedulerDecision(b *testing.B) {
-	req := NewRequestMatrix(16)
-	for i := 0; i < 16; i++ {
-		for j := 0; j < 16; j++ {
+// decisionMatrix returns the dense request pattern the decision
+// benchmarks use at any width: ~3/4 of all (i,j) pairs request.
+func decisionMatrix(n int) *RequestMatrix {
+	req := NewRequestMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
 			if (i*5+j*3)%4 != 0 {
 				req.Set(i, j)
 			}
 		}
 	}
+	return req
+}
+
+// BenchmarkSchedulerDecision measures one scheduling decision per
+// scheduler on a dense request matrix — the per-slot cost that bounds
+// achievable line rate in a software implementation. The n=16 tier is
+// the paper's switch size; n=64 and n=256 measure the scaling the
+// word-parallel kernels target (hundreds of ports, where bit-at-a-time
+// scans become the wall).
+func BenchmarkSchedulerDecision(b *testing.B) {
 	for _, name := range SchedulerNames() {
 		b.Run(name, func(b *testing.B) {
-			s, err := NewScheduler(name, 16, Options{Iterations: 4, Seed: 7})
-			if err != nil {
-				b.Fatal(err)
-			}
-			var r *RequestMatrix
-			if name == "fifo" {
-				// FIFO accepts only single-request rows (head-of-line).
-				r = NewRequestMatrix(16)
-				for i := 0; i < 16; i++ {
-					r.Set(i, (i*7)%16)
-				}
-			} else {
-				r = req
-			}
-			m := NewMatch(16)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				Schedule(s, r, m)
+			for _, n := range []int{16, 64, 256} {
+				b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+					s, err := NewScheduler(name, n, Options{Iterations: 4, Seed: 7})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var r *RequestMatrix
+					if name == "fifo" {
+						// FIFO accepts only single-request rows (head-of-line).
+						r = NewRequestMatrix(n)
+						for i := 0; i < n; i++ {
+							r.Set(i, (i*7)%n)
+						}
+					} else {
+						r = decisionMatrix(n)
+					}
+					m := NewMatch(n)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						Schedule(s, r, m)
+					}
+				})
 			}
 		})
 	}

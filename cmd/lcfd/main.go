@@ -73,6 +73,7 @@ func main() {
 		slot       = flag.Duration("slot", 200*time.Microsecond, "slot period of the arbiter loop")
 		voqCap     = flag.Int("voqcap", 256, "per-VOQ capacity (admission backpressure threshold)")
 		outCap     = flag.Int("outcap", 256, "per-output delivery buffer (frames)")
+		prealloc   = flag.Bool("prealloc", false, "size every VOQ ring for -voqcap at startup (no growth allocations on the admit path, n²·voqcap resident frame slots)")
 		iterations = flag.Int("iterations", 4, "iterations for the iterative schedulers")
 		seed       = flag.Uint64("seed", 1, "scheduler RNG seed")
 		traceRing  = flag.Int("trace-ring", 4096, "slot-event trace ring capacity (0 removes the tracer entirely)")
@@ -100,7 +101,7 @@ func main() {
 	}
 	engine, err := rt.New(rt.Config{
 		N: *n, Scheduler: s, VOQCap: *voqCap, OutCap: *outCap, SlotPeriod: *slot,
-		Tracer: tracer,
+		PreallocVOQs: *prealloc, Tracer: tracer,
 	})
 	if err != nil {
 		fatal("%v", err)

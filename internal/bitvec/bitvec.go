@@ -257,13 +257,29 @@ func (v *Vector) String() string {
 type Matrix struct {
 	n    int
 	rows []*Vector
+	// The shared backing of all rows: row i is flat[i·w : (i+1)·w]. The
+	// word-parallel transpose indexes it directly — a strided flat load
+	// instead of two dependent pointer loads per gathered word.
+	flat []uint64
+	w    int // words per row
 }
 
-// NewMatrix returns a zeroed n×n Matrix.
+// NewMatrix returns a zeroed n×n Matrix. The rows share one flat backing
+// array (row i occupies words [i·w, (i+1)·w)), so whole-matrix kernels —
+// the word-parallel transpose above all — walk contiguous memory instead
+// of chasing a pointer per row; each row is still a full *Vector with the
+// checked bit API.
 func NewMatrix(n int) *Matrix {
-	m := &Matrix{n: n, rows: make([]*Vector, n)}
+	if n <= 0 {
+		panic("bitvec: non-positive matrix dimension")
+	}
+	w := (n + wordBits - 1) / wordBits
+	flat := make([]uint64, n*w)
+	m := &Matrix{n: n, rows: make([]*Vector, n), flat: flat, w: w}
+	vecs := make([]Vector, n)
 	for i := range m.rows {
-		m.rows[i] = New(n)
+		vecs[i] = Vector{n: n, words: flat[i*w : (i+1)*w : (i+1)*w]}
+		m.rows[i] = &vecs[i]
 	}
 	return m
 }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// scheduleRef is the original bit-at-a-time transcription of Figure 2,
+// kept as the executable specification for the word-parallel Schedule:
+// the differential tests in central_diff_test.go pin Schedule to this
+// body bit for bit (same matching, same Explain attribution, same
+// tie-breaks) across all RR modes and widths. Do not optimize it.
+func (c *Central) scheduleRef(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(c, ctx, m)
+	m.Reset()
+	n := c.n
+
+	// Initialization block of Figure 2: S[req] := -1 (done by m.Reset) and
+	// nrq[req] := Σ R[req,*]. The request matrix is copied because the
+	// algorithm consumes it (rows of granted requesters are cleared).
+	c.r.Copy(ctx.Req)
+	for req := 0; req < n; req++ {
+		c.nrq[req] = c.r.RowCount(req)
+		c.rules[req] = sched.RuleUnattributed
+		c.choices[req] = -1
+	}
+
+	// RRPrescheduled: grant the entire rotating diagonal before the LCF
+	// pass, so no LCF decision can steal a protected position (the b/n
+	// upper bound of Section 3's fairness range).
+	if c.rrMode == RRPrescheduled {
+		for res := 0; res < n; res++ {
+			resource := (c.j + res) % n
+			rrPos := (c.i + res) % n
+			if c.r.Get(rrPos, resource) && !m.InputMatched(rrPos) {
+				m.Pair(rrPos, resource)
+				c.rules[rrPos] = sched.RulePrescheduled
+				c.choices[rrPos] = c.nrq[rrPos]
+				c.r.ClearRow(rrPos)
+				c.nrq[rrPos] = 0
+				for req := 0; req < n; req++ {
+					if c.r.Get(req, resource) {
+						c.nrq[req]--
+					}
+				}
+			}
+		}
+	}
+
+	// Allocate resources one after the other. At step `res` the resource
+	// being scheduled is (J+res) mod n and the round-robin position for it
+	// is requester (I+res) mod n — together these trace the rotating
+	// diagonal of Figure 3.
+	for res := 0; res < n; res++ {
+		resource := (c.j + res) % n
+		rrPos := (c.i + res) % n
+		if m.OutputMatched(resource) {
+			continue // taken by the prescheduled diagonal
+		}
+		gnt := -1
+		rule := sched.RuleLCF
+
+		if c.rrMode == RRInterleaved && c.r.Get(rrPos, resource) {
+			gnt = rrPos // round-robin position wins
+			rule = sched.RuleDiagonal
+		} else {
+			// Find the requester with the smallest number of requests;
+			// the scan order (req+I+res) mod n is the rotating priority
+			// chain starting at the round-robin position, so the first
+			// requester reached wins ties (strict < below).
+			min := n + 1
+			for req := 0; req < n; req++ {
+				cand := (req + c.i + res) % n
+				if c.r.Get(cand, resource) && c.nrq[cand] < min {
+					gnt = cand
+					min = c.nrq[cand]
+				}
+			}
+		}
+
+		if gnt != -1 {
+			m.Pair(gnt, resource)
+			c.rules[gnt] = rule
+			c.choices[gnt] = c.nrq[gnt]
+			// The granted requester leaves the competition: clear its row
+			// and zero its count, then discount every remaining request
+			// for the resource just taken so later priorities only reflect
+			// still-schedulable choices.
+			c.r.ClearRow(gnt)
+			c.nrq[gnt] = 0
+			for req := 0; req < n; req++ {
+				if c.r.Get(req, resource) {
+					c.nrq[req]--
+				}
+			}
+		}
+	}
+
+	// Advance the diagonal: every position is the round-robin position
+	// once per n² scheduling cycles.
+	c.i = (c.i + 1) % n
+	if c.i == 0 {
+		c.j = (c.j + 1) % n
+	}
+}

@@ -74,9 +74,17 @@ type Central struct {
 	// position once per n² cycles.
 	i, j int
 
-	// Scratch state reused across slots to keep Schedule allocation-free.
+	// Scratch for the reference transcription (central_ref.go).
 	r   *bitvec.Matrix // working copy of the request matrix
 	nrq []int          // outstanding request count per requester
+
+	// Scratch for the word-parallel kernel (DESIGN.md §10), reused across
+	// slots to keep Schedule allocation-free.
+	cols    *bitvec.Matrix // ctx.Req transposed: row r = requesters of resource r
+	granted *bitvec.Vector // requesters matched so far this slot
+	cand    *bitvec.Vector // candidate requesters of the resource in hand
+	minSet  *bitvec.Vector // candidates with the minimal request count
+	nrqBits *bitvec.Counts // bit-sliced outstanding request counts
 
 	// Grant attribution for the last computed matching (sched.Explainer):
 	// which decision rule matched each input and how many outstanding
@@ -120,6 +128,11 @@ func NewCentralRR(n int, mode RRMode) *Central {
 		nrq:     make([]int, n),
 		rules:   make([]sched.GrantRule, n),
 		choices: make([]int, n),
+		cols:    bitvec.NewMatrix(n),
+		granted: bitvec.New(n),
+		cand:    bitvec.New(n),
+		minSet:  bitvec.New(n),
+		nrqBits: bitvec.NewCounts(n, n),
 	}
 }
 
@@ -152,19 +165,35 @@ func (c *Central) SetOffsets(i, j int) {
 	c.j = ((j % c.n) + c.n) % c.n
 }
 
-// Schedule implements sched.Scheduler. It is a direct transcription of the
-// paper's Figure 2, with the matrix bits held in bitvec rows.
+// Schedule implements sched.Scheduler. It computes exactly the Figure 2
+// matching (the transcription survives as scheduleRef in central_ref.go,
+// pinned bit-exact by the differential tests) but runs the three hot
+// decisions word-parallel (DESIGN.md §10):
+//
+//   - The candidate set for resource r is origColumn(r) ∧ ¬granted — the
+//     reference clears only the rows of granted requesters, so its
+//     surviving column is precisely the original column minus them. The
+//     columns come from one word-parallel transpose per slot.
+//   - The reference's discounted nrq[req] always equals |origRow(req) ∩
+//     untaken resources| (each taken resource a requester wanted has
+//     decremented it exactly once), so nrq lives in bit-sliced counters:
+//     the per-grant discount is one DecMasked over the remaining
+//     candidates, and "fewest outstanding requests" is a plane-wise
+//     MinSelectInto instead of an n-wide scan.
+//   - The reference scans candidates in the order (req+I+res) mod n with
+//     a strict <, so the winner is the first member of the argmin set at
+//     or after the round-robin position circularly: FirstSetFrom.
 func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 	sched.CheckDims(c, ctx, m)
 	m.Reset()
 	n := c.n
 
-	// Initialization block of Figure 2: S[req] := -1 (done by m.Reset) and
-	// nrq[req] := Σ R[req,*]. The request matrix is copied because the
-	// algorithm consumes it (rows of granted requesters are cleared).
-	c.r.Copy(ctx.Req)
+	ctx.Req.TransposeInto(c.cols)
+	c.granted.Reset()
+	// nrq[i] = Σ R[i,*]: the column sums of the transposed matrix, bulk-
+	// loaded into the bit-sliced counters in one pass.
+	c.nrqBits.SumRows(c.cols)
 	for req := 0; req < n; req++ {
-		c.nrq[req] = c.r.RowCount(req)
 		c.rules[req] = sched.RuleUnattributed
 		c.choices[req] = -1
 	}
@@ -176,17 +205,11 @@ func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 		for res := 0; res < n; res++ {
 			resource := (c.j + res) % n
 			rrPos := (c.i + res) % n
-			if c.r.Get(rrPos, resource) && !m.InputMatched(rrPos) {
-				m.Pair(rrPos, resource)
-				c.rules[rrPos] = sched.RulePrescheduled
-				c.choices[rrPos] = c.nrq[rrPos]
-				c.r.ClearRow(rrPos)
-				c.nrq[rrPos] = 0
-				for req := 0; req < n; req++ {
-					if c.r.Get(req, resource) {
-						c.nrq[req]--
-					}
-				}
+			// Requested and not yet granted ⇔ the reference's surviving
+			// bit with an unmatched input.
+			if c.cols.Row(resource).Get(rrPos) && !c.granted.Get(rrPos) {
+				c.cand.AndNotInto(c.cols.Row(resource), c.granted)
+				c.grant(m, rrPos, resource, sched.RulePrescheduled, c.nrqBits.Get(rrPos))
 			}
 		}
 	}
@@ -201,42 +224,18 @@ func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 		if m.OutputMatched(resource) {
 			continue // taken by the prescheduled diagonal
 		}
-		gnt := -1
-		rule := sched.RuleLCF
+		c.cand.AndNotInto(c.cols.Row(resource), c.granted)
 
-		if c.rrMode == RRInterleaved && c.r.Get(rrPos, resource) {
-			gnt = rrPos // round-robin position wins
-			rule = sched.RuleDiagonal
-		} else {
-			// Find the requester with the smallest number of requests;
-			// the scan order (req+I+res) mod n is the rotating priority
-			// chain starting at the round-robin position, so the first
-			// requester reached wins ties (strict < below).
-			min := n + 1
-			for req := 0; req < n; req++ {
-				cand := (req + c.i + res) % n
-				if c.r.Get(cand, resource) && c.nrq[cand] < min {
-					gnt = cand
-					min = c.nrq[cand]
-				}
-			}
+		if c.rrMode == RRInterleaved && c.cand.Get(rrPos) {
+			c.grant(m, rrPos, resource, sched.RuleDiagonal, c.nrqBits.Get(rrPos))
+			continue
 		}
-
-		if gnt != -1 {
-			m.Pair(gnt, resource)
-			c.rules[gnt] = rule
-			c.choices[gnt] = c.nrq[gnt]
-			// The granted requester leaves the competition: clear its row
-			// and zero its count, then discount every remaining request
-			// for the resource just taken so later priorities only reflect
-			// still-schedulable choices.
-			c.r.ClearRow(gnt)
-			c.nrq[gnt] = 0
-			for req := 0; req < n; req++ {
-				if c.r.Get(req, resource) {
-					c.nrq[req]--
-				}
-			}
+		// Least choice first: reduce the candidates to those with the
+		// minimal outstanding-request count, then take the first in the
+		// rotating priority chain anchored at the round-robin position.
+		min := c.nrqBits.MinSelectInto(c.minSet, c.cand)
+		if gnt := c.minSet.FirstSetFrom(rrPos); gnt >= 0 {
+			c.grant(m, gnt, resource, sched.RuleLCF, min)
 		}
 	}
 
@@ -246,6 +245,24 @@ func (c *Central) Schedule(ctx *sched.Context, m *matching.Match) {
 	if c.i == 0 {
 		c.j = (c.j + 1) % n
 	}
+}
+
+// grant records the (gnt, resource) pair and maintains the kernel state:
+// the winner leaves the competition, and every remaining candidate of the
+// resource just taken is discounted so later priorities only reflect
+// still-schedulable choices. c.cand must hold the resource's candidate
+// set including gnt; it is consumed. nrq is the winner's pre-discount
+// outstanding-request count (the Explain priority level) — the LCF path
+// gets it for free from the min-select.
+func (c *Central) grant(m *matching.Match, gnt, resource int, rule sched.GrantRule, nrq int) {
+	m.Pair(gnt, resource)
+	c.rules[gnt] = rule
+	c.choices[gnt] = nrq // read before the discount
+	c.granted.Set(gnt)
+	c.cand.Clear(gnt)
+	// Every remaining candidate requested this now-taken resource, so its
+	// count is ≥ 1: DecMasked's no-borrow precondition holds.
+	c.nrqBits.DecMasked(c.cand)
 }
 
 // Explain implements sched.Explainer: it attributes input i's grant in

@@ -37,10 +37,22 @@ type Dist struct {
 	grantPtr  []int // per target: where the grant search starts
 	acceptPtr []int // per initiator: where the accept search starts
 
-	// Scratch, reused across slots.
-	nrq    []int          // per initiator: requests sent this iteration
-	ngt    []int          // per target: requests received this iteration
+	// Scratch for the reference transcription (dist_ref.go).
+	nrq []int // per initiator: requests sent this iteration
+	ngt []int // per target: requests received this iteration
+
 	grants *bitvec.Matrix // grants[i] has bit j set: target j granted initiator i
+
+	// Scratch for the word-parallel kernel (DESIGN.md §10).
+	cols         *bitvec.Matrix // ctx.Req transposed: row j = requesters of target j
+	unmatchedIn  *bitvec.Vector // initiators not yet matched this slot
+	unmatchedOut *bitvec.Vector // targets not yet matched this slot
+	nrqPos       *bitvec.Vector // unmatched initiators with nrq > 0
+	grantedIn    *bitvec.Vector // initiators holding ≥1 grant this iteration
+	cand         *bitvec.Vector // per-target candidate scratch
+	minSet       *bitvec.Vector // argmin scratch
+	nrqBits      *bitvec.Counts // bit-sliced nrq
+	ngtBits      *bitvec.Counts // bit-sliced ngt
 
 	stats MessageStats
 }
@@ -89,14 +101,23 @@ func NewDist(n, iterations int, roundRobin bool) *Dist {
 		panic("core: non-positive iteration count")
 	}
 	return &Dist{
-		n:          n,
-		iterations: iterations,
-		roundRobin: roundRobin,
-		grantPtr:   make([]int, n),
-		acceptPtr:  make([]int, n),
-		nrq:        make([]int, n),
-		ngt:        make([]int, n),
-		grants:     bitvec.NewMatrix(n),
+		n:            n,
+		iterations:   iterations,
+		roundRobin:   roundRobin,
+		grantPtr:     make([]int, n),
+		acceptPtr:    make([]int, n),
+		nrq:          make([]int, n),
+		ngt:          make([]int, n),
+		grants:       bitvec.NewMatrix(n),
+		cols:         bitvec.NewMatrix(n),
+		unmatchedIn:  bitvec.New(n),
+		unmatchedOut: bitvec.New(n),
+		nrqPos:       bitvec.New(n),
+		grantedIn:    bitvec.New(n),
+		cand:         bitvec.New(n),
+		minSet:       bitvec.New(n),
+		nrqBits:      bitvec.NewCounts(n, n),
+		ngtBits:      bitvec.NewCounts(n, n),
 	}
 }
 
@@ -124,18 +145,33 @@ func (d *Dist) SetPosition(i, j int) {
 	d.j = ((j % d.n) + d.n) % d.n
 }
 
-// Schedule implements sched.Scheduler.
+// Schedule implements sched.Scheduler. It computes exactly the Section 5
+// protocol of scheduleRef (dist_ref.go), pinned bit-exact — including
+// pointer evolution and MessageStats — by the differential tests, but
+// runs the three steps word-parallel (DESIGN.md §10): choice counts are
+// masked popcounts over unmatched-target words, the per-target grant
+// candidates are one column AND against the requesting-initiator set,
+// and both "lowest count wins, ties round-robin" selections are a
+// bit-sliced min-select followed by a circular first-set scan from the
+// port's rotating pointer.
 func (d *Dist) Schedule(ctx *sched.Context, m *matching.Match) {
 	sched.CheckDims(d, ctx, m)
 	m.Reset()
 	n := d.n
 	req := ctx.Req
 
+	d.unmatchedIn.SetAll()
+	d.unmatchedOut.SetAll()
+
 	// Round-robin pre-match: the rotating position is "scheduled before
 	// regular LCF scheduling takes place" (Section 5).
 	if d.roundRobin && req.Get(d.i, d.j) {
 		m.Pair(d.i, d.j)
+		d.unmatchedIn.Clear(d.i)
+		d.unmatchedOut.Clear(d.j)
 	}
+
+	req.TransposeInto(d.cols)
 
 	d.stats.Cycles++
 	for it := 0; it < d.iterations; it++ {
@@ -143,18 +179,13 @@ func (d *Dist) Schedule(ctx *sched.Context, m *matching.Match) {
 		// over unmatched targets. An initiator whose remaining requests
 		// all point at matched targets sends nothing.
 		anyRequest := false
-		for i := 0; i < n; i++ {
-			d.nrq[i] = 0
-			if m.InputMatched(i) {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if !m.OutputMatched(j) && req.Get(i, j) {
-					d.nrq[i]++
-				}
-			}
-			if d.nrq[i] > 0 {
-				d.stats.Requests += int64(d.nrq[i])
+		d.nrqPos.Reset()
+		for i := d.unmatchedIn.FirstSet(); i >= 0; i = d.unmatchedIn.NextSetAfter(i) {
+			nrq := req.Row(i).AndCount(d.unmatchedOut)
+			if nrq > 0 {
+				d.nrqBits.Set(i, nrq)
+				d.nrqPos.Set(i)
+				d.stats.Requests += int64(nrq)
 				anyRequest = true
 			}
 		}
@@ -166,30 +197,23 @@ func (d *Dist) Schedule(ctx *sched.Context, m *matching.Match) {
 		// initiator with the lowest nrq; the rotating pointer breaks ties
 		// by deciding which equal-priority initiator is reached first.
 		d.grants.Reset()
+		d.grantedIn.Reset()
 		anyGrant := false
-		for j := 0; j < n; j++ {
-			d.ngt[j] = 0
-			if m.OutputMatched(j) {
+		for j := d.unmatchedOut.FirstSet(); j >= 0; j = d.unmatchedOut.NextSetAfter(j) {
+			// Candidates = requesters of j that are unmatched with nrq>0;
+			// ngt[j] is how many requests target j received.
+			d.cand.AndInto(d.cols.Row(j), d.nrqPos)
+			ngt := d.cand.PopCount()
+			if ngt == 0 {
 				continue
 			}
-			best := -1
-			bestNRQ := n + 1
-			for k := 0; k < n; k++ {
-				i := (d.grantPtr[j] + k) % n
-				if m.InputMatched(i) || !req.Get(i, j) || d.nrq[i] == 0 {
-					continue
-				}
-				d.ngt[j]++
-				if d.nrq[i] < bestNRQ {
-					best = i
-					bestNRQ = d.nrq[i]
-				}
-			}
-			if best >= 0 {
-				d.grants.Set(best, j)
-				anyGrant = true
-				d.stats.Grants++
-			}
+			d.ngtBits.Set(j, ngt)
+			d.nrqBits.MinSelectInto(d.minSet, d.cand)
+			best := d.minSet.FirstSetFrom(d.grantPtr[j])
+			d.grants.Set(best, j)
+			d.grantedIn.Set(best)
+			anyGrant = true
+			d.stats.Grants++
 		}
 		if !anyGrant {
 			break // converged: no unmatched initiator requests an unmatched target
@@ -199,21 +223,12 @@ func (d *Dist) Schedule(ctx *sched.Context, m *matching.Match) {
 		// target with the lowest ngt, ties again broken by a rotating
 		// pointer. Pointers advance past the chosen partner only when a
 		// match forms, the update rule that avoids pointer synchronization.
-		for i := 0; i < n; i++ {
-			row := d.grants.Row(i)
-			if row.None() {
-				continue
-			}
-			best := -1
-			bestNGT := n + 1
-			for k := 0; k < n; k++ {
-				j := (d.acceptPtr[i] + k) % n
-				if row.Get(j) && d.ngt[j] < bestNGT {
-					best = j
-					bestNGT = d.ngt[j]
-				}
-			}
+		for i := d.grantedIn.FirstSet(); i >= 0; i = d.grantedIn.NextSetAfter(i) {
+			d.ngtBits.MinSelectInto(d.minSet, d.grants.Row(i))
+			best := d.minSet.FirstSetFrom(d.acceptPtr[i])
 			m.Pair(i, best)
+			d.unmatchedIn.Clear(i)
+			d.unmatchedOut.Clear(best)
 			d.stats.Accepts++
 			d.grantPtr[best] = (i + 1) % n
 			d.acceptPtr[i] = (best + 1) % n

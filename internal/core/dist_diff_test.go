@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// diffDist drives a word-parallel Dist and a reference Dist in lockstep
+// and fails on the first divergence in matching, rotating pointers, or
+// MessageStats. The pointers are the long-lived state: agreement over
+// many slots pins the tie-break evolution, not just one decision.
+func diffDist(t *testing.T, n, iterations int, rr bool, seed int64, slots int) {
+	t.Helper()
+	fast := NewDist(n, iterations, rr)
+	ref := NewDist(n, iterations, rr)
+	r := rand.New(rand.NewSource(seed))
+	req := bitvec.NewMatrix(n)
+	ctx := &sched.Context{Req: req}
+	mFast := matching.NewMatch(n)
+	mRef := matching.NewMatch(n)
+	for slot := 0; slot < slots; slot++ {
+		req.Reset()
+		density := r.Float64()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Float64() < density {
+					req.Set(i, j)
+				}
+			}
+		}
+		fast.Schedule(ctx, mFast)
+		ref.scheduleRef(ctx, mRef)
+		for i := 0; i < n; i++ {
+			if mFast.InToOut[i] != mRef.InToOut[i] {
+				t.Fatalf("n=%d iter=%d rr=%v slot=%d: input %d matched to %d, reference %d",
+					n, iterations, rr, slot, i, mFast.InToOut[i], mRef.InToOut[i])
+			}
+			if fast.grantPtr[i] != ref.grantPtr[i] || fast.acceptPtr[i] != ref.acceptPtr[i] {
+				t.Fatalf("n=%d iter=%d rr=%v slot=%d: pointers diverged at port %d: grant %d/%d accept %d/%d",
+					n, iterations, rr, slot, i,
+					fast.grantPtr[i], ref.grantPtr[i], fast.acceptPtr[i], ref.acceptPtr[i])
+			}
+		}
+		if fast.Stats() != ref.Stats() {
+			t.Fatalf("n=%d iter=%d rr=%v slot=%d: stats %+v, reference %+v",
+				n, iterations, rr, slot, fast.Stats(), ref.Stats())
+		}
+	}
+}
+
+// TestDistMatchesReference sweeps every width in 1..65 for both variants.
+func TestDistMatchesReference(t *testing.T) {
+	for n := 1; n <= 65; n++ {
+		slots := 8
+		if n <= 16 {
+			slots = 30
+		}
+		for _, rr := range []bool{false, true} {
+			diffDist(t, n, 4, rr, int64(n)*2+7, slots)
+		}
+	}
+}
+
+// TestDistMatchesReferenceIterations varies the iteration bound, which
+// changes how often the convergence break fires.
+func TestDistMatchesReferenceIterations(t *testing.T) {
+	for _, iters := range []int{1, 2, 6} {
+		for _, n := range []int{5, 17, 33, 64} {
+			diffDist(t, n, iters, true, int64(iters*100+n), 15)
+		}
+	}
+}
+
+// FuzzDistMatchesReference lets the fuzzer pick width, variant, position,
+// and the raw request bits.
+func FuzzDistMatchesReference(f *testing.F) {
+	f.Add(uint8(8), true, uint8(3), []byte{0xa5, 0x12})
+	f.Add(uint8(17), false, uint8(0), []byte{0xff, 0x00, 0xff})
+	f.Add(uint8(63), true, uint8(62), []byte{0x77})
+	f.Add(uint8(65), false, uint8(64), []byte{0x01, 0x80, 0x3c})
+	f.Fuzz(func(t *testing.T, width uint8, rr bool, pos uint8, bits []byte) {
+		n := int(width%65) + 1
+		fast := NewDist(n, 4, rr)
+		ref := NewDist(n, 4, rr)
+		fast.SetPosition(int(pos), int(pos)/2)
+		ref.SetPosition(int(pos), int(pos)/2)
+		req := bitvec.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				k := i*n + j
+				if k/8 < len(bits) && bits[k/8]>>(k%8)&1 == 1 {
+					req.Set(i, j)
+				}
+			}
+		}
+		ctx := &sched.Context{Req: req}
+		mFast := matching.NewMatch(n)
+		mRef := matching.NewMatch(n)
+		for slot := 0; slot < 3; slot++ {
+			fast.Schedule(ctx, mFast)
+			ref.scheduleRef(ctx, mRef)
+			for i := 0; i < n; i++ {
+				if mFast.InToOut[i] != mRef.InToOut[i] {
+					t.Fatalf("n=%d rr=%v slot=%d input %d: %d vs %d",
+						n, rr, slot, i, mFast.InToOut[i], mRef.InToOut[i])
+				}
+			}
+			if fast.Stats() != ref.Stats() {
+				t.Fatalf("n=%d rr=%v slot=%d: stats %+v vs %+v",
+					n, rr, slot, fast.Stats(), ref.Stats())
+			}
+		}
+	})
+}

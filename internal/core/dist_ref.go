@@ -1,0 +1,113 @@
+package core
+
+import (
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// scheduleRef is the original bit-at-a-time transcription of the Section 5
+// protocol, kept as the executable specification for the word-parallel
+// Schedule: the differential tests in dist_diff_test.go pin Schedule to
+// this body bit for bit (same matching, same pointer evolution, same
+// MessageStats). Do not optimize it.
+func (d *Dist) scheduleRef(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(d, ctx, m)
+	m.Reset()
+	n := d.n
+	req := ctx.Req
+
+	// Round-robin pre-match: the rotating position is "scheduled before
+	// regular LCF scheduling takes place" (Section 5).
+	if d.roundRobin && req.Get(d.i, d.j) {
+		m.Pair(d.i, d.j)
+	}
+
+	d.stats.Cycles++
+	for it := 0; it < d.iterations; it++ {
+		// Request step: recompute each unmatched initiator's choice count
+		// over unmatched targets. An initiator whose remaining requests
+		// all point at matched targets sends nothing.
+		anyRequest := false
+		for i := 0; i < n; i++ {
+			d.nrq[i] = 0
+			if m.InputMatched(i) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !m.OutputMatched(j) && req.Get(i, j) {
+					d.nrq[i]++
+				}
+			}
+			if d.nrq[i] > 0 {
+				d.stats.Requests += int64(d.nrq[i])
+				anyRequest = true
+			}
+		}
+		if anyRequest {
+			d.stats.Iterations++
+		}
+
+		// Grant step: each unmatched target grants the requesting
+		// initiator with the lowest nrq; the rotating pointer breaks ties
+		// by deciding which equal-priority initiator is reached first.
+		d.grants.Reset()
+		anyGrant := false
+		for j := 0; j < n; j++ {
+			d.ngt[j] = 0
+			if m.OutputMatched(j) {
+				continue
+			}
+			best := -1
+			bestNRQ := n + 1
+			for k := 0; k < n; k++ {
+				i := (d.grantPtr[j] + k) % n
+				if m.InputMatched(i) || !req.Get(i, j) || d.nrq[i] == 0 {
+					continue
+				}
+				d.ngt[j]++
+				if d.nrq[i] < bestNRQ {
+					best = i
+					bestNRQ = d.nrq[i]
+				}
+			}
+			if best >= 0 {
+				d.grants.Set(best, j)
+				anyGrant = true
+				d.stats.Grants++
+			}
+		}
+		if !anyGrant {
+			break // converged: no unmatched initiator requests an unmatched target
+		}
+
+		// Accept step: each initiator with grants accepts the granting
+		// target with the lowest ngt, ties again broken by a rotating
+		// pointer. Pointers advance past the chosen partner only when a
+		// match forms, the update rule that avoids pointer synchronization.
+		for i := 0; i < n; i++ {
+			row := d.grants.Row(i)
+			if row.None() {
+				continue
+			}
+			best := -1
+			bestNGT := n + 1
+			for k := 0; k < n; k++ {
+				j := (d.acceptPtr[i] + k) % n
+				if row.Get(j) && d.ngt[j] < bestNGT {
+					best = j
+					bestNGT = d.ngt[j]
+				}
+			}
+			m.Pair(i, best)
+			d.stats.Accepts++
+			d.grantPtr[best] = (i + 1) % n
+			d.acceptPtr[i] = (best + 1) % n
+		}
+	}
+
+	// Advance the round-robin position for the next scheduling cycle.
+	d.i = (d.i + 1) % n
+	if d.i == 0 {
+		d.j = (d.j + 1) % n
+	}
+}

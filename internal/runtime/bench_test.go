@@ -83,8 +83,12 @@ func BenchmarkEngineSlotLCFRRN16(b *testing.B) {
 func BenchmarkEngineSlotLCFRRN64(b *testing.B) {
 	benchmarkSlot(b, "lcf_central_rr", 64, 0.9, tracerNone)
 }
-func BenchmarkEngineSlotISLIPN16(b *testing.B) { benchmarkSlot(b, "islip", 16, 0.9, tracerNone) }
-func BenchmarkEngineSlotISLIPN64(b *testing.B) { benchmarkSlot(b, "islip", 64, 0.9, tracerNone) }
+func BenchmarkEngineSlotLCFRRN256(b *testing.B) {
+	benchmarkSlot(b, "lcf_central_rr", 256, 0.9, tracerNone)
+}
+func BenchmarkEngineSlotISLIPN16(b *testing.B)  { benchmarkSlot(b, "islip", 16, 0.9, tracerNone) }
+func BenchmarkEngineSlotISLIPN64(b *testing.B)  { benchmarkSlot(b, "islip", 64, 0.9, tracerNone) }
+func BenchmarkEngineSlotISLIPN256(b *testing.B) { benchmarkSlot(b, "islip", 256, 0.9, tracerNone) }
 
 // The traced variants quantify the observability tax at n=64: attached-
 // but-disabled must be within noise of the baseline (the zero-overhead-
@@ -97,18 +101,21 @@ func BenchmarkEngineSlotLCFRRN64TraceOn(b *testing.B) {
 	benchmarkSlot(b, "lcf_central_rr", 64, 0.9, tracerEnabled)
 }
 
-// BenchmarkAdmit isolates the admission path: one uncontended bounded-VOQ
+// benchmarkAdmit isolates the admission path: one uncontended bounded-VOQ
 // push plus counter updates. The engine is swapped out (off the clock)
 // whenever every VOQ is full, so the measured path is always a successful
-// bounded admit.
-func BenchmarkAdmit(b *testing.B) {
+// bounded admit. With prealloc false the measurement includes the rings'
+// amortized doubling toward their working size; with prealloc true the
+// path must be strictly allocation-free (0 B/op), the PreallocVOQs
+// contract.
+func benchmarkAdmit(b *testing.B, prealloc bool) {
 	const n, voqCap = 16, 256
 	newEngine := func() *rt.Engine {
 		s, err := registry.New("lcf_central_rr", n, sched.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		e, err := rt.New(rt.Config{N: n, Scheduler: s, VOQCap: voqCap})
+		e, err := rt.New(rt.Config{N: n, Scheduler: s, VOQCap: voqCap, PreallocVOQs: prealloc})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,3 +139,6 @@ func BenchmarkAdmit(b *testing.B) {
 		filled++
 	}
 }
+
+func BenchmarkAdmit(b *testing.B)         { benchmarkAdmit(b, false) }
+func BenchmarkAdmitPrealloc(b *testing.B) { benchmarkAdmit(b, true) }

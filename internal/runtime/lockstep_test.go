@@ -48,103 +48,123 @@ func genArrivals(n int, load float64, seed uint64, slots int) [][]int {
 // schedule call. Queue capacities are set high enough that neither side
 // ever hits a bound (a blocked PQ promotion has no engine analogue).
 func TestRuntimeMatchesSimswitch(t *testing.T) {
-	const (
-		n     = 8
-		load  = 0.85
-		seed  = 42
-		slots = 2000
-		cap   = 4096
-	)
 	covered := 0
 	for _, name := range registry.Names() {
 		if name == "fifo" {
 			continue // FIFO-organization scheduler; no VOQ analogue (see above)
 		}
 		covered++
-		t.Run(name, func(t *testing.T) {
-			arrivals := genArrivals(n, load, seed, slots)
-			opts := sched.Options{Iterations: 4, Seed: 99}
-
-			// Offline reference: record each slot's matching.
-			simSched, err := registry.New(name, n, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var simMatches [][]int
-			_, err = simswitch.Run(simswitch.Config{
-				N:            n,
-				Mode:         simswitch.VOQ,
-				Scheduler:    simSched,
-				Gen:          traffic.NewTrace(n, arrivals),
-				VOQCap:       cap,
-				PQCap:        cap,
-				MeasureSlots: slots,
-				Validate:     true,
-				Trace: func(ev simswitch.TraceEvent) {
-					simMatches = append(simMatches, append([]int(nil), ev.Match.InToOut...))
-				},
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			// Live engine, lockstep.
-			rtSched, err := registry.New(name, n, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var rtMatches [][]int
-			e, err := rt.New(rt.Config{
-				N:         n,
-				Scheduler: rtSched,
-				VOQCap:    cap,
-				OutCap:    4,
-				OnSlot: func(ev rt.SlotEvent) {
-					rtMatches = append(rtMatches, append([]int(nil), ev.Match.InToOut...))
-				},
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			var deliveredRT int64
-			for tt := 0; tt < slots; tt++ {
-				e.Tick()
-				for i, dst := range arrivals[tt] {
-					if dst == traffic.NoPacket {
-						continue
-					}
-					if err := e.Admit(i, dst, uint64(tt), 0); err != nil {
-						t.Fatalf("slot %d: Admit(%d,%d): %v", tt, i, dst, err)
-					}
-				}
-				for j := 0; j < n; j++ {
-					for {
-						select {
-						case <-e.Output(j):
-							deliveredRT++
-							continue
-						default:
-						}
-						break
-					}
-				}
-			}
-
-			if len(simMatches) != slots || len(rtMatches) != slots {
-				t.Fatalf("recorded %d sim / %d runtime matches, want %d", len(simMatches), len(rtMatches), slots)
-			}
-			for tt := 0; tt < slots; tt++ {
-				if err := equalMatch(simMatches[tt], rtMatches[tt]); err != nil {
-					t.Fatalf("slot %d: %v\n  sim: %v\n  rt:  %v", tt, err, simMatches[tt], rtMatches[tt])
-				}
-			}
-			if d := e.Snapshot().Delivered; d != deliveredRT {
-				t.Fatalf("engine counted %d deliveries, consumer saw %d", d, deliveredRT)
-			}
-		})
+		t.Run(name, func(t *testing.T) { lockstepCompare(t, name, 8, 2000) })
 	}
 	if covered < 2 {
 		t.Fatalf("lockstep covered %d schedulers; registry looks broken", covered)
+	}
+}
+
+// TestRuntimeMatchesSimswitchOddWidths repeats the lockstep cross-check at
+// non-word-multiple widths (17, 63, 65) for the schedulers rebuilt on the
+// word-parallel kernels, where last-word masking bugs would live. Fewer
+// slots and schedulers than the n=8 sweep keep the runtime sane; the
+// kernels themselves are pinned bit-exact against their references across
+// n ∈ 1..65 by the in-package differential tests.
+func TestRuntimeMatchesSimswitchOddWidths(t *testing.T) {
+	for _, n := range []int{17, 63, 65} {
+		for _, name := range []string{"lcf_central_rr", "lcf_dist", "islip", "pim", "rrm"} {
+			t.Run(fmt.Sprintf("%s/n%d", name, n), func(t *testing.T) {
+				lockstepCompare(t, name, n, 300)
+			})
+		}
+	}
+}
+
+// lockstepCompare drives the live engine in deterministic lockstep against
+// the offline simulator with the same scheduler, seed and arrival trace,
+// asserting identical per-slot matchings (see TestRuntimeMatchesSimswitch
+// for the slot-alignment argument).
+func lockstepCompare(t *testing.T, name string, n, slots int) {
+	const (
+		load = 0.85
+		seed = 42
+		cap  = 4096
+	)
+	arrivals := genArrivals(n, load, seed, slots)
+	opts := sched.Options{Iterations: 4, Seed: 99}
+
+	// Offline reference: record each slot's matching.
+	simSched, err := registry.New(name, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simMatches [][]int
+	_, err = simswitch.Run(simswitch.Config{
+		N:            n,
+		Mode:         simswitch.VOQ,
+		Scheduler:    simSched,
+		Gen:          traffic.NewTrace(n, arrivals),
+		VOQCap:       cap,
+		PQCap:        cap,
+		MeasureSlots: int64(slots),
+		Validate:     true,
+		Trace: func(ev simswitch.TraceEvent) {
+			simMatches = append(simMatches, append([]int(nil), ev.Match.InToOut...))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live engine, lockstep.
+	rtSched, err := registry.New(name, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rtMatches [][]int
+	e, err := rt.New(rt.Config{
+		N:         n,
+		Scheduler: rtSched,
+		VOQCap:    cap,
+		OutCap:    4,
+		OnSlot: func(ev rt.SlotEvent) {
+			rtMatches = append(rtMatches, append([]int(nil), ev.Match.InToOut...))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredRT int64
+	for tt := 0; tt < slots; tt++ {
+		e.Tick()
+		for i, dst := range arrivals[tt] {
+			if dst == traffic.NoPacket {
+				continue
+			}
+			if err := e.Admit(i, dst, uint64(tt), 0); err != nil {
+				t.Fatalf("slot %d: Admit(%d,%d): %v", tt, i, dst, err)
+			}
+		}
+		for j := 0; j < n; j++ {
+			for {
+				select {
+				case <-e.Output(j):
+					deliveredRT++
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+
+	if len(simMatches) != slots || len(rtMatches) != slots {
+		t.Fatalf("recorded %d sim / %d runtime matches, want %d", len(simMatches), len(rtMatches), slots)
+	}
+	for tt := 0; tt < slots; tt++ {
+		if err := equalMatch(simMatches[tt], rtMatches[tt]); err != nil {
+			t.Fatalf("slot %d: %v\n  sim: %v\n  rt:  %v", tt, err, simMatches[tt], rtMatches[tt])
+		}
+	}
+	if d := e.Snapshot().Delivered; d != deliveredRT {
+		t.Fatalf("engine counted %d deliveries, consumer saw %d", d, deliveredRT)
 	}
 }
 

@@ -113,6 +113,18 @@ type Config struct {
 	// Default 256.
 	OutCap int
 
+	// PreallocVOQs sizes every VOQ ring at its full VOQCap during
+	// construction instead of growing it on demand. The trade-off is
+	// memory for determinism: the default lazy rings amortize ~90 B per
+	// admitted frame while doubling toward their working size, whereas
+	// preallocated rings make Admit strictly allocation-free from the
+	// first frame — at the cost of n²·ceilPow2(VOQCap) resident frame
+	// slots up front (≈25 MB for n=64, VOQCap=256, 24-byte frames) that
+	// lazy deployments only pay for VOQs that actually fill. Enable it
+	// for latency-sensitive deployments where an allocation (and the GC
+	// pressure behind it) on the admit path is worse than the footprint.
+	PreallocVOQs bool
+
 	// SlotPeriod > 0 selects live mode: Start runs the arbiter on a
 	// ticker with this period. 0 selects lockstep mode: the caller drives
 	// slots via Tick.
@@ -239,7 +251,7 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:  cfg,
 		n:    n,
-		core: switchcore.New[Frame](n, cfg.VOQCap),
+		core: switchcore.NewPrealloc[Frame](n, cfg.VOQCap, cfg.PreallocVOQs),
 		inMu: make([]sync.Mutex, n),
 		outs: make([]chan Frame, n),
 		stop: make(chan struct{}),

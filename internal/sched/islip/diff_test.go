@@ -1,0 +1,58 @@
+package islip
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// TestScheduleMatchesReference pins the word-parallel Schedule to the
+// bit-at-a-time scheduleRef across every width in 1..65, both pointer
+// disciplines (iSLIP and FIRM), over many slots so the rotating-pointer
+// evolution is compared too.
+func TestScheduleMatchesReference(t *testing.T) {
+	for n := 1; n <= 65; n++ {
+		for _, firm := range []bool{false, true} {
+			mk := New
+			if firm {
+				mk = NewFIRM
+			}
+			fast, ref := mk(n, 4), mk(n, 4)
+			r := rand.New(rand.NewSource(int64(n)*10 + 1))
+			req := bitvec.NewMatrix(n)
+			ctx := &sched.Context{Req: req}
+			mFast, mRef := matching.NewMatch(n), matching.NewMatch(n)
+			slots := 10
+			if n <= 16 {
+				slots = 40
+			}
+			for slot := 0; slot < slots; slot++ {
+				req.Reset()
+				density := r.Float64()
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if r.Float64() < density {
+							req.Set(i, j)
+						}
+					}
+				}
+				fast.Schedule(ctx, mFast)
+				ref.scheduleRef(ctx, mRef)
+				for i := 0; i < n; i++ {
+					if mFast.InToOut[i] != mRef.InToOut[i] {
+						t.Fatalf("n=%d firm=%v slot=%d input %d: %d vs %d",
+							n, firm, slot, i, mFast.InToOut[i], mRef.InToOut[i])
+					}
+					if fast.grantPtr[i] != ref.grantPtr[i] || fast.acceptPtr[i] != ref.acceptPtr[i] {
+						t.Fatalf("n=%d firm=%v slot=%d port %d: pointers grant %d/%d accept %d/%d",
+							n, firm, slot, i,
+							fast.grantPtr[i], ref.grantPtr[i], fast.acceptPtr[i], ref.acceptPtr[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -21,6 +21,12 @@ type ISLIP struct {
 	acceptPtr []int // a_i: per-input rotating accept pointer
 
 	grants *bitvec.Matrix
+
+	// Word-parallel kernel scratch (DESIGN.md §10).
+	cols         *bitvec.Matrix // ctx.Req transposed: row j = requesters of output j
+	unmatchedIn  *bitvec.Vector
+	unmatchedOut *bitvec.Vector
+	grantedIn    *bitvec.Vector // inputs holding ≥1 grant this iteration
 }
 
 var _ sched.Scheduler = (*ISLIP)(nil)
@@ -35,11 +41,15 @@ func New(n, iterations int) *ISLIP {
 		panic("islip: non-positive iteration count")
 	}
 	return &ISLIP{
-		n:          n,
-		iterations: iterations,
-		grantPtr:   make([]int, n),
-		acceptPtr:  make([]int, n),
-		grants:     bitvec.NewMatrix(n),
+		n:            n,
+		iterations:   iterations,
+		grantPtr:     make([]int, n),
+		acceptPtr:    make([]int, n),
+		grants:       bitvec.NewMatrix(n),
+		cols:         bitvec.NewMatrix(n),
+		unmatchedIn:  bitvec.New(n),
+		unmatchedOut: bitvec.New(n),
+		grantedIn:    bitvec.New(n),
 	}
 }
 
@@ -82,46 +92,50 @@ func (s *ISLIP) Pointers() (grant, accept []int) {
 // Pointers advance one position beyond the partner — but only for matches
 // made in the first iteration, the rule iSLIP uses to preserve its
 // starvation-freedom and desynchronization properties.
+// The implementation is word-parallel (DESIGN.md §10; the bit-at-a-time
+// sweep survives as scheduleRef in ref.go, pinned bit-exact by the
+// differential tests): each output's grant is one circular masked
+// first-set scan of its requester column against the unmatched-input
+// set — the programmable priority encoder of McKeown's hardware, run in
+// software over 64-bit words.
 func (s *ISLIP) Schedule(ctx *sched.Context, m *matching.Match) {
 	sched.CheckDims(s, ctx, m)
 	m.Reset()
-	n := s.n
 	req := ctx.Req
+
+	req.TransposeInto(s.cols)
+	s.unmatchedIn.SetAll()
+	s.unmatchedOut.SetAll()
 
 	for it := 0; it < s.iterations; it++ {
 		s.grants.Reset()
+		s.grantedIn.Reset()
 		anyGrant := false
-		for j := 0; j < n; j++ {
-			if m.OutputMatched(j) {
+		for j := s.unmatchedOut.FirstSet(); j >= 0; j = s.unmatchedOut.NextSetAfter(j) {
+			i := s.cols.Row(j).FirstSetFromAnd(s.unmatchedIn, s.grantPtr[j])
+			if i < 0 {
 				continue
 			}
-			for k := 0; k < n; k++ {
-				i := (s.grantPtr[j] + k) % n
-				if !m.InputMatched(i) && req.Get(i, j) {
-					s.grants.Set(i, j)
-					anyGrant = true
-					if s.firm && it == 0 {
-						// FIRM: park on the granted input now; an
-						// acceptance below moves it one past.
-						s.grantPtr[j] = i
-					}
-					break
-				}
+			s.grants.Set(i, j)
+			s.grantedIn.Set(i)
+			anyGrant = true
+			if s.firm && it == 0 {
+				// FIRM: park on the granted input now; an
+				// acceptance below moves it one past.
+				s.grantPtr[j] = i
 			}
 		}
 		if !anyGrant {
 			break
 		}
-		for i := 0; i < n; i++ {
-			row := s.grants.Row(i)
-			if row.None() {
-				continue
-			}
-			j := row.FirstSetFrom(s.acceptPtr[i])
+		for i := s.grantedIn.FirstSet(); i >= 0; i = s.grantedIn.NextSetAfter(i) {
+			j := s.grants.Row(i).FirstSetFrom(s.acceptPtr[i])
 			m.Pair(i, j)
+			s.unmatchedIn.Clear(i)
+			s.unmatchedOut.Clear(j)
 			if it == 0 {
-				s.grantPtr[j] = (i + 1) % n
-				s.acceptPtr[i] = (j + 1) % n
+				s.grantPtr[j] = (i + 1) % s.n
+				s.acceptPtr[i] = (j + 1) % s.n
 			}
 		}
 	}

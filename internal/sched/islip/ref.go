@@ -1,0 +1,56 @@
+package islip
+
+import (
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// scheduleRef is the original bit-at-a-time grant/accept sweep, kept as
+// the executable specification for the word-parallel Schedule: the
+// differential tests pin Schedule to this body bit for bit, including
+// the pointer-update rules of both the iSLIP and FIRM variants. Do not
+// optimize it.
+func (s *ISLIP) scheduleRef(ctx *sched.Context, m *matching.Match) {
+	sched.CheckDims(s, ctx, m)
+	m.Reset()
+	n := s.n
+	req := ctx.Req
+
+	for it := 0; it < s.iterations; it++ {
+		s.grants.Reset()
+		anyGrant := false
+		for j := 0; j < n; j++ {
+			if m.OutputMatched(j) {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				i := (s.grantPtr[j] + k) % n
+				if !m.InputMatched(i) && req.Get(i, j) {
+					s.grants.Set(i, j)
+					anyGrant = true
+					if s.firm && it == 0 {
+						// FIRM: park on the granted input now; an
+						// acceptance below moves it one past.
+						s.grantPtr[j] = i
+					}
+					break
+				}
+			}
+		}
+		if !anyGrant {
+			break
+		}
+		for i := 0; i < n; i++ {
+			row := s.grants.Row(i)
+			if row.None() {
+				continue
+			}
+			j := row.FirstSetFrom(s.acceptPtr[i])
+			m.Pair(i, j)
+			if it == 0 {
+				s.grantPtr[j] = (i + 1) % n
+				s.acceptPtr[i] = (j + 1) % n
+			}
+		}
+	}
+}

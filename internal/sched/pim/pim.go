@@ -19,8 +19,15 @@ type PIM struct {
 	r          *rng.PCG32
 
 	grants   *bitvec.Matrix
-	scratch  []int // candidate buffer for random selection
+	scratch  []int // candidate buffer for random selection (scheduleRef)
 	scratch2 []int
+
+	// Word-parallel kernel scratch (DESIGN.md §10).
+	cols         *bitvec.Matrix
+	unmatchedIn  *bitvec.Vector
+	unmatchedOut *bitvec.Vector
+	grantedIn    *bitvec.Vector
+	cand         *bitvec.Vector
 }
 
 var _ sched.Scheduler = (*PIM)(nil)
@@ -36,12 +43,17 @@ func New(n, iterations int, seed uint64) *PIM {
 		panic("pim: non-positive iteration count")
 	}
 	return &PIM{
-		n:          n,
-		iterations: iterations,
-		r:          rng.New(seed),
-		grants:     bitvec.NewMatrix(n),
-		scratch:    make([]int, 0, n),
-		scratch2:   make([]int, 0, n),
+		n:            n,
+		iterations:   iterations,
+		r:            rng.New(seed),
+		grants:       bitvec.NewMatrix(n),
+		scratch:      make([]int, 0, n),
+		scratch2:     make([]int, 0, n),
+		cols:         bitvec.NewMatrix(n),
+		unmatchedIn:  bitvec.New(n),
+		unmatchedOut: bitvec.New(n),
+		grantedIn:    bitvec.New(n),
+		cand:         bitvec.New(n),
 	}
 }
 
@@ -54,44 +66,45 @@ func (p *PIM) N() int { return p.n }
 // Schedule implements sched.Scheduler: in each iteration every unmatched
 // output grants a uniformly random requesting unmatched input, and every
 // input with grants accepts one uniformly at random.
+//
+// Word-parallel (DESIGN.md §10; the candidate-slice version survives as
+// scheduleRef in ref.go): the uniform pick over a candidate set is
+// NthSet(Intn(popcount)) — the k-th set bit of the candidate words —
+// which consumes the PCG stream in exactly the reference's order, so the
+// two implementations agree bit for bit from any seed.
 func (p *PIM) Schedule(ctx *sched.Context, m *matching.Match) {
 	sched.CheckDims(p, ctx, m)
 	m.Reset()
-	n := p.n
 	req := ctx.Req
+
+	req.TransposeInto(p.cols)
+	p.unmatchedIn.SetAll()
+	p.unmatchedOut.SetAll()
 
 	for it := 0; it < p.iterations; it++ {
 		p.grants.Reset()
+		p.grantedIn.Reset()
 		anyGrant := false
-		for j := 0; j < n; j++ {
-			if m.OutputMatched(j) {
+		for j := p.unmatchedOut.FirstSet(); j >= 0; j = p.unmatchedOut.NextSetAfter(j) {
+			p.cand.AndInto(p.cols.Row(j), p.unmatchedIn)
+			c := p.cand.PopCount()
+			if c == 0 {
 				continue
 			}
-			cand := p.scratch[:0]
-			for i := 0; i < n; i++ {
-				if !m.InputMatched(i) && req.Get(i, j) {
-					cand = append(cand, i)
-				}
-			}
-			if len(cand) == 0 {
-				continue
-			}
-			p.grants.Set(cand[p.r.Intn(len(cand))], j)
+			i := p.cand.NthSet(p.r.Intn(c))
+			p.grants.Set(i, j)
+			p.grantedIn.Set(i)
 			anyGrant = true
 		}
 		if !anyGrant {
 			break
 		}
-		for i := 0; i < n; i++ {
+		for i := p.grantedIn.FirstSet(); i >= 0; i = p.grantedIn.NextSetAfter(i) {
 			row := p.grants.Row(i)
-			if row.None() {
-				continue
-			}
-			cand := p.scratch2[:0]
-			for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
-				cand = append(cand, j)
-			}
-			m.Pair(i, cand[p.r.Intn(len(cand))])
+			j := row.NthSet(p.r.Intn(row.PopCount()))
+			m.Pair(i, j)
+			p.unmatchedIn.Clear(i)
+			p.unmatchedOut.Clear(j)
 		}
 	}
 }

@@ -24,7 +24,9 @@ func FuzzAllSchedulers(f *testing.F) {
 	f.Add(uint8(8), uint64(42), []byte{0x0f, 0xf0, 0xaa, 0x55, 0x13, 0x37, 0x00, 0xff})
 	f.Add(uint8(16), uint64(7), []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x04, 0x08,
 		0x10, 0x20, 0x40, 0x80, 0xfe, 0xca, 0xef, 0xbe})
-	f.Add(uint8(65), uint64(9), []byte{0x77}) // multi-word bitvec rows
+	f.Add(uint8(65), uint64(9), []byte{0x77})                         // multi-word bitvec rows
+	f.Add(uint8(17), uint64(3), []byte{0xc3, 0x3c, 0x81})             // one word + 17-bit tail
+	f.Add(uint8(63), uint64(5), []byte{0xff, 0x7e, 0x00, 0x18, 0x99}) // one-short-of-full word
 	f.Fuzz(func(t *testing.T, nRaw uint8, seed uint64, bits []byte) {
 		n := int(nRaw)
 		if n == 0 {

@@ -1,0 +1,51 @@
+package rrm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/matching"
+	"repro/internal/sched"
+)
+
+// TestScheduleMatchesReference pins the word-parallel Schedule to the
+// bit-at-a-time scheduleRef across every width in 1..65 over many slots,
+// so RRM's advance-on-grant pointer evolution is compared too.
+func TestScheduleMatchesReference(t *testing.T) {
+	for n := 1; n <= 65; n++ {
+		fast, ref := New(n, 4), New(n, 4)
+		r := rand.New(rand.NewSource(int64(n)*10 + 2))
+		req := bitvec.NewMatrix(n)
+		ctx := &sched.Context{Req: req}
+		mFast, mRef := matching.NewMatch(n), matching.NewMatch(n)
+		slots := 10
+		if n <= 16 {
+			slots = 40
+		}
+		for slot := 0; slot < slots; slot++ {
+			req.Reset()
+			density := r.Float64()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if r.Float64() < density {
+						req.Set(i, j)
+					}
+				}
+			}
+			fast.Schedule(ctx, mFast)
+			ref.scheduleRef(ctx, mRef)
+			for i := 0; i < n; i++ {
+				if mFast.InToOut[i] != mRef.InToOut[i] {
+					t.Fatalf("n=%d slot=%d input %d: %d vs %d",
+						n, slot, i, mFast.InToOut[i], mRef.InToOut[i])
+				}
+				if fast.grantPtr[i] != ref.grantPtr[i] || fast.acceptPtr[i] != ref.acceptPtr[i] {
+					t.Fatalf("n=%d slot=%d port %d: pointers grant %d/%d accept %d/%d",
+						n, slot, i,
+						fast.grantPtr[i], ref.grantPtr[i], fast.acceptPtr[i], ref.acceptPtr[i])
+				}
+			}
+		}
+	}
+}

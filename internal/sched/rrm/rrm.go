@@ -28,6 +28,12 @@ type RRM struct {
 	grantPtr  []int
 	acceptPtr []int
 	grants    *bitvec.Matrix
+
+	// Word-parallel kernel scratch (DESIGN.md §10).
+	cols         *bitvec.Matrix
+	unmatchedIn  *bitvec.Vector
+	unmatchedOut *bitvec.Vector
+	grantedIn    *bitvec.Vector
 }
 
 var _ sched.Scheduler = (*RRM)(nil)
@@ -41,11 +47,15 @@ func New(n, iterations int) *RRM {
 		panic("rrm: non-positive iteration count")
 	}
 	return &RRM{
-		n:          n,
-		iterations: iterations,
-		grantPtr:   make([]int, n),
-		acceptPtr:  make([]int, n),
-		grants:     bitvec.NewMatrix(n),
+		n:            n,
+		iterations:   iterations,
+		grantPtr:     make([]int, n),
+		acceptPtr:    make([]int, n),
+		grants:       bitvec.NewMatrix(n),
+		cols:         bitvec.NewMatrix(n),
+		unmatchedIn:  bitvec.New(n),
+		unmatchedOut: bitvec.New(n),
+		grantedIn:    bitvec.New(n),
 	}
 }
 
@@ -57,43 +67,44 @@ func (s *RRM) N() int { return s.n }
 
 // Schedule implements sched.Scheduler: iSLIP's grant/accept sweep, but
 // with pointers advanced one position every slot regardless of outcome.
+// Word-parallel (DESIGN.md §10); the bit-at-a-time sweep survives as
+// scheduleRef in ref.go, pinned bit-exact by the differential tests.
 func (s *RRM) Schedule(ctx *sched.Context, m *matching.Match) {
 	sched.CheckDims(s, ctx, m)
 	m.Reset()
 	n := s.n
 	req := ctx.Req
 
+	req.TransposeInto(s.cols)
+	s.unmatchedIn.SetAll()
+	s.unmatchedOut.SetAll()
+
 	for it := 0; it < s.iterations; it++ {
 		s.grants.Reset()
+		s.grantedIn.Reset()
 		anyGrant := false
-		for j := 0; j < n; j++ {
-			if m.OutputMatched(j) {
+		for j := s.unmatchedOut.FirstSet(); j >= 0; j = s.unmatchedOut.NextSetAfter(j) {
+			i := s.cols.Row(j).FirstSetFromAnd(s.unmatchedIn, s.grantPtr[j])
+			if i < 0 {
 				continue
 			}
-			for k := 0; k < n; k++ {
-				i := (s.grantPtr[j] + k) % n
-				if !m.InputMatched(i) && req.Get(i, j) {
-					s.grants.Set(i, j)
-					anyGrant = true
-					if it == 0 {
-						// The RRM rule: advance past the granted input
-						// now, acceptance or not.
-						s.grantPtr[j] = (i + 1) % n
-					}
-					break
-				}
+			s.grants.Set(i, j)
+			s.grantedIn.Set(i)
+			anyGrant = true
+			if it == 0 {
+				// The RRM rule: advance past the granted input
+				// now, acceptance or not.
+				s.grantPtr[j] = (i + 1) % n
 			}
 		}
 		if !anyGrant {
 			break
 		}
-		for i := 0; i < n; i++ {
-			row := s.grants.Row(i)
-			if row.None() {
-				continue
-			}
-			j := row.FirstSetFrom(s.acceptPtr[i])
+		for i := s.grantedIn.FirstSet(); i >= 0; i = s.grantedIn.NextSetAfter(i) {
+			j := s.grants.Row(i).FirstSetFrom(s.acceptPtr[i])
 			m.Pair(i, j)
+			s.unmatchedIn.Clear(i)
+			s.unmatchedOut.Clear(j)
 			if it == 0 {
 				s.acceptPtr[i] = (j + 1) % n
 			}

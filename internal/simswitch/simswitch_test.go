@@ -645,5 +645,6 @@ func benchmarkSimSlot(b *testing.B, n int) {
 	}
 }
 
-func BenchmarkSimSlotLCFCentral16Load09(b *testing.B) { benchmarkSimSlot(b, 16) }
-func BenchmarkSimSlotLCFCentral64Load09(b *testing.B) { benchmarkSimSlot(b, 64) }
+func BenchmarkSimSlotLCFCentral16Load09(b *testing.B)  { benchmarkSimSlot(b, 16) }
+func BenchmarkSimSlotLCFCentral64Load09(b *testing.B)  { benchmarkSimSlot(b, 64) }
+func BenchmarkSimSlotLCFCentral256Load09(b *testing.B) { benchmarkSimSlot(b, 256) }

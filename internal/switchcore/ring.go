@@ -22,6 +22,14 @@ func newRing[T any](capLimit int) ring[T] {
 	return ring[T]{buf: make([]T, initial), capLimit: capLimit}
 }
 
+// newRingFull returns a ring whose buffer is sized for capLimit up front,
+// so push never grows (and therefore never allocates): the trade behind
+// the engine's PreallocVOQs option. capLimit must be positive — an
+// unbounded ring has no full size to allocate.
+func newRingFull[T any](capLimit int) ring[T] {
+	return ring[T]{buf: make([]T, ceilPow2(capLimit)), capLimit: capLimit}
+}
+
 func ceilPow2(n int) int {
 	p := 1
 	for p < n {

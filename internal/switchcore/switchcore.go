@@ -82,11 +82,27 @@ type Core[T any] struct {
 // voqCap: both drivers validate their configs first, so a bad value here
 // is a programming error.
 func New[T any](n, voqCap int) *Core[T] {
+	return NewPrealloc[T](n, voqCap, false)
+}
+
+// NewPrealloc is New with an explicit ring-sizing policy. With prealloc
+// false the n² VOQ rings start at 16 slots and double on demand up to
+// voqCap — cheap construction, but each ring allocates O(log voqCap)
+// times on its way to its working size (the amortized ~90 B/op visible
+// in the engine's admit benchmark). With prealloc true every ring is
+// built at its full voqCap up front: n²·ceilPow2(voqCap) slots of T
+// resident from construction (e.g. 64²·256 frame slots at n=64) bought
+// once, in exchange for a strictly allocation-free admit path. Prealloc
+// requires a positive voqCap — an unbounded ring has no full size.
+func NewPrealloc[T any](n, voqCap int, prealloc bool) *Core[T] {
 	if n <= 0 {
 		panic(fmt.Sprintf("switchcore: port count %d", n))
 	}
 	if voqCap < 0 {
 		panic(fmt.Sprintf("switchcore: negative VOQ capacity %d", voqCap))
+	}
+	if prealloc && voqCap == 0 {
+		panic("switchcore: prealloc requires a bounded VOQ capacity")
 	}
 	c := &Core[T]{
 		n:       n,
@@ -99,7 +115,11 @@ func New[T any](n, voqCap int) *Core[T] {
 		match:   matching.NewMatch(n),
 	}
 	for k := range c.voqs {
-		c.voqs[k] = newRing[T](voqCap)
+		if prealloc {
+			c.voqs[k] = newRingFull[T](voqCap)
+		} else {
+			c.voqs[k] = newRing[T](voqCap)
+		}
 	}
 	c.lens = flatRows(n)
 	c.lensSnap = flatRows(n)

@@ -52,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -79,13 +80,26 @@ func main() {
 		traceRing  = flag.Int("trace-ring", 4096, "slot-event trace ring capacity (0 removes the tracer entirely)")
 		traceOn    = flag.Bool("trace", false, "start with slot-event tracing enabled (toggle later with POST /trace)")
 		debugAddr  = flag.String("debug-addr", "", "HTTP address for pprof and runtime execution traces (empty disables)")
+		faultPol   = flag.String("fault-policy", "drop", "disposition of frames stranded behind a failed port: drop (flush and count) or hold (keep until recovery)")
 	)
 	flag.Parse()
 	if *n <= 0 || *n > clint.NumPorts {
-		fatal("-n must be in [1,%d] (Clint's grant frame carries a 4-bit port id)", clint.NumPorts)
+		// Ports ≥ 16 cannot be represented in the grant frame's 4-bit
+		// NodeID field; accepting them here would corrupt the handshake of
+		// every client on a high port.
+		fatalUsage("-n is %d, must be in [1,%d]: Clint's grant frame carries a 4-bit port id, so a switch with more ports cannot complete its handshake", *n, clint.NumPorts)
 	}
 	if *slot <= 0 {
-		fatal("-slot must be positive")
+		fatalUsage("-slot must be positive (got %v)", *slot)
+	}
+	var policy rt.FaultPolicy
+	switch *faultPol {
+	case "drop":
+		policy = rt.DropStranded
+	case "hold":
+		policy = rt.HoldStranded
+	default:
+		fatalUsage("-fault-policy must be drop or hold (got %q)", *faultPol)
 	}
 
 	s, err := registry.New(*schedName, *n, sched.Options{Iterations: *iterations, Seed: *seed})
@@ -97,11 +111,11 @@ func main() {
 		tracer = obs.NewTracer(*n, *traceRing)
 		tracer.SetEnabled(*traceOn)
 	} else if *traceOn {
-		fatal("-trace needs a ring: set -trace-ring > 0")
+		fatalUsage("-trace needs a ring: set -trace-ring > 0")
 	}
 	engine, err := rt.New(rt.Config{
 		N: *n, Scheduler: s, VOQCap: *voqCap, OutCap: *outCap, SlotPeriod: *slot,
-		PreallocVOQs: *prealloc, Tracer: tracer,
+		PreallocVOQs: *prealloc, Tracer: tracer, FaultPolicy: policy,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -126,6 +140,7 @@ func main() {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", srv.handleMetrics)
 		mux.HandleFunc("/trace", srv.handleTrace)
+		mux.HandleFunc("/fault", srv.handleFault)
 		mux.HandleFunc("/", srv.handleRoot)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
@@ -176,6 +191,13 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
+// fatalUsage exits with status 2, the conventional code for command-line
+// usage errors (fatal's 1 is for runtime failures).
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lcfd: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 // client is one connected host: a port, an outbox serialized by a writer
 // goroutine, and a gone signal that unblocks anyone queuing toward it.
 // The outbox is never closed — senders race with disconnection, and a
@@ -212,7 +234,13 @@ func newServer(engine *rt.Engine, n int) *server {
 	return &server{engine: engine, n: n, ports: make([]*client, n), started: time.Now()}
 }
 
-// assign grabs the lowest free port for c, or -1.
+// assign grabs the lowest free port for c, or -1. Taking ownership
+// recovers the port's links (release failed them when the previous owner
+// disconnected), so a reconnecting client reclaims a working port: under
+// the hold fault policy, frames stranded toward the port while it had no
+// owner start flowing to the new connection within one slot. Recover runs
+// under s.mu, paired with the FailPort in release, so a release/assign
+// race on the same port can never leave a connected client's links down.
 func (s *server) assign(c *client) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -220,16 +248,23 @@ func (s *server) assign(c *client) int {
 		if occ == nil {
 			s.ports[p] = c
 			c.port = p
+			s.engine.Recover(p)
 			return p
 		}
 	}
 	return -1
 }
 
+// release frees c's port and fails its links: with nobody to consume
+// deliveries the port is a black hole, and marking it down redirects the
+// scheduler's slots to live ports instead of wasting grants on frames the
+// output pump would drop. The configured -fault-policy decides whether
+// frames already queued toward it are flushed or held for the next owner.
 func (s *server) release(c *client) {
 	s.mu.Lock()
 	if s.ports[c.port] == c {
 		s.ports[c.port] = nil
+		s.engine.FailPort(c.port)
 	}
 	s.mu.Unlock()
 }
@@ -356,7 +391,11 @@ func (s *server) readLoop(c *client) {
 			err = s.engine.Admit(c.port, int(d.Dst), d.Seq, d.Stamp)
 			switch {
 			case err == nil:
-			case errors.Is(err, rt.ErrBackpressure), errors.Is(err, rt.ErrBadPort):
+			case errors.Is(err, rt.ErrBackpressure), errors.Is(err, rt.ErrBadPort),
+				errors.Is(err, rt.ErrPortDown):
+				// A frame toward a failed or unknown port is nacked like a
+				// full VOQ: the sender sees backpressure, not a dead
+				// connection, and can retry once the port recovers.
 				s.nack(c, d.Seq)
 			case errors.Is(err, rt.ErrClosed):
 				return
@@ -455,6 +494,89 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.payload())
+	}
+}
+
+// portLinkState is one port's entry in the GET /fault document.
+type portLinkState struct {
+	Port       int  `json:"port"`
+	InputDown  bool `json:"input_down"`
+	OutputDown bool `json:"output_down"`
+	Connected  bool `json:"connected"`
+}
+
+// handleFault is the live fault-injection control surface:
+//
+//	GET  /fault                                  — link state of every port
+//	POST /fault?port=3&state=down                — fail both links of port 3
+//	POST /fault?port=3&dir=output&state=up       — recover just the output link
+//
+// dir is input, output or both (default both); state is down or up.
+// Transitions take effect at the next slot boundary and are idempotent.
+// Note that a client connecting onto a port recovers it (port reclaim),
+// so a manual down on a port does not survive that port's next handshake.
+func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
+	writeState := func() {
+		states := make([]portLinkState, s.n)
+		for p := 0; p < s.n; p++ {
+			in, out := s.engine.LinkDown(p)
+			states[p] = portLinkState{Port: p, InputDown: in, OutputDown: out, Connected: s.lookup(p) != nil}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(states)
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeState()
+	case http.MethodPost:
+		q := r.URL.Query()
+		port, err := strconv.Atoi(q.Get("port"))
+		if err != nil || port < 0 || port >= s.n {
+			http.Error(w, fmt.Sprintf("POST /fault needs ?port in [0,%d)", s.n), http.StatusBadRequest)
+			return
+		}
+		dir := q.Get("dir")
+		if dir == "" {
+			dir = "both"
+		}
+		var down bool
+		switch q.Get("state") {
+		case "down":
+			down = true
+		case "up":
+			down = false
+		default:
+			http.Error(w, "POST /fault needs ?state=down or ?state=up", http.StatusBadRequest)
+			return
+		}
+		var ferr error
+		switch {
+		case dir == "input" && down:
+			ferr = s.engine.FailInput(port)
+		case dir == "input":
+			ferr = s.engine.RecoverInput(port)
+		case dir == "output" && down:
+			ferr = s.engine.FailOutput(port)
+		case dir == "output":
+			ferr = s.engine.RecoverOutput(port)
+		case dir == "both" && down:
+			ferr = s.engine.FailPort(port)
+		case dir == "both":
+			ferr = s.engine.Recover(port)
+		default:
+			http.Error(w, "POST /fault needs ?dir=input, output or both", http.StatusBadRequest)
+			return
+		}
+		if ferr != nil {
+			http.Error(w, ferr.Error(), http.StatusBadRequest)
+			return
+		}
+		writeState()
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
 }
 

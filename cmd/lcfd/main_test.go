@@ -195,6 +195,106 @@ func TestDebugMux(t *testing.T) {
 	}
 }
 
+func TestFaultEndpoint(t *testing.T) {
+	srv := newTestServer(t, 0)
+
+	post := func(query string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		srv.handleFault(rec, httptest.NewRequest(http.MethodPost, "/fault"+query, nil))
+		return rec
+	}
+	state := func() []portLinkState {
+		rec := httptest.NewRecorder()
+		srv.handleFault(rec, httptest.NewRequest(http.MethodGet, "/fault", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /fault = %d: %s", rec.Code, rec.Body.String())
+		}
+		var states []portLinkState
+		if err := json.Unmarshal(rec.Body.Bytes(), &states); err != nil {
+			t.Fatalf("GET /fault body does not parse: %v", err)
+		}
+		return states
+	}
+
+	if got := state(); len(got) != 4 || got[2] != (portLinkState{Port: 2}) {
+		t.Fatalf("initial state = %+v", got)
+	}
+
+	// Fail both links of port 2, then recover just the output.
+	if rec := post("?port=2&state=down"); rec.Code != http.StatusOK {
+		t.Fatalf("POST down = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := state()[2]; !got.InputDown || !got.OutputDown {
+		t.Fatalf("after down: %+v", got)
+	}
+	if rec := post("?port=2&dir=output&state=up"); rec.Code != http.StatusOK {
+		t.Fatalf("POST output up = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := state()[2]; !got.InputDown || got.OutputDown {
+		t.Fatalf("after output recovery: %+v", got)
+	}
+
+	// The POST response body itself carries the updated state document.
+	rec := post("?port=2&dir=input&state=up")
+	var states []portLinkState
+	if err := json.Unmarshal(rec.Body.Bytes(), &states); err != nil {
+		t.Fatalf("POST body does not parse: %v", err)
+	}
+	if states[2].InputDown || states[2].OutputDown {
+		t.Fatalf("POST response state = %+v", states[2])
+	}
+
+	// Parameter validation: each bad request is a 400.
+	for _, q := range []string{"", "?port=9&state=down", "?port=-1&state=down", "?port=x&state=down", "?port=1", "?port=1&state=sideways", "?port=1&dir=diagonal&state=down"} {
+		if rec := post(q); rec.Code != http.StatusBadRequest {
+			t.Errorf("POST /fault%s = %d, want 400", q, rec.Code)
+		}
+	}
+	rec = httptest.NewRecorder()
+	srv.handleFault(rec, httptest.NewRequest(http.MethodDelete, "/fault", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /fault = %d, want 405", rec.Code)
+	}
+}
+
+// TestPortReclaim pins the disconnect/reconnect link-state contract:
+// release fails the departed client's links so the arbiter stops wasting
+// grants on an unconsumed output, and a later assign on the same port
+// recovers them for the new owner.
+func TestPortReclaim(t *testing.T) {
+	srv := newTestServer(t, 0)
+
+	a := &client{}
+	if p := srv.assign(a); p != 0 {
+		t.Fatalf("first assign = %d, want port 0", p)
+	}
+	srv.release(a)
+	if in, out := srv.engine.LinkDown(0); !in || !out {
+		t.Fatalf("after release: input down=%v output down=%v, want both down", in, out)
+	}
+	if srv.lookup(0) != nil {
+		t.Fatal("released port still owned")
+	}
+
+	b := &client{}
+	if p := srv.assign(b); p != 0 {
+		t.Fatalf("reassign = %d, want reclaimed port 0", p)
+	}
+	if in, out := srv.engine.LinkDown(0); in || out {
+		t.Fatalf("after reclaim: input down=%v output down=%v, want both up", in, out)
+	}
+
+	// A stale release (old client object racing a reassign) must not fail
+	// the new owner's links.
+	srv.release(a)
+	if in, out := srv.engine.LinkDown(0); in || out {
+		t.Fatal("stale release failed the reclaimed port's links")
+	}
+	if srv.lookup(0) != b {
+		t.Fatal("stale release evicted the new owner")
+	}
+}
+
 // TestMetricsDocumented diffs the daemon's metric registry against
 // OBSERVABILITY.md in both directions: every registered metric must be
 // documented, and every documented lcf_* base name must exist in the

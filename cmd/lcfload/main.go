@@ -9,6 +9,12 @@
 // timestamp that the switch echoes on delivery, so latency is measured
 // against a single clock with no switch cooperation.
 //
+// The generator rides through switch-side degradation: a NACKed frame is
+// retransmitted with doubling backoff up to -retries times before being
+// given up as dropped, and a connection the switch hangs up on (port
+// failed over, daemon restarted) is redialed until the same port is
+// reclaimed. Both paths are visible in the final report.
+//
 // Usage:
 //
 //	lcfload -pattern uniform -load 0.8
@@ -17,7 +23,7 @@
 // Expected output (lcfd with defaults on the same host):
 //
 //	lcfload: n=16 pattern=uniform load=0.80 slots=5000 slot=1ms
-//	sent 64162 frames (offered 0.802/port/slot), delivered 64162, nacked 0
+//	sent 64162 frames (offered 0.802/port/slot), delivered 64162, nacked 0, retransmitted 0, dropped 0, unaccounted 0
 //	achieved throughput 0.802 frames/port/slot (100.0% of offered)
 //	end-to-end latency: mean 0.9ms p50 0.8ms p95 1.6ms p99 2.0ms
 package main
@@ -43,17 +49,19 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:9416", "lcfd data-plane address")
-		n          = flag.Int("n", 16, "connections to open (= ports driven)")
-		pattern    = flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, diagonal, logdiagonal, bursty")
-		load       = flag.Float64("load", 0.8, "offered load per port in [0,1]")
-		slots      = flag.Int("slots", 5000, "generator slots to run")
-		slot       = flag.Duration("slot", time.Millisecond, "generator slot period")
-		seed       = flag.Uint64("seed", 1, "arrival RNG seed")
-		burst      = flag.Float64("burst", 16, "mean burst length (bursty pattern)")
-		hotfrac    = flag.Float64("hotfrac", 0.5, "traffic fraction to the hot port (hotspot pattern)")
-		drain      = flag.Duration("drain", 3*time.Second, "wait for in-flight frames after the last slot")
-		metricsURL = flag.String("metrics", "", "lcfd metrics URL (e.g. http://127.0.0.1:9417/metrics); scraped after the run for the switch-side view")
+		addr         = flag.String("addr", "127.0.0.1:9416", "lcfd data-plane address")
+		n            = flag.Int("n", 16, "connections to open (= ports driven)")
+		pattern      = flag.String("pattern", "uniform", "traffic pattern: uniform, hotspot, diagonal, logdiagonal, bursty")
+		load         = flag.Float64("load", 0.8, "offered load per port in [0,1]")
+		slots        = flag.Int("slots", 5000, "generator slots to run")
+		slot         = flag.Duration("slot", time.Millisecond, "generator slot period")
+		seed         = flag.Uint64("seed", 1, "arrival RNG seed")
+		burst        = flag.Float64("burst", 16, "mean burst length (bursty pattern)")
+		hotfrac      = flag.Float64("hotfrac", 0.5, "traffic fraction to the hot port (hotspot pattern)")
+		drain        = flag.Duration("drain", 3*time.Second, "give up on in-flight frames this long after the last delivery progress")
+		retries      = flag.Int("retries", 3, "retransmit attempts per frame after a NACK before counting it dropped")
+		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "first retransmit backoff, doubling per attempt")
+		metricsURL   = flag.String("metrics", "", "lcfd metrics URL (e.g. http://127.0.0.1:9417/metrics); scraped after the run for the switch-side view")
 	)
 	flag.Parse()
 	if *n <= 0 {
@@ -64,6 +72,9 @@ func main() {
 	}
 	if *slots <= 0 || *slot <= 0 {
 		fatal("-slots and -slot must be positive")
+	}
+	if *retries < 0 || *retryBackoff <= 0 {
+		fatal("-retries must be >= 0 and -retry-backoff positive")
 	}
 	gen, err := buildGenerator(*pattern, *n, *load, *burst, *hotfrac, *seed)
 	if err != nil {
@@ -88,12 +99,48 @@ func main() {
 	}
 
 	var (
-		delivered atomic.Int64
-		nacked    atomic.Int64
+		delivered    atomic.Int64
+		nacked       atomic.Int64 // NACK events, including ones that trigger a retransmit
+		retransmits  atomic.Int64
+		dropped      atomic.Int64 // frames given up after exhausting -retries
+		reconnects   atomic.Int64
+		writeErrs    atomic.Int64
+		shuttingDown atomic.Bool
 	)
+	flights := &flightTable{pending: make(map[uint64]*flight)}
 	latency := metrics.NewLiveHistogram(metrics.ExponentialBounds(float64(50*time.Microsecond), 1.5, 32))
 	var latencyMu sync.Mutex
 	latencyStream := &metrics.Stream{}
+
+	// retryOrDrop consults the flight table after a failed offer (switch
+	// NACK or client-side write error) and either schedules a backed-off
+	// retransmit on c or gives the frame up. Retransmits reuse the
+	// original Stamp, so reported latency is true end-to-end time
+	// including the backoff the frame sat out.
+	var retryOrDrop func(c *portConn, seq uint64)
+	retryOrDrop = func(c *portConn, seq uint64) {
+		fl, disp := flights.retry(seq, *retries)
+		switch disp {
+		case flightGone: // delivered while the retry raced in
+			return
+		case flightExhausted:
+			dropped.Add(1)
+			return
+		}
+		delay := *retryBackoff << (fl.attempts - 1)
+		time.AfterFunc(delay, func() {
+			if shuttingDown.Load() {
+				return
+			}
+			buf := make([]byte, clint.DataLen)
+			clint.Data{Dst: fl.dst, Seq: seq, Stamp: fl.stamp}.EncodeTo(buf)
+			if err := c.send(buf); err != nil {
+				retryOrDrop(c, seq) // conn mid-reconnect: burn another attempt
+				return
+			}
+			retransmits.Add(1)
+		})
+	}
 
 	var receivers sync.WaitGroup
 	for _, c := range conns {
@@ -104,7 +151,11 @@ func main() {
 			buf := make([]byte, 64)
 			for {
 				if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-					return
+					if shuttingDown.Load() || !c.redial(*addr, &shuttingDown) {
+						return
+					}
+					reconnects.Add(1)
+					continue
 				}
 				flen := clint.FrameLen(hdr[0])
 				if flen == 0 {
@@ -114,7 +165,11 @@ func main() {
 				frame := buf[:flen]
 				frame[0] = hdr[0]
 				if _, err := io.ReadFull(c.r, frame[1:]); err != nil {
-					return
+					if shuttingDown.Load() || !c.redial(*addr, &shuttingDown) {
+						return
+					}
+					reconnects.Add(1)
+					continue
 				}
 				switch hdr[0] {
 				case clint.TypeData:
@@ -123,6 +178,7 @@ func main() {
 						fmt.Fprintf(os.Stderr, "lcfload: port %d: %v\n", c.port, err)
 						return
 					}
+					flights.settle(d.Seq)
 					lat := float64(uint64(time.Now().UnixNano()) - d.Stamp)
 					delivered.Add(1)
 					latency.Observe(lat)
@@ -130,15 +186,23 @@ func main() {
 					latencyStream.Add(lat)
 					latencyMu.Unlock()
 				case clint.TypeNack:
+					nk, err := clint.DecodeNack(frame)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "lcfload: port %d: %v\n", c.port, err)
+						return
+					}
 					nacked.Add(1)
+					retryOrDrop(c, nk.Seq)
 				}
 			}
 		}(c)
 	}
 
 	// The pacer: one goroutine ticks the generator clock and fans frames
-	// out over all connections (writes are pacer-only, reads are
-	// receiver-only, so no per-connection locking).
+	// out over all connections. Retransmit timers and reconnects write
+	// too, so every touch of a connection's writer goes through its
+	// mutex. A write error here is not fatal — the receiver is already
+	// redialing — so the frame takes the retry path like a NACK.
 	var sent int64
 	var seq uint64
 	frame := make([]byte, clint.DataLen)
@@ -152,44 +216,71 @@ func main() {
 				continue
 			}
 			seq++
+			stamp := uint64(time.Now().UnixNano())
 			clint.Data{
 				Dst:   uint8(dst),
 				Seq:   seq,
-				Stamp: uint64(time.Now().UnixNano()),
+				Stamp: stamp,
 			}.EncodeTo(frame)
-			if _, err := conns[in].w.Write(frame); err != nil {
-				fatal("port %d: write: %v", in, err)
-			}
+			flights.track(seq, uint8(dst), stamp)
 			sent++
+			if err := conns[in].write(frame); err != nil {
+				writeErrs.Add(1)
+				retryOrDrop(conns[in], seq)
+			}
 		}
 		gen.Advance()
 		for _, c := range conns {
-			if err := c.w.Flush(); err != nil {
-				fatal("port %d: flush: %v", c.port, err)
+			if err := c.flush(); err != nil {
+				// Frames buffered behind a dead conn are lost client-side
+				// and settle as unaccounted; the receiver is redialing.
+				writeErrs.Add(1)
 			}
 		}
 	}
 	ticker.Stop()
 	elapsed := time.Since(start)
 
-	// Closed loop: every sent frame comes back as a delivery or a nack.
+	// Closed loop: every sent frame ends as a delivery or an exhausted
+	// retry. Wait on a coarse ticker rather than spinning, and extend the
+	// deadline while the count is still moving, so a slow post-fault
+	// recovery is not cut off mid-drain while a wedged run still
+	// terminates within -drain of its last progress.
 	deadline := time.Now().Add(*drain)
-	for delivered.Load()+nacked.Load() < sent && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
+	pulse := time.NewTicker(20 * time.Millisecond)
+	lastAccounted := int64(-1)
+	for {
+		accounted := delivered.Load() + dropped.Load()
+		if accounted >= sent {
+			break
+		}
+		if accounted > lastAccounted {
+			lastAccounted = accounted
+			deadline = time.Now().Add(*drain)
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		<-pulse.C
 	}
+	pulse.Stop()
+	shuttingDown.Store(true)
 	for _, c := range conns {
-		c.conn.Close()
+		c.close()
 	}
 	receivers.Wait()
 
-	del, nak := delivered.Load(), nacked.Load()
-	lost := sent - del - nak
+	del, nak, rtx, drop := delivered.Load(), nacked.Load(), retransmits.Load(), dropped.Load()
+	lost := sent - del - drop
 	offered := float64(sent) / float64(*slots**n)
 	achieved := float64(del) / float64(*slots**n)
 	fmt.Printf("lcfload: n=%d pattern=%s load=%.2f slots=%d slot=%v elapsed=%v\n",
 		*n, *pattern, *load, *slots, *slot, elapsed.Round(time.Millisecond))
-	fmt.Printf("sent %d frames (offered %.3f/port/slot), delivered %d, nacked %d, unaccounted %d\n",
-		sent, offered, del, nak, lost)
+	fmt.Printf("sent %d frames (offered %.3f/port/slot), delivered %d, nacked %d, retransmitted %d, dropped %d, unaccounted %d\n",
+		sent, offered, del, nak, rtx, drop, lost)
+	if rc := reconnects.Load(); rc > 0 || writeErrs.Load() > 0 {
+		fmt.Printf("degraded operation: %d reconnects, %d write errors\n", rc, writeErrs.Load())
+	}
 	if offered > 0 {
 		fmt.Printf("achieved throughput %.3f frames/port/slot (%.1f%% of offered)\n",
 			achieved, 100*achieved/offered)
@@ -212,7 +303,7 @@ func main() {
 		}
 	}
 	if lost > 0 {
-		fmt.Fprintf(os.Stderr, "lcfload: %d frames unaccounted for after %v drain\n", lost, *drain)
+		fmt.Fprintf(os.Stderr, "lcfload: %d frames unaccounted for %v after last progress\n", lost, *drain)
 		os.Exit(1)
 	}
 }
@@ -264,12 +355,130 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
-// portConn is one host connection after the hello handshake.
+// Dispositions returned by flightTable.retry.
+const (
+	flightRetry     = iota // attempt budget left: retransmit
+	flightExhausted        // out of attempts: count dropped
+	flightGone             // already settled: delivery won the race
+)
+
+// flight is one unacknowledged frame. The switch's NACK carries only
+// the sequence number, so dst and the original timestamp must be kept
+// client-side for the retransmit to be reconstructable.
+type flight struct {
+	dst      uint8
+	stamp    uint64
+	attempts int
+}
+
+// flightTable indexes every in-flight frame by sequence number:
+// deliveries settle entries, NACKs and write errors consult the retry
+// budget. Sequence numbers are global across ports (one pacer), so one
+// table serves all connections.
+type flightTable struct {
+	mu      sync.Mutex
+	pending map[uint64]*flight
+}
+
+func (ft *flightTable) track(seq uint64, dst uint8, stamp uint64) {
+	ft.mu.Lock()
+	ft.pending[seq] = &flight{dst: dst, stamp: stamp}
+	ft.mu.Unlock()
+}
+
+func (ft *flightTable) settle(seq uint64) {
+	ft.mu.Lock()
+	delete(ft.pending, seq)
+	ft.mu.Unlock()
+}
+
+func (ft *flightTable) retry(seq uint64, max int) (flight, int) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	fl, ok := ft.pending[seq]
+	if !ok {
+		return flight{}, flightGone
+	}
+	if fl.attempts >= max {
+		delete(ft.pending, seq)
+		return flight{}, flightExhausted
+	}
+	fl.attempts++
+	return *fl, flightRetry
+}
+
+// portConn is one host connection after the hello handshake. The pacer,
+// retransmit timers and the redial path all touch the writer, so every
+// write goes through mu; reads stay lock-free because only the
+// receiver goroutine reads, and it is also the only one that swaps the
+// connection on redial.
 type portConn struct {
-	conn net.Conn
 	port int
+	mu   sync.Mutex
+	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+}
+
+func (c *portConn) write(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.w.Write(b)
+	return err
+}
+
+func (c *portConn) flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.w.Flush()
+}
+
+// send is write+flush for paths outside the pacer's batched cadence
+// (retransmits), where the frame should hit the wire now.
+func (c *portConn) send(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *portConn) close() {
+	c.mu.Lock()
+	c.conn.Close()
+	c.mu.Unlock()
+}
+
+// redial reconnects after the switch hangs up and insists on
+// reclaiming the same port: lcfd assigns the lowest free port, so once
+// the daemon notices our EOF and releases it, the old number is the
+// first one handed back (every lower port is held by our sibling
+// connections). A different assignment means the release hasn't landed
+// yet — hand the connection back and try again. Called only from the
+// receiver goroutine, which owns the read side.
+func (c *portConn) redial(addr string, shuttingDown *atomic.Bool) bool {
+	backoff := 10 * time.Millisecond
+	for attempt := 0; attempt < 10 && !shuttingDown.Load(); attempt++ {
+		time.Sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+		nc, err := dialPort(addr)
+		if err != nil {
+			continue
+		}
+		if nc.port != c.port {
+			nc.conn.Close()
+			continue
+		}
+		c.mu.Lock()
+		c.conn.Close()
+		c.conn, c.r, c.w = nc.conn, nc.r, nc.w
+		c.mu.Unlock()
+		return true
+	}
+	return false
 }
 
 // dialPort connects and completes the Clint initialization grant, learning

@@ -195,6 +195,10 @@ func writeJSONL(dst string, evs []obs.Event) error {
 func renderTimeline(w io.Writer, evs []obs.Event) {
 	fmt.Fprintf(w, "%-8s %-9s %-7s %s\n", "slot", "requests", "matched", "grants (in→out[rule choices])")
 	for _, ev := range evs {
+		if ev.Kind == "fault" {
+			fmt.Fprintf(w, "%-8d fault: port %d %s link %s\n", ev.Slot, ev.Port, ev.Dir, ev.State)
+			continue
+		}
 		var pairs []string
 		for _, g := range ev.Grants {
 			switch {

@@ -1,0 +1,444 @@
+// Package chaos drives deterministic, seeded fault schedules against the
+// live engine (internal/runtime) and the offline simulator
+// (internal/simswitch), checking the invariants that define graceful
+// degradation:
+//
+//   - Conservation, every slot: admitted == delivered + dropped + resident.
+//     No fault sequence may lose or mint a frame.
+//   - Isolation: a failed link receives zero grants while down.
+//   - Liveness: the run completes — no deadlock, no panic — and shutdown
+//     accounts every frame the drain could not deliver.
+//
+// A run is fully determined by Config.Seed: the fault schedule (link
+// flaps, stuck consumers, client kills), their durations, and the offered
+// traffic all derive from independent PCG32 streams of that seed, so a
+// failing seed reported by CI replays exactly.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/matching"
+	rt "repro/internal/runtime"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+	"repro/internal/simswitch"
+	"repro/internal/traffic"
+)
+
+// Config parameterizes one chaos run. The zero value plus N, Slots and
+// Seed is a sensible storm: moderate load, small queues (so backpressure
+// actually fires), and every fault kind enabled.
+type Config struct {
+	N     int
+	Slots int64
+	Seed  uint64
+
+	// Scheduler is a sched registry name; default lcf_central_rr.
+	Scheduler string
+	// Load is the per-input Bernoulli admission probability. Default 0.6.
+	Load float64
+	// VOQCap and OutCap are deliberately small by default (16 and 8) so
+	// the run exercises backpressure and output masking alongside faults.
+	VOQCap, OutCap int
+	// Policy is the engine's disposition of stranded frames.
+	Policy rt.FaultPolicy
+
+	// Per-slot, per-healthy-port probabilities of each fault kind
+	// starting, and the mean duration of an episode in slots. A port is
+	// in at most one episode at a time.
+	FlapRate  float64 // link flap (one direction); default 0.02
+	StuckRate float64 // consumer stops reading its output; default 0.01
+	KillRate  float64 // client dies: both links down, no admit/consume; default 0.005
+	MeanFlap  int     // default 40
+	MeanStuck int     // default 60
+	MeanDead  int     // default 100
+}
+
+func (c *Config) normalize() error {
+	if c.N <= 0 || c.Slots <= 0 {
+		return fmt.Errorf("chaos: n %d slots %d", c.N, c.Slots)
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "lcf_central_rr"
+	}
+	if c.Load == 0 {
+		c.Load = 0.6
+	}
+	if c.VOQCap == 0 {
+		c.VOQCap = 16
+	}
+	if c.OutCap == 0 {
+		c.OutCap = 8
+	}
+	if c.FlapRate == 0 {
+		c.FlapRate = 0.02
+	}
+	if c.StuckRate == 0 {
+		c.StuckRate = 0.01
+	}
+	if c.KillRate == 0 {
+		c.KillRate = 0.005
+	}
+	if c.MeanFlap == 0 {
+		c.MeanFlap = 40
+	}
+	if c.MeanStuck == 0 {
+		c.MeanStuck = 60
+	}
+	if c.MeanDead == 0 {
+		c.MeanDead = 100
+	}
+	return nil
+}
+
+// Report summarizes a completed chaos run.
+type Report struct {
+	Slots         int64
+	Admitted      int64 // frames/packets accepted into the switch
+	Delivered     int64 // frames handed to output channels (engine) / forwarded (sim)
+	Consumed      int64 // frames read out of output channels (engine only)
+	Dropped       int64 // frames dropped by fault policy (engine) / full PQ (sim)
+	Rejected      int64 // Admit calls refused with ErrPortDown
+	Backpressured int64 // Admit calls refused with ErrBackpressure
+	Undrained     int64 // frames the shutdown drain could not deliver
+	MaxBacklog    int64
+
+	Flaps, Stucks, Kills int // fault episodes injected
+}
+
+// portCondition tracks a port's current chaos episode.
+type portCondition int
+
+const (
+	healthy portCondition = iota
+	flapIn
+	flapOut
+	stuckOut
+	dead
+)
+
+// schedule is the online fault-schedule generator shared by both drivers:
+// one PCG32 stream decides, per slot and per healthy port, whether an
+// episode starts and how long it lasts.
+type schedule struct {
+	cfg  *Config
+	rng  *rng.PCG32
+	cond []portCondition
+	rem  []int64
+
+	// Desired link state, kept in lockstep with the Fail*/Recover* calls
+	// the driver issues; the grant-isolation check reads these.
+	inDown, outDown []bool
+}
+
+func newSchedule(cfg *Config) *schedule {
+	return &schedule{
+		cfg:     cfg,
+		rng:     rng.NewPCG32(cfg.Seed, 0xFA17),
+		cond:    make([]portCondition, cfg.N),
+		rem:     make([]int64, cfg.N),
+		inDown:  make([]bool, cfg.N),
+		outDown: make([]bool, cfg.N),
+	}
+}
+
+func (s *schedule) duration(mean int) int64 {
+	return int64(1 + s.rng.Intn(2*mean))
+}
+
+// faultSink is the subset of fault controls both systems expose.
+type faultSink interface {
+	FailInput(int) error
+	FailOutput(int) error
+	RecoverInput(int) error
+	RecoverOutput(int) error
+}
+
+// advance ends due episodes and starts new ones, mirroring every link
+// transition into sink. Called once per slot, before the slot runs, so a
+// transition takes effect on that slot's schedule.
+func (s *schedule) advance(sink faultSink, rep *Report) error {
+	for p := 0; p < s.cfg.N; p++ {
+		if s.cond[p] != healthy {
+			s.rem[p]--
+			if s.rem[p] > 0 {
+				continue
+			}
+			switch s.cond[p] {
+			case flapIn:
+				if err := sink.RecoverInput(p); err != nil {
+					return err
+				}
+				s.inDown[p] = false
+			case flapOut:
+				if err := sink.RecoverOutput(p); err != nil {
+					return err
+				}
+				s.outDown[p] = false
+			case dead:
+				if err := sink.RecoverInput(p); err != nil {
+					return err
+				}
+				if err := sink.RecoverOutput(p); err != nil {
+					return err
+				}
+				s.inDown[p], s.outDown[p] = false, false
+			}
+			s.cond[p] = healthy
+			continue
+		}
+		r := s.rng.Float64()
+		switch {
+		case r < s.cfg.FlapRate:
+			rep.Flaps++
+			s.rem[p] = s.duration(s.cfg.MeanFlap)
+			if s.rng.Bool(0.5) {
+				s.cond[p] = flapIn
+				s.inDown[p] = true
+				if err := sink.FailInput(p); err != nil {
+					return err
+				}
+			} else {
+				s.cond[p] = flapOut
+				s.outDown[p] = true
+				if err := sink.FailOutput(p); err != nil {
+					return err
+				}
+			}
+		case r < s.cfg.FlapRate+s.cfg.StuckRate:
+			rep.Stucks++
+			s.cond[p] = stuckOut
+			s.rem[p] = s.duration(s.cfg.MeanStuck)
+		case r < s.cfg.FlapRate+s.cfg.StuckRate+s.cfg.KillRate:
+			rep.Kills++
+			s.cond[p] = dead
+			s.rem[p] = s.duration(s.cfg.MeanDead)
+			s.inDown[p], s.outDown[p] = true, true
+			if err := sink.FailInput(p); err != nil {
+				return err
+			}
+			if err := sink.FailOutput(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkMatch enforces grant isolation: no grant may touch a down link.
+func (s *schedule) checkMatch(slot int64, m *matching.Match) error {
+	for i := range m.InToOut {
+		j := m.InToOut[i]
+		if j == matching.Unmatched {
+			continue
+		}
+		if s.inDown[i] || s.outDown[j] {
+			return fmt.Errorf("chaos: slot %d: grant %d→%d touches a failed link (seed %d)",
+				slot, i, j, s.cfg.Seed)
+		}
+	}
+	return nil
+}
+
+func newScheduler(name string, n int, seed uint64) (sched.Scheduler, error) {
+	return registry.New(name, n, sched.Options{Iterations: 4, Seed: seed})
+}
+
+// RunEngine drives a lockstep runtime.Engine through cfg.Slots slots of
+// seeded chaos, checking conservation and grant isolation after every
+// slot and full accounting after shutdown. It returns the first
+// invariant violation as an error, with the seed embedded for replay.
+func RunEngine(cfg Config) (*Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	sch, err := newScheduler(cfg.Scheduler, n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan := newSchedule(&cfg)
+	rep := &Report{Slots: cfg.Slots}
+
+	var grantErr error
+	e, err := rt.New(rt.Config{
+		N:           n,
+		Scheduler:   sch,
+		VOQCap:      cfg.VOQCap,
+		OutCap:      cfg.OutCap,
+		FaultPolicy: cfg.Policy,
+		OnSlot: func(ev rt.SlotEvent) {
+			if grantErr == nil {
+				grantErr = plan.checkMatch(ev.Slot, ev.Match)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	admitRng := rng.NewPCG32(cfg.Seed, 0xAD)
+	st := e.Stats()
+	var seq uint64
+	for slot := int64(0); slot < cfg.Slots; slot++ {
+		if err := plan.advance(e, rep); err != nil {
+			return rep, err
+		}
+
+		// Offered load: every live input tries one frame with prob Load.
+		// Admissions against down links are attempted anyway — ErrPortDown
+		// must be the only outcome.
+		for i := 0; i < n; i++ {
+			if !admitRng.Bool(cfg.Load) {
+				continue
+			}
+			dst := admitRng.Intn(n)
+			seq++
+			switch err := e.Admit(i, dst, seq, 0); {
+			case err == nil:
+			case errors.Is(err, rt.ErrBackpressure):
+				rep.Backpressured++
+			case errors.Is(err, rt.ErrPortDown) && (plan.inDown[i] || plan.outDown[dst]):
+				rep.Rejected++
+			default:
+				return rep, fmt.Errorf("chaos: slot %d: Admit(%d,%d) = %v on healthy links (seed %d)",
+					slot, i, dst, err, cfg.Seed)
+			}
+		}
+
+		e.Tick()
+		if grantErr != nil {
+			return rep, grantErr
+		}
+
+		// Consumers read everything currently deliverable, except stuck
+		// and dead ports.
+		for j := 0; j < n; j++ {
+			if plan.cond[j] == stuckOut || plan.cond[j] == dead {
+				continue
+			}
+			for {
+				select {
+				case <-e.Output(j):
+					rep.Consumed++
+					continue
+				default:
+				}
+				break
+			}
+		}
+
+		// Conservation, exact: the driver is single-threaded, so the
+		// counters are quiescent between slots.
+		admitted, delivered := st.Admitted.Value(), st.Delivered.Value()
+		dropped, resident := st.DroppedFault.Value(), st.Backlog.Value()
+		if admitted != delivered+dropped+resident {
+			return rep, fmt.Errorf("chaos: slot %d: conservation broken: admitted %d != delivered %d + dropped %d + resident %d (seed %d)",
+				slot, admitted, delivered, dropped, resident, cfg.Seed)
+		}
+		inflight := int64(0)
+		for j := 0; j < n; j++ {
+			inflight += int64(len(e.Output(j)))
+		}
+		if delivered != rep.Consumed+inflight {
+			return rep, fmt.Errorf("chaos: slot %d: delivery accounting broken: delivered %d != consumed %d + in-flight %d (seed %d)",
+				slot, delivered, rep.Consumed, inflight, cfg.Seed)
+		}
+		if resident > rep.MaxBacklog {
+			rep.MaxBacklog = resident
+		}
+	}
+
+	// Shutdown under whatever faults are still active: Close must
+	// terminate (the drain's stall detector guarantees it even with dead
+	// consumers) and every frame must land in exactly one bucket.
+	e.Close()
+	for j := 0; j < n; j++ {
+		for range e.Output(j) {
+			rep.Consumed++
+		}
+	}
+	rep.Admitted = st.Admitted.Value()
+	rep.Delivered = st.Delivered.Value()
+	rep.Dropped = st.DroppedFault.Value()
+	rep.Undrained = st.Undrained.Value()
+	if rep.Admitted != rep.Consumed+rep.Dropped+rep.Undrained {
+		return rep, fmt.Errorf("chaos: shutdown accounting broken: admitted %d != consumed %d + dropped %d + undrained %d (seed %d)",
+			rep.Admitted, rep.Consumed, rep.Dropped, rep.Undrained, cfg.Seed)
+	}
+	return rep, nil
+}
+
+// simSink adapts a Sim to the faultSink interface (method set matches,
+// but the named type keeps the adapters symmetric if either side grows).
+type simSink struct{ *simswitch.Sim }
+
+// RunSim drives the offline simulator through the same seeded fault
+// schedule (link flaps and kills; the simulator has no consumers to
+// stick, so stuck episodes only pause that port's fault dice). The
+// simulator holds stranded packets — it is the offline twin of
+// HoldStranded — so conservation is Generated == Forwarded + DroppedPQ +
+// Live every slot.
+func RunSim(cfg Config) (*Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	sch, err := newScheduler(cfg.Scheduler, n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan := newSchedule(&cfg)
+	rep := &Report{Slots: cfg.Slots}
+
+	var grantErr error
+	sim, err := simswitch.New(simswitch.Config{
+		N:            n,
+		Mode:         simswitch.VOQ,
+		Scheduler:    sch,
+		Gen:          traffic.NewBernoulli(n, cfg.Load, traffic.NewUniform(n), cfg.Seed),
+		VOQCap:       cfg.VOQCap,
+		PQCap:        4 * cfg.VOQCap,
+		MeasureSlots: cfg.Slots,
+		Validate:     true,
+		Trace: func(ev simswitch.TraceEvent) {
+			if grantErr == nil {
+				grantErr = plan.checkMatch(int64(ev.Slot), ev.Match)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sink := simSink{sim}
+	for slot := int64(0); slot < cfg.Slots; slot++ {
+		if err := plan.advance(sink, rep); err != nil {
+			return rep, err
+		}
+		if err := sim.Step(); err != nil {
+			return rep, fmt.Errorf("chaos: %w (seed %d)", err, cfg.Seed)
+		}
+		if grantErr != nil {
+			return rep, grantErr
+		}
+		c := sim.CountersNow()
+		live := int64(sim.Live())
+		if c.Generated != c.Forwarded+c.DroppedPQ+live {
+			return rep, fmt.Errorf("chaos: slot %d: sim conservation broken: generated %d != forwarded %d + dropped %d + live %d (seed %d)",
+				slot, c.Generated, c.Forwarded, c.DroppedPQ, live, cfg.Seed)
+		}
+		if live > rep.MaxBacklog {
+			rep.MaxBacklog = live
+		}
+	}
+	c := sim.CountersNow()
+	rep.Admitted = c.Generated
+	rep.Delivered = c.Forwarded
+	rep.Dropped = c.DroppedPQ
+	rep.Undrained = int64(sim.Live())
+	return rep, nil
+}

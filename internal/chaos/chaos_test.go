@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	rt "repro/internal/runtime"
+)
+
+// reportSeed records a failing seed where CI can pick it up as an
+// artifact (CHAOS_SEED_DIR is set by the race job), so a red run is
+// replayable byte for byte: chaos runs are fully determined by the seed.
+func reportSeed(t *testing.T, cfg Config, err error) {
+	t.Helper()
+	if dir := os.Getenv("CHAOS_SEED_DIR"); dir != "" {
+		line := fmt.Sprintf("test=%s seed=%d n=%d slots=%d policy=%v load=%g\nerror: %v\n",
+			t.Name(), cfg.Seed, cfg.N, cfg.Slots, cfg.Policy, cfg.Load, err)
+		_ = os.MkdirAll(dir, 0o755)
+		path := filepath.Join(dir, fmt.Sprintf("seed-%s-%d.txt", filepath.Base(t.Name()), cfg.Seed))
+		_ = os.WriteFile(path, []byte(line), 0o644)
+	}
+	t.Fatal(err)
+}
+
+// TestEngineChaos10k is the acceptance run: 10k slots of link flaps,
+// stuck consumers and client kills against the lockstep engine, under
+// both stranded-frame policies. Conservation is asserted inside RunEngine
+// after every slot; a returned error is an invariant violation.
+func TestEngineChaos10k(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy rt.FaultPolicy
+	}{
+		{"hold", rt.HoldStranded},
+		{"drop", rt.DropStranded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{N: 8, Slots: 10_000, Seed: 0xC0FFEE, Policy: tc.policy}
+			rep, err := RunEngine(cfg)
+			if err != nil {
+				reportSeed(t, cfg, err)
+			}
+			if rep.Flaps == 0 || rep.Stucks == 0 || rep.Kills == 0 {
+				t.Fatalf("fault schedule too quiet: %+v", rep)
+			}
+			if rep.Rejected == 0 {
+				t.Fatal("no admissions were rejected by down links — faults not exercised")
+			}
+			if rep.Admitted == 0 || rep.Consumed == 0 {
+				t.Fatalf("no traffic flowed: %+v", rep)
+			}
+			if tc.policy == rt.HoldStranded && rep.Dropped != 0 {
+				t.Fatalf("hold policy dropped %d frames", rep.Dropped)
+			}
+			if tc.policy == rt.DropStranded && rep.Dropped == 0 {
+				t.Fatal("drop policy dropped nothing across 10k chaotic slots")
+			}
+			t.Logf("report: %+v", rep)
+		})
+	}
+}
+
+// TestEngineChaosSeeds fans a few more seeds at a shorter run so a
+// seed-dependent schedule can't hide a violation.
+func TestEngineChaosSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1337} {
+		cfg := Config{N: 6, Slots: 2_000, Seed: seed, Policy: rt.DropStranded, Load: 0.8}
+		if _, err := RunEngine(cfg); err != nil {
+			reportSeed(t, cfg, err)
+		}
+	}
+}
+
+// TestSimChaos10k drives the offline simulator through the same seeded
+// schedule shape: flaps and kills mask rows/columns, packets strand and
+// recover, and Generated == Forwarded + DroppedPQ + Live must hold every
+// slot.
+func TestSimChaos10k(t *testing.T) {
+	cfg := Config{N: 8, Slots: 10_000, Seed: 0xC0FFEE}
+	rep, err := RunSim(cfg)
+	if err != nil {
+		reportSeed(t, cfg, err)
+	}
+	if rep.Flaps == 0 || rep.Kills == 0 {
+		t.Fatalf("fault schedule too quiet: %+v", rep)
+	}
+	if rep.Admitted == 0 || rep.Delivered == 0 {
+		t.Fatalf("no traffic flowed: %+v", rep)
+	}
+	t.Logf("report: %+v", rep)
+}
+
+// TestChaosDeterminism pins the replayability contract behind the CI
+// seed artifacts: the same seed must produce the identical run.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := Config{N: 5, Slots: 1_500, Seed: 99, Policy: rt.DropStranded}
+	a, err := RunEngine(cfg)
+	if err != nil {
+		reportSeed(t, cfg, err)
+	}
+	b, err := RunEngine(cfg)
+	if err != nil {
+		reportSeed(t, cfg, err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestConfigValidation covers the config edges.
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunEngine(Config{N: 0, Slots: 10, Seed: 1}); err == nil {
+		t.Fatal("RunEngine accepted n=0")
+	}
+	if _, err := RunSim(Config{N: 4, Slots: 0, Seed: 1}); err == nil {
+		t.Fatal("RunSim accepted slots=0")
+	}
+	if _, err := RunEngine(Config{N: 4, Slots: 10, Seed: 1, Scheduler: "no_such_sched"}); err == nil {
+		t.Fatal("RunEngine accepted an unknown scheduler")
+	}
+}

@@ -199,14 +199,20 @@ func (qn *QuickNetwork) Step() {
 			qn.pendingAcks[tx] = qn.pendingAcks[tx][1:]
 			continue
 		}
-		// Data from tx delivered to rx: queue the ack, dedup by sequence.
+		// Data from tx delivered to rx: dedup by (sender, sequence). An
+		// ack is only owed for a first-time delivery — a queued ack is
+		// never lost (a collision leaves it at the queue head for the
+		// next slot), so when a retransmission lands here its ack is
+		// either still queued or already completed the sender; queueing
+		// another would grow the queue without bound and burn future
+		// slots on acks the stop-and-wait sender is guaranteed to ignore.
 		seq := qn.Transports[tx].seq
 		if qn.lastSeen[rx][tx] >= seq {
 			qn.DuplicateDeliveries++
-		} else {
-			qn.lastSeen[rx][tx] = seq
-			qn.UniqueDeliveries++
+			continue
 		}
+		qn.lastSeen[rx][tx] = seq
+		qn.UniqueDeliveries++
 		qn.pendingAcks[rx] = append(qn.pendingAcks[rx], ackDue{to: tx, seq: seq})
 	}
 

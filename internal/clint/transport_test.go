@@ -174,3 +174,65 @@ func TestQuickNetworkValidation(t *testing.T) {
 	}()
 	NewQuickNetwork(1.5, 3, 1)
 }
+
+// TestQuickNetworkAckQueueDedup pins the receiver-side ack dedup: a
+// retransmission whose acknowledgment is still queued (or already on its
+// way back) must not enqueue a second ack for the same (sender, seq).
+// Before the dedup, every duplicate delivery appended another identical
+// ackDue entry, so a sender stuck behind ack collisions inflated the
+// receiver's queue without bound — each redundant entry then burning a
+// future slot on an ack the stop-and-wait sender is guaranteed to
+// ignore. Written against the buggy code this fails within a few hundred
+// slots at timeout-1 load.
+func TestQuickNetworkAckQueueDedup(t *testing.T) {
+	qn := NewQuickNetwork(0.9, 1, 3)
+	for s := 0; s < 3000; s++ {
+		qn.Step()
+		for h, queue := range qn.pendingAcks {
+			seen := make(map[ackDue]bool, len(queue))
+			for _, a := range queue {
+				if seen[a] {
+					t.Fatalf("slot %d: host %d owes a duplicate ack %+v (queue %v)", s, h, a, queue)
+				}
+				seen[a] = true
+			}
+			// One in-flight message per sender means one owed ack per
+			// sender at most: the queue is bounded by the port count.
+			if len(queue) > NumPorts {
+				t.Fatalf("slot %d: host %d ack queue grew to %d", s, h, len(queue))
+			}
+		}
+	}
+	if qn.DuplicateDeliveries == 0 {
+		t.Fatal("no duplicate deliveries at timeout 1; the dedup path was not exercised")
+	}
+}
+
+// TestTransportDeliveredExactlyOnce pins the transport's exactly-once
+// completion contract end to end: across a long lossy run, the delivered
+// callback fires exactly once per sequence number — duplicate deliveries
+// and stale acks never re-complete a message.
+func TestTransportDeliveredExactlyOnce(t *testing.T) {
+	qn := NewQuickNetwork(0.9, 1, 5)
+	completions := make([]map[uint64]int, NumPorts)
+	for i := range completions {
+		completions[i] = make(map[uint64]int)
+		i := i
+		qn.Transports[i] = NewTransport(i, 1, func(dst int, seq uint64) {
+			completions[i][seq]++
+		})
+	}
+	for s := 0; s < 3000; s++ {
+		qn.Step()
+	}
+	for i, m := range completions {
+		for seq, count := range m {
+			if count != 1 {
+				t.Fatalf("host %d seq %d completed %d times", i, seq, count)
+			}
+		}
+		if int64(len(m)) != qn.Transports[i].Stats.Delivered {
+			t.Fatalf("host %d: %d distinct completions, stats say %d", i, len(m), qn.Transports[i].Stats.Delivered)
+		}
+	}
+}

@@ -23,16 +23,34 @@ type Grant struct {
 	Choices int    `json:"choices"`
 }
 
-// Event is one drained slot record: the slot number, the request-matrix
-// cardinality advertised to the scheduler, and the chosen matching with
-// per-grant attribution. Matched always equals len(Grants); it is
-// serialized anyway so JSONL consumers can aggregate without scanning.
+// Event is one drained ring record. The common case (Kind == "") is a
+// slot decision: the slot number, the request-matrix cardinality
+// advertised to the scheduler, and the chosen matching with per-grant
+// attribution. Matched always equals len(Grants); it is serialized anyway
+// so JSONL consumers can aggregate without scanning.
+//
+// Kind == "fault" marks a link-state transition instead: Port and Dir
+// name the link ("input" or "output") and State is "down" or "up". Fault
+// events thread degradation windows through the same timeline the slot
+// decisions live on, so a trace shows exactly which matchings were
+// computed under which failures.
 type Event struct {
 	Slot      int64   `json:"slot"`
 	Requested int     `json:"requested"`
 	Matched   int     `json:"matched"`
-	Grants    []Grant `json:"grants"`
+	Grants    []Grant `json:"grants,omitempty"`
+
+	Kind  string `json:"kind,omitempty"`
+	Port  int    `json:"port,omitempty"`
+	Dir   string `json:"dir,omitempty"`
+	State string `json:"state,omitempty"`
 }
+
+// Link directions for EmitFault.
+const (
+	DirInput  = "input"
+	DirOutput = "output"
+)
 
 // traceSlot is one preallocated ring entry. Every field is accessed
 // atomically so a concurrent drain is race-free; the seq field is a
@@ -43,7 +61,22 @@ type traceSlot struct {
 	seq    atomic.Uint64
 	slot   atomic.Int64
 	counts atomic.Uint64   // requested<<32 | ngrants
+	fault  atomic.Uint64   // packed fault record, 0 for slot-decision entries
 	grants []atomic.Uint64 // packed Grant records, capacity n
+}
+
+// packFault packs a link-state transition into one word: a presence flag
+// (so the zero word means "slot decision"), the port, the direction and
+// the new state.
+func packFault(port int, dir string, up bool) uint64 {
+	w := uint64(1)<<63 | uint64(uint16(port))<<16
+	if dir == DirOutput {
+		w |= 1 << 8
+	}
+	if up {
+		w |= 1
+	}
+	return w
 }
 
 // packGrant packs a grant into one word: in(16) out(16) choices+1(16)
@@ -123,6 +156,7 @@ func (t *Tracer) Emit(slot int64, requested int, m *matching.Match, ex sched.Exp
 	e := &t.ring[w%uint64(len(t.ring))]
 	e.seq.Store(2*w + 1)
 	e.slot.Store(slot)
+	e.fault.Store(0)
 	ngrants := 0
 	for i, j := range m.InToOut {
 		if j == matching.Unmatched {
@@ -138,6 +172,26 @@ func (t *Tracer) Emit(slot int64, requested int, m *matching.Match, ex sched.Exp
 		}
 	}
 	e.counts.Store(uint64(uint32(requested))<<32 | uint64(uint16(ngrants)))
+	e.seq.Store(2*w + 2)
+	t.pos.Store(w + 1)
+}
+
+// EmitFault records a link-state transition (port's input or output link
+// going down or recovering) as a ring event, so drained timelines show
+// degradation windows inline with the slot decisions they shaped. Same
+// contract as Emit: single-writer (the arbiter applies fault transitions
+// at the top of a slot), nil-safe, one atomic load when disabled, and
+// zero heap allocations.
+func (t *Tracer) EmitFault(slot int64, port int, dir string, up bool) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	w := t.pos.Load()
+	e := &t.ring[w%uint64(len(t.ring))]
+	e.seq.Store(2*w + 1)
+	e.slot.Store(slot)
+	e.counts.Store(0)
+	e.fault.Store(packFault(port, dir, up))
 	e.seq.Store(2*w + 2)
 	t.pos.Store(w + 1)
 }
@@ -165,6 +219,22 @@ func (t *Tracer) Drain() []Event {
 			Slot:      e.slot.Load(),
 			Requested: int(counts >> 32),
 			Matched:   int(counts & 0xffff),
+		}
+		if f := e.fault.Load(); f&(1<<63) != 0 {
+			ev.Kind = "fault"
+			ev.Port = int(uint16(f >> 16))
+			ev.Dir, ev.State = DirInput, "down"
+			if f&(1<<8) != 0 {
+				ev.Dir = DirOutput
+			}
+			if f&1 != 0 {
+				ev.State = "up"
+			}
+			if e.seq.Load() != s1 {
+				continue
+			}
+			evs = append(evs, ev)
+			continue
 		}
 		if ev.Matched > len(e.grants) {
 			continue // torn counts (the seq re-check below would reject it anyway)

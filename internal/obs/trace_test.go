@@ -159,6 +159,99 @@ func TestTracerConcurrentEmitDrain(t *testing.T) {
 	}
 }
 
+// TestTracerFaultEvents interleaves fault transitions with slot
+// decisions and checks the drained window keeps them apart: fault
+// entries carry Kind/Port/Dir/State, decision entries keep Kind == ""
+// even when they reuse a ring entry a fault previously occupied.
+func TestTracerFaultEvents(t *testing.T) {
+	tr := NewTracer(4, 4) // small ring: force reuse across kinds
+	tr.Enable()
+	m := diagonalMatch(4)
+	tr.EmitFault(0, 2, DirOutput, false)
+	tr.Emit(1, 4, m, nil)
+	tr.EmitFault(2, 2, DirOutput, true)
+	tr.EmitFault(3, 1, DirInput, false)
+	evs := tr.Drain()
+	if len(evs) != 4 {
+		t.Fatalf("drained %d events, want 4", len(evs))
+	}
+	want := []Event{
+		{Slot: 0, Kind: "fault", Port: 2, Dir: DirOutput, State: "down"},
+		{Slot: 1},
+		{Slot: 2, Kind: "fault", Port: 2, Dir: DirOutput, State: "up"},
+		{Slot: 3, Kind: "fault", Port: 1, Dir: DirInput, State: "down"},
+	}
+	for k, w := range want {
+		ev := evs[k]
+		if ev.Slot != w.Slot || ev.Kind != w.Kind || ev.Port != w.Port ||
+			ev.Dir != w.Dir || ev.State != w.State {
+			t.Errorf("event %d: got %+v, want %+v", k, ev, w)
+		}
+		if w.Kind == "fault" && len(ev.Grants) != 0 {
+			t.Errorf("fault event %d carries grants: %+v", k, ev.Grants)
+		}
+		if w.Kind == "" && (ev.Matched != 4 || len(ev.Grants) != 4) {
+			t.Errorf("decision event %d: %+v", k, ev)
+		}
+	}
+
+	// Wrap the ring fully with decisions: no stale fault bit survives.
+	for s := int64(4); s < 9; s++ {
+		tr.Emit(s, 4, m, nil)
+	}
+	for _, ev := range tr.Drain() {
+		if ev.Kind != "" {
+			t.Fatalf("stale fault event after wraparound: %+v", ev)
+		}
+	}
+
+	var nilTracer *Tracer
+	nilTracer.EmitFault(0, 0, DirInput, false) // nil-safe: must not panic
+}
+
+// TestTracerFaultJSONLRoundTrip checks fault events survive the JSONL
+// wire format alongside decisions.
+func TestTracerFaultJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(4, 8)
+	tr.Enable()
+	tr.EmitFault(5, 3, DirInput, false)
+	tr.Emit(6, 2, diagonalMatch(4), nil)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Drain()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round-trip returned %d events", len(back))
+	}
+	if f := back[0]; f.Kind != "fault" || f.Port != 3 || f.Dir != DirInput || f.State != "down" || f.Slot != 5 {
+		t.Fatalf("fault event drifted: %+v", f)
+	}
+	if back[1].Kind != "" || back[1].Matched != 4 {
+		t.Fatalf("decision event drifted: %+v", back[1])
+	}
+}
+
+// TestTracerEmitFaultZeroAlloc pins EmitFault to the same zero-alloc
+// contract as Emit.
+func TestTracerEmitFaultZeroAlloc(t *testing.T) {
+	tr := NewTracer(16, 64)
+	for name, enabled := range map[string]bool{"disabled": false, "enabled": true} {
+		tr.SetEnabled(enabled)
+		slot := int64(0)
+		allocs := testing.AllocsPerRun(500, func() {
+			tr.EmitFault(slot, int(slot)%16, DirOutput, slot%2 == 0)
+			slot++
+		})
+		if allocs != 0 {
+			t.Errorf("%s EmitFault allocates %.1f times, want 0", name, allocs)
+		}
+	}
+}
+
 // TestTracerEmitZeroAlloc pins the hot-path contract: Emit allocates
 // nothing, enabled or disabled.
 func TestTracerEmitZeroAlloc(t *testing.T) {

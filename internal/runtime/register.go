@@ -48,6 +48,27 @@ func (e *Engine) Register(r *obs.Registry) {
 		return float64(m.OccupiedVOQs.Value())
 	})
 
+	r.Counter("lcf_engine_fault_rejected_total", "Admit calls refused because the source input or destination output link was down.", m.RejectedPortDown.Value)
+	r.Counter("lcf_engine_fault_masked_total", "Request bits suppressed because a link was down, summed over slots.", m.FaultMasked.Value)
+	r.Counter("lcf_engine_fault_dropped_total", "Frames flushed from VOQs stranded behind a failed link (FaultPolicy drop).", m.DroppedFault.Value)
+	r.Gauge("lcf_engine_stranded_frames", "Frames currently held in VOQs behind failed links, awaiting recovery (FaultPolicy hold).", func() float64 {
+		return float64(m.Stranded.Value())
+	})
+	r.Gauge("lcf_engine_undrained_frames", "Frames still queued when Close's bounded drain gave up (stuck consumers or held stranded frames).", func() float64 {
+		return float64(m.Undrained.Value())
+	})
+	r.GaugeVec("lcf_link_up", "Per-port link state: 1 up, 0 failed. Labels: port, dir (input|output).", func() []obs.Sample {
+		s := make([]obs.Sample, 0, 2*n)
+		for p := 0; p < n; p++ {
+			in, out := e.LinkDown(p)
+			s = append(s,
+				obs.Sample{Labels: obs.Labels("port", strconv.Itoa(p), "dir", "input"), Value: upValue(!in)},
+				obs.Sample{Labels: obs.Labels("port", strconv.Itoa(p), "dir", "output"), Value: upValue(!out)},
+			)
+		}
+		return s
+	})
+
 	r.CounterVec("lcf_grants_total", "Grants by the LCF decision rule that produced them (rule label: lcf, diagonal, prescheduled, unattributed).", func() []obs.Sample {
 		s := make([]obs.Sample, 0, sched.NumGrantRules)
 		for rule := sched.GrantRule(0); rule < sched.NumGrantRules; rule++ {
@@ -101,4 +122,11 @@ func (e *Engine) Register(r *obs.Registry) {
 	r.Histogram("lcf_voq_depth", "Per-slot samples of every non-empty VOQ's backlog (frames).", m.VOQDepth.Snapshot)
 	r.Histogram("lcf_match_size", "Matching cardinality per slot (grants in the computed matching).", m.MatchSize.Snapshot)
 	r.Histogram("lcf_slot_duration_nanoseconds", "Arbiter compute time per slot, in nanoseconds.", m.SlotLatency.Snapshot)
+}
+
+func upValue(up bool) float64 {
+	if up {
+		return 1
+	}
+	return 0
 }

@@ -136,6 +136,12 @@ type Config struct {
 	// under total output contention).
 	DrainSlots int
 
+	// FaultPolicy selects the disposition of frames stranded in VOQs
+	// behind a failed link (see FailInput/FailOutput): HoldStranded (the
+	// default) keeps them queued until recovery, DropStranded flushes and
+	// counts them every slot while the link is down.
+	FaultPolicy FaultPolicy
+
 	// OnSlot, when non-nil, is invoked at the end of every slot with a
 	// read-only view of the slot's outcome. It runs on the arbiter
 	// goroutine; keep it fast.
@@ -178,6 +184,9 @@ func (c *Config) normalize() error {
 	if c.DrainSlots < 0 {
 		return fmt.Errorf("runtime: negative drain bound %d", c.DrainSlots)
 	}
+	if c.FaultPolicy != HoldStranded && c.FaultPolicy != DropStranded {
+		return fmt.Errorf("runtime: unknown fault policy %d", c.FaultPolicy)
+	}
 	return nil
 }
 
@@ -201,6 +210,11 @@ type Engine struct {
 	closed  atomic.Bool // admission gate
 	started atomic.Bool
 
+	// fault holds the per-port link state (see fault.go): setters write
+	// the desired state from any goroutine, the arbiter folds it into the
+	// core's fault masks at each slot top.
+	fault faultState
+
 	met Stats
 
 	stop     chan struct{}
@@ -220,6 +234,19 @@ type Stats struct {
 	MaskedOutputs metrics.Counter // request bits suppressed by a full output channel
 	Backlog       metrics.Gauge   // frames currently queued in VOQs
 	OccupiedVOQs  metrics.Gauge   // non-empty VOQs at the last snapshot (pre-mask)
+
+	// Fault accounting (see fault.go). RejectedPortDown counts Admit
+	// calls refused with ErrPortDown; FaultMasked counts request bits
+	// suppressed because a link was down, summed over slots; DroppedFault
+	// counts frames flushed from stranded VOQs under DropStranded;
+	// Stranded gauges frames currently held behind failed links under
+	// HoldStranded; Undrained gauges frames still queued when Close's
+	// bounded drain gave up.
+	RejectedPortDown metrics.Counter
+	FaultMasked      metrics.Counter
+	DroppedFault     metrics.Counter
+	Stranded         metrics.Gauge
+	Undrained        metrics.Gauge
 
 	// GrantsByRule attributes every grant to the LCF decision rule that
 	// produced it (sched.GrantRule order: unattributed, lcf, diagonal,
@@ -257,6 +284,7 @@ func New(cfg Config) (*Engine, error) {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	e.fault.init(n)
 	for j := range e.outs {
 		e.outs[j] = make(chan Frame, cfg.OutCap)
 	}
@@ -316,6 +344,14 @@ func (e *Engine) Admit(src, dst int, seq, stamp uint64) error {
 	}
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	// Link-state gate: one atomic load in the healthy case. A transition
+	// racing this check is benign — a frame slipping past lands in a VOQ
+	// the fault mask strands (and, under DropStranded, the next sweep
+	// flushes), so conservation accounting still sees it.
+	if e.fault.anyDown.Load() && (e.fault.inDown[src].Load() || e.fault.outDown[dst].Load()) {
+		e.met.RejectedPortDown.Inc()
+		return fmt.Errorf("%w: src %d dst %d", ErrPortDown, src, dst)
 	}
 	f := Frame{Src: src, Dst: dst, Seq: seq, Stamp: stamp, Admitted: e.slot.Load(), Departed: -1}
 	mu := &e.inMu[src]
@@ -407,6 +443,10 @@ func (e *Engine) drain(wait func()) {
 			wait()
 		}
 	}
+	// Whatever is still queued — frames held behind failed links, or
+	// stuck behind an output nobody consumed — is accounted here before
+	// the channels close, so shutdown never loses frames silently.
+	e.met.Undrained.Set(e.met.Backlog.Value())
 	for _, ch := range e.outs {
 		close(ch)
 	}
@@ -443,6 +483,13 @@ func (e *Engine) tick() {
 	start := time.Now()
 	now := e.slot.Load()
 
+	// Fold pending link-state transitions into the core's fault masks and
+	// dispose of stranded frames per the fault policy, before the snapshot
+	// sees them: a port failed during slot t-1 receives zero grants in
+	// slot t, and a recovered one resumes service in the same slot.
+	e.applyFaults(now)
+	e.sweepStranded()
+
 	// Output-side backpressure: a full delivery channel masks its column.
 	// Only the arbiter sends on outs, so "not full here" cannot become
 	// full before dispatch below.
@@ -458,6 +505,7 @@ func (e *Engine) tick() {
 	// slot scratch, never state a concurrent Admit is writing.
 	requested := 0
 	masked := 0
+	faulted := 0
 	for i := 0; i < e.n; i++ {
 		mu := &e.inMu[i]
 		mu.Lock()
@@ -465,17 +513,22 @@ func (e *Engine) tick() {
 		for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
 			e.met.VOQDepth.Observe(float64(e.core.Len(i, j)))
 		}
-		r, m := e.core.SnapshotRow(i)
+		r, m, f := e.core.SnapshotRow(i)
 		requested += r
 		masked += m
+		faulted += f
 		mu.Unlock()
 	}
 	if masked > 0 {
 		e.met.MaskedOutputs.Add(int64(masked))
 	}
-	// requested+masked is the number of non-empty VOQs at snapshot time:
-	// masking suppresses request bits but not occupancy.
-	e.met.OccupiedVOQs.Set(int64(requested + masked))
+	if faulted > 0 {
+		e.met.FaultMasked.Add(int64(faulted))
+	}
+	// requested+masked+faulted is the number of non-empty VOQs at snapshot
+	// time: masking (backpressure or fault) suppresses request bits but
+	// not occupancy.
+	e.met.OccupiedVOQs.Set(int64(requested + masked + faulted))
 
 	// Run the scheduler every slot, requests or not: round-robin pointers
 	// and other slot-to-slot state must advance exactly as they do in the
@@ -496,6 +549,13 @@ func (e *Engine) tick() {
 			rule, _ = e.explainer.Explain(i)
 		}
 		e.met.GrantsByRule[rule].Inc()
+		// Unreachable with a correct scheduler (fault masking removes the
+		// request bits), but a failed port must never receive a grant even
+		// under a buggy one.
+		if e.core.InputDown(i) || e.core.OutputDown(j) {
+			e.met.WastedGrants.Inc()
+			continue
+		}
 		mu := &e.inMu[i]
 		mu.Lock()
 		f, ok := e.core.Dequeue(i, j)

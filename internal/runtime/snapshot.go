@@ -30,6 +30,16 @@ type Snapshot struct {
 	MaskedOutputs int64 `json:"masked_outputs"`
 	OccupiedVOQs  int64 `json:"occupied_voqs"`
 
+	// Fault and degradation accounting; zero-valued fields are omitted so
+	// a fault-free engine's snapshot is unchanged.
+	FaultRejected int64 `json:"fault_rejected,omitempty"`
+	FaultMasked   int64 `json:"fault_masked,omitempty"`
+	FaultDropped  int64 `json:"fault_dropped,omitempty"`
+	Stranded      int64 `json:"stranded,omitempty"`
+	Undrained     int64 `json:"undrained,omitempty"`
+	FailedInputs  []int `json:"failed_inputs,omitempty"`
+	FailedOutputs []int `json:"failed_outputs,omitempty"`
+
 	// GrantsByRule attributes cumulative grants to the LCF decision rule
 	// that produced them, keyed by sched.GrantRule.String(). Rules that
 	// never fired are omitted.
@@ -70,6 +80,11 @@ func (e *Engine) Snapshot() Snapshot {
 		WastedGrants:  m.WastedGrants.Value(),
 		MaskedOutputs: m.MaskedOutputs.Value(),
 		OccupiedVOQs:  m.OccupiedVOQs.Value(),
+		FaultRejected: m.RejectedPortDown.Value(),
+		FaultMasked:   m.FaultMasked.Value(),
+		FaultDropped:  m.DroppedFault.Value(),
+		Stranded:      m.Stranded.Value(),
+		Undrained:     m.Undrained.Value(),
 		VOQDepth:      m.VOQDepth.Snapshot(),
 		MatchSize:     m.MatchSize.Snapshot(),
 		SlotLatencyNs: m.SlotLatency.Snapshot(),
@@ -87,6 +102,15 @@ func (e *Engine) Snapshot() Snapshot {
 	}
 	if s.Slot > 0 {
 		s.ThroughputPerSlot = float64(s.Delivered) / float64(s.Slot*int64(e.n))
+	}
+	for p := 0; p < e.n; p++ {
+		in, out := e.LinkDown(p)
+		if in {
+			s.FailedInputs = append(s.FailedInputs, p)
+		}
+		if out {
+			s.FailedOutputs = append(s.FailedOutputs, p)
+		}
 	}
 	s.SlotLatencyP50 = m.SlotLatency.Quantile(0.50)
 	s.SlotLatencyP90 = m.SlotLatency.Quantile(0.90)

@@ -655,6 +655,87 @@ func (s *Sim) trackOccupancy() {
 	s.res.MaxVOQLen = max
 }
 
+// Step advances the simulation by one slot outside Run — the hook
+// internal/chaos uses to interleave fault transitions with slots. Slots
+// stepped this way are always measured (no warmup window), so the
+// conservation identity Generated == Forwarded + DroppedPQ + Live holds
+// from the first slot.
+func (s *Sim) Step() error {
+	s.warmed = true
+	if err := s.step(); err != nil {
+		return err
+	}
+	s.now++
+	s.res.Counters.Slots++
+	return nil
+}
+
+// CountersNow returns the current cumulative counters, for callers
+// driving the simulation slot by slot via Step.
+func (s *Sim) CountersNow() metrics.Counters { return s.res.Counters }
+
+// Live returns the number of packets currently resident in any queue
+// (PQ, VOQ, or output buffer) — the "resident" term of the conservation
+// identity.
+func (s *Sim) Live() int { return s.pool.Live() }
+
+// Slot returns the current slot number.
+func (s *Sim) Slot() int64 { return int64(s.now) }
+
+// errFaultMode rejects fault injection outside the VOQ organization: the
+// FIFO and output-buffered switches have no request matrix to mask.
+func (s *Sim) faultCore() (*switchcore.Core[*packet.Packet], error) {
+	if s.cfg.Mode != VOQ || s.core == nil {
+		return nil, fmt.Errorf("simswitch: fault injection supported on the VOQ organization only (mode %v)", s.cfg.Mode)
+	}
+	return s.core, nil
+}
+
+// FailInput marks input i's link down: its row vanishes from the request
+// matrix at the next schedule, stranding its queued packets in place
+// until recovery (the simulator has no drop policy — it is the offline
+// twin of runtime.HoldStranded). Single-threaded like everything on Sim.
+func (s *Sim) FailInput(i int) error {
+	c, err := s.faultCore()
+	if err != nil {
+		return err
+	}
+	c.SetInputDown(i, true)
+	return nil
+}
+
+// FailOutput marks output j's link down; its column vanishes from the
+// request matrix at the next schedule.
+func (s *Sim) FailOutput(j int) error {
+	c, err := s.faultCore()
+	if err != nil {
+		return err
+	}
+	c.SetOutputDown(j, true)
+	return nil
+}
+
+// RecoverInput restores input i's link; held packets are advertised
+// again at the very next schedule.
+func (s *Sim) RecoverInput(i int) error {
+	c, err := s.faultCore()
+	if err != nil {
+		return err
+	}
+	c.SetInputDown(i, false)
+	return nil
+}
+
+// RecoverOutput restores output j's link.
+func (s *Sim) RecoverOutput(j int) error {
+	c, err := s.faultCore()
+	if err != nil {
+		return err
+	}
+	c.SetOutputDown(j, false)
+	return nil
+}
+
 // Run is the package-level convenience: build and run in one call.
 func Run(cfg Config) (*Result, error) {
 	s, err := New(cfg)

@@ -1,0 +1,120 @@
+package switchcore
+
+import "testing"
+
+// TestLinkStateMasking exercises the persistent fault masks: a down
+// output removes its column from the snapshot, a down input removes its
+// whole row, and both are accounted separately from the per-slot
+// backpressure mask.
+func TestLinkStateMasking(t *testing.T) {
+	c := New[string](4, 0)
+	c.Enqueue(0, 0, "a")
+	c.Enqueue(0, 2, "b")
+	c.Enqueue(1, 2, "c")
+	c.Enqueue(1, 3, "d")
+	c.Enqueue(3, 1, "e")
+
+	c.SetOutputDown(2, true)
+	c.ResetOutputMask()
+	c.MaskOutput(3)
+
+	var requested, masked, faulted int
+	for i := 0; i < 4; i++ {
+		r, m, f := c.SnapshotRow(i)
+		requested += r
+		masked += m
+		faulted += f
+	}
+	// (0,0) and (3,1) survive; (0,2) and (1,2) faulted; (1,3) masked.
+	if requested != 2 || masked != 1 || faulted != 2 {
+		t.Fatalf("requested %d masked %d faulted %d, want 2 1 2", requested, masked, faulted)
+	}
+	req := c.Requests()
+	if !req.Get(0, 0) || !req.Get(3, 1) || req.Get(0, 2) || req.Get(1, 2) || req.Get(1, 3) {
+		t.Fatalf("fault-masked snapshot wrong:\n%v", req)
+	}
+	// Occupancy and lengths are untouched: the frames are stranded, not
+	// gone.
+	if !c.HasBacklog(0, 2) || !c.HasBacklog(1, 2) || c.QueueLens()[1][2] != 1 {
+		t.Fatal("link state leaked into occupancy or length state")
+	}
+
+	// A down input faults its whole row, including bits the output mask
+	// would have caught.
+	c.SetInputDown(1, true)
+	c.ResetOutputMask()
+	c.MaskOutput(3)
+	requested, masked, faulted = 0, 0, 0
+	for i := 0; i < 4; i++ {
+		r, m, f := c.SnapshotRow(i)
+		requested += r
+		masked += m
+		faulted += f
+	}
+	if requested != 2 || masked != 0 || faulted != 3 {
+		t.Fatalf("down input: requested %d masked %d faulted %d, want 2 0 3", requested, masked, faulted)
+	}
+	if c.Requests().Row(1).Any() {
+		t.Fatal("down input still advertises requests")
+	}
+
+	// Recovery restores every suppressed bit on the very next snapshot.
+	c.SetInputDown(1, false)
+	c.SetOutputDown(2, false)
+	c.ResetOutputMask()
+	if got := c.SnapshotAll(); got != 5 {
+		t.Fatalf("recovered request count %d, want 5", got)
+	}
+	if c.AnyLinkDown() {
+		t.Fatal("AnyLinkDown after full recovery")
+	}
+}
+
+// TestFlushVOQ drains a stranded VOQ in order and keeps the incremental
+// occupancy/length/backlog state consistent.
+func TestFlushVOQ(t *testing.T) {
+	c := New[int](2, 0)
+	for v := 1; v <= 3; v++ {
+		c.Enqueue(0, 1, v)
+	}
+	c.Enqueue(1, 0, 9)
+
+	var got []int
+	if n := c.FlushVOQ(0, 1, func(v int) { got = append(got, v) }); n != 3 {
+		t.Fatalf("flushed %d, want 3", n)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("flush order %v", got)
+	}
+	if c.HasBacklog(0, 1) || c.Len(0, 1) != 0 || c.InputBacklog(0) != 0 {
+		t.Fatal("flush left stale occupancy state")
+	}
+	if c.FlushVOQ(0, 1, nil) != 0 {
+		t.Fatal("second flush found items")
+	}
+	// Unrelated VOQs untouched.
+	if !c.HasBacklog(1, 0) || c.TotalBacklog() != 1 {
+		t.Fatal("flush touched another VOQ")
+	}
+}
+
+// TestLinkStateZeroAllocSnapshot pins that fault masking adds no
+// allocations to the snapshot path.
+func TestLinkStateZeroAllocSnapshot(t *testing.T) {
+	c := New[int](16, 0)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			c.Enqueue(i, j, 1)
+		}
+	}
+	c.SetOutputDown(3, true)
+	c.SetInputDown(5, true)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.ResetOutputMask()
+		c.MaskOutput(7)
+		c.SnapshotAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("snapshot with link faults allocates %.1f/op", allocs)
+	}
+}

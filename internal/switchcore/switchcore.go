@@ -75,6 +75,15 @@ type Core[T any] struct {
 	lensSnap [][]int        // queue-length snapshot handed to the scheduler
 	match    *matching.Match
 	ctx      sched.Context
+
+	// Link state (arbiter-only, like the slot scratch): persistent fault
+	// masks, as opposed to the per-slot backpressure mask above. A down
+	// input suppresses its whole request row; a down output is AndNot'ed
+	// out of every row, extending the output-masking path to faults.
+	downIn     *bitvec.Vector
+	downOut    *bitvec.Vector
+	anyDownIn  bool
+	anyDownOut bool
 }
 
 // New returns a core for an n-port switch whose n² VOQs each hold at most
@@ -111,6 +120,8 @@ func NewPrealloc[T any](n, voqCap int, prealloc bool) *Core[T] {
 		occ:     bitvec.NewMatrix(n),
 		backlog: make([]int, n),
 		mask:    bitvec.New(n),
+		downIn:  bitvec.New(n),
+		downOut: bitvec.New(n),
 		req:     bitvec.NewMatrix(n),
 		match:   matching.NewMatch(n),
 	}
@@ -235,24 +246,84 @@ func (c *Core[T]) MaskOutput(j int) {
 	c.maskAny = true
 }
 
-// SnapshotRow copies input i's occupancy row (minus masked outputs) and
-// queue lengths into the slot scratch, and returns how many requests the
-// row contributes and how many non-empty VOQs the output mask suppressed.
-// A concurrent driver calls it under input i's lock; after it returns,
-// the scheduler reads only the snapshot, never live state.
-func (c *Core[T]) SnapshotRow(i int) (requested, masked int) {
+// SetInputDown marks input i's link failed (or recovered): while down,
+// its whole occupancy row is suppressed from every request snapshot, so
+// the scheduler cannot grant a failed input. Link state is persistent
+// across slots, unlike the per-slot output mask, and belongs to the
+// arbiter domain: drivers mutate it only from the goroutine that runs the
+// snapshot/schedule sequence.
+func (c *Core[T]) SetInputDown(i int, down bool) {
+	c.downIn.SetTo(i, down)
+	c.anyDownIn = c.downIn.Any()
+}
+
+// SetOutputDown marks output j's link failed (or recovered): while down,
+// column j is removed from every request snapshot exactly like a
+// backpressured output, so a failed output attracts zero grants.
+func (c *Core[T]) SetOutputDown(j int, down bool) {
+	c.downOut.SetTo(j, down)
+	c.anyDownOut = c.downOut.Any()
+}
+
+// InputDown reports whether input i's link is failed.
+func (c *Core[T]) InputDown(i int) bool { return c.anyDownIn && c.downIn.Get(i) }
+
+// OutputDown reports whether output j's link is failed.
+func (c *Core[T]) OutputDown(j int) bool { return c.anyDownOut && c.downOut.Get(j) }
+
+// AnyLinkDown reports whether any input or output link is failed.
+func (c *Core[T]) AnyLinkDown() bool { return c.anyDownIn || c.anyDownOut }
+
+// FlushVOQ empties VOQ (i,j), invoking fn (when non-nil) on every removed
+// item in queue order, and returns how many items it removed. It is the
+// disposal path for frames stranded behind a failed link under a drop
+// policy; the occupancy bit, queue length and backlog update exactly as
+// for Dequeue. Concurrent drivers call it under input i's lock.
+func (c *Core[T]) FlushVOQ(i, j int, fn func(v T)) int {
+	flushed := 0
+	for {
+		v, ok := c.Dequeue(i, j)
+		if !ok {
+			return flushed
+		}
+		if fn != nil {
+			fn(v)
+		}
+		flushed++
+	}
+}
+
+// SnapshotRow copies input i's occupancy row (minus failed links and
+// masked outputs) and queue lengths into the slot scratch. It returns how
+// many requests the row contributes, how many non-empty VOQs the per-slot
+// output mask suppressed, and how many the persistent link state
+// suppressed (a down input faults its whole row; down outputs fault their
+// columns). A concurrent driver calls it under input i's lock; after it
+// returns, the scheduler reads only the snapshot, never live state.
+func (c *Core[T]) SnapshotRow(i int) (requested, masked, faulted int) {
 	row := c.req.Row(i)
+	copy(c.lensSnap[i], c.lens[i])
+	if c.anyDownIn && c.downIn.Get(i) {
+		occupied := c.occ.Row(i).PopCount()
+		row.Reset()
+		return 0, 0, occupied
+	}
 	row.Copy(c.occ.Row(i))
 	occupied := row.PopCount()
+	live := occupied
+	if c.anyDownOut {
+		row.AndNot(c.downOut)
+		live = row.PopCount()
+		faulted = occupied - live
+	}
 	if c.maskAny {
 		row.AndNot(c.mask)
 		requested = row.PopCount()
-		masked = occupied - requested
+		masked = live - requested
 	} else {
-		requested = occupied
+		requested = live
 	}
-	copy(c.lensSnap[i], c.lens[i])
-	return requested, masked
+	return requested, masked, faulted
 }
 
 // SnapshotAll snapshots every row (the single-threaded driver's path) and
@@ -260,7 +331,7 @@ func (c *Core[T]) SnapshotRow(i int) (requested, masked int) {
 func (c *Core[T]) SnapshotAll() int {
 	total := 0
 	for i := 0; i < c.n; i++ {
-		r, _ := c.SnapshotRow(i)
+		r, _, _ := c.SnapshotRow(i)
 		total += r
 	}
 	return total

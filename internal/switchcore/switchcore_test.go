@@ -134,7 +134,7 @@ func TestSnapshotMasking(t *testing.T) {
 	c.MaskOutput(2)
 	var requested, masked int
 	for i := 0; i < 3; i++ {
-		r, m := c.SnapshotRow(i)
+		r, m, _ := c.SnapshotRow(i)
 		requested += r
 		masked += m
 	}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	cf "repro/internal/closfabric"
+	rt "repro/internal/runtime"
+)
+
+// newTestDaemon builds a lockstep fabric daemon (no ticker, no listener)
+// with a few slots of generated traffic already through it.
+func newTestDaemon(t *testing.T, ringCap int) *daemon {
+	t.Helper()
+	d, err := newDaemon(cf.Config{
+		M: 2, K: 2, R: 2,
+		Seed:   1,
+		Policy: rt.HoldStranded,
+		Select: cf.SelectLeastBacklogged,
+	}, 0.6, ringCap, ringCap > 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 20; slot++ {
+		if err := d.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestFabricMetricsDocumented keeps OBSERVABILITY.md and the fab_*
+// registry in lockstep, both directions — the fabric namespace's mirror
+// of cmd/lcfd's TestMetricsDocumented for lcf_*.
+func TestFabricMetricsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("OBSERVABILITY.md must ship with the daemon: %v", err)
+	}
+	registered := newTestDaemon(t, 0).registry.Names()
+
+	re := regexp.MustCompile("`(fab_[a-z0-9_]+)`")
+	documented := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
+		name := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		documented[name] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("OBSERVABILITY.md documents no `fab_*` metrics")
+	}
+
+	regSet := map[string]bool{}
+	for _, name := range registered {
+		regSet[name] = true
+		if !documented[name] {
+			t.Errorf("metric %s is registered but not documented in OBSERVABILITY.md", name)
+		}
+	}
+	var stale []string
+	for name := range documented {
+		if !regSet[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		t.Errorf("OBSERVABILITY.md documents %s, which no longer exists in the registry", name)
+	}
+}
+
+// TestDaemonMetricsHandlers drives the HTTP surface against a lockstep
+// daemon: JSON by default, Prometheus on Accept, /fabric topology rows.
+func TestDaemonMetricsHandlers(t *testing.T) {
+	d := newTestDaemon(t, 64)
+
+	rec := httptest.NewRecorder()
+	d.handleMetrics(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default Content-Type = %q", ct)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.Injected == 0 || snap.Slot == 0 {
+		t.Fatalf("no traffic visible in snapshot: %+v", snap)
+	}
+	if snap.Injected != snap.Delivered+snap.Dropped+snap.Resident {
+		t.Fatalf("snapshot books don't close: %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	d.handleMetrics(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{"fab_injected_total", "fab_middle_live", "fab_stage_backlog_frames", "fab_latency_slots_bucket"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("Prometheus exposition missing %s", want)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	d.handleFabric(rec, httptest.NewRequest(http.MethodGet, "/fabric", nil))
+	var fabDoc struct {
+		Switches []stageSummary `json:"switches"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &fabDoc); err != nil {
+		t.Fatalf("/fabric JSON: %v", err)
+	}
+	if len(fabDoc.Switches) != 6 { // m + 2r for C(2,2,2)
+		t.Fatalf("/fabric lists %d switches, want 6", len(fabDoc.Switches))
+	}
+}
+
+// TestDaemonEndToEnd runs the real slot loop on its ticker with the HTTP
+// surface attached, kills a middle switch over the wire, watches traffic
+// reroute, revives it and shuts down — the full operational story,
+// in-process.
+func TestDaemonEndToEnd(t *testing.T) {
+	d, err := newDaemon(cf.Config{
+		M: 2, K: 2, R: 2,
+		Seed:   7,
+		Policy: rt.HoldStranded,
+		Select: cf.SelectRoundRobin,
+	}, 0.6, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/fabric", d.handleFabric)
+	mux.HandleFunc("/fault", d.handleFault)
+	mux.HandleFunc("/trace", d.handleTrace)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	stop := make(chan os.Signal, 1)
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.run(50*time.Microsecond, 0, stop) }()
+
+	getSnap := func() snapshot {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var s snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	waitFor := func(what string, cond func(snapshot) bool) snapshot {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if s := getSnap(); cond(s) {
+				return s
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s (last: %+v)", what, getSnap())
+		return snapshot{}
+	}
+
+	waitFor("traffic", func(s snapshot) bool { return s.Delivered > 100 })
+
+	// Kill middle 0 over the wire; routing must shift entirely to 1.
+	resp, err := http.Post(ts.URL+"/fault?middle=0&state=down", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var states []middleState
+	if err := json.NewDecoder(resp.Body).Decode(&states); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || states[0].Live || !states[1].Live {
+		t.Fatalf("kill response: status %d, states %+v", resp.StatusCode, states)
+	}
+	before := waitFor("degraded state visible", func(s snapshot) bool { return !s.MiddleLive[0] })
+	routedBefore := before.Injected
+	waitFor("traffic rerouted through middle 1", func(s snapshot) bool {
+		return s.Injected > routedBefore+50
+	})
+
+	// Revive, then check the trace surface speaks stage-tagged JSONL.
+	resp, err = http.Post(ts.URL+"/fault?middle=0&state=up", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitFor("recovery visible", func(s snapshot) bool { return s.MiddleLive[0] })
+
+	resp, err = http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev stageEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		stages[ev.Stage] = true
+	}
+	resp.Body.Close()
+	for _, want := range []string{"ingress", "middle", "egress"} {
+		if !stages[want] {
+			t.Errorf("trace has no events from the %s stage (saw %v)", want, stages)
+		}
+	}
+
+	stop <- os.Interrupt
+	if err := <-runDone; err != nil {
+		t.Fatalf("run loop: %v", err)
+	}
+
+	// The loop has stopped; the books must close exactly.
+	st := d.fab.Stats()
+	if st.Injected.Value() != st.Delivered.Value()+st.Dropped.Value()+d.fab.Resident() {
+		t.Fatalf("final accounting broken: injected %d, delivered %d, dropped %d, resident %d",
+			st.Injected.Value(), st.Delivered.Value(), st.Dropped.Value(), d.fab.Resident())
+	}
+}

@@ -20,8 +20,8 @@ import (
 	"fmt"
 
 	"repro/internal/matching"
-	rt "repro/internal/runtime"
 	"repro/internal/rng"
+	rt "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sched/registry"
 	"repro/internal/simswitch"

@@ -130,6 +130,8 @@ func FrameLen(typ byte) int {
 		return DataLen
 	case TypeNack:
 		return NackLen
+	case TypeFabricData:
+		return FabricDataLen
 	default:
 		return 0
 	}

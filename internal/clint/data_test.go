@@ -1,6 +1,17 @@
 package clint
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/crc16"
+)
+
+// binaryPutCRC recomputes the trailing CRC-16 of a fabric frame after a
+// test mutates header bytes, so Decode's semantic checks are reached.
+func binaryPutCRC(frame []byte) {
+	binary.BigEndian.PutUint16(frame[len(frame)-2:], crc16.Checksum(frame[:len(frame)-2]))
+}
 
 func TestDataRoundTrip(t *testing.T) {
 	d := Data{Src: 3, Dst: 14, Seq: 0xDEADBEEFCAFE, Stamp: 1234567890123456789}
@@ -50,14 +61,58 @@ func TestNackRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFabricDataRoundTrip(t *testing.T) {
+	d := FabricData{Stage: StageMiddle, Mid: 5, Src: 300, Dst: 65535, Seq: 1 << 40, Stamp: 7}
+	frame := d.Encode()
+	if len(frame) != FabricDataLen {
+		t.Fatalf("encoded length %d, want %d", len(frame), FabricDataLen)
+	}
+	got, err := DecodeFabricData(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("round trip: got %+v, want %+v", got, d)
+	}
+	frame[4] ^= 1
+	if _, err := DecodeFabricData(frame); err == nil {
+		t.Error("corrupted fabric frame went undetected")
+	}
+}
+
+func TestFabricDataRejectsBadStage(t *testing.T) {
+	// A stage beyond the pipeline must be refused at both ends: Encode
+	// panics, and a hand-crafted frame (CRC valid) fails Decode.
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode accepted stage 3+1")
+		}
+	}()
+	bad := FabricData{Stage: MaxStage + 1}.Encode()
+	_ = bad
+}
+
+func TestDecodeFabricDataRejectsOutOfRangeStageOnWire(t *testing.T) {
+	// Build a frame whose stage byte is out of range but whose CRC is
+	// consistent — only the semantic stage check can catch it.
+	d := FabricData{Stage: StageIngress, Mid: 1, Src: 2, Dst: 3, Seq: 4, Stamp: 5}
+	frame := d.Encode()
+	frame[1] = MaxStage + 1
+	binaryPutCRC(frame)
+	if _, err := DecodeFabricData(frame); err == nil {
+		t.Error("out-of-range stage with a valid CRC went undetected")
+	}
+}
+
 func TestFrameLen(t *testing.T) {
 	cases := map[byte]int{
-		TypeConfig: ConfigLen,
-		TypeGrant:  GrantLen,
-		TypeData:   DataLen,
-		TypeNack:   NackLen,
-		0x00:       0,
-		0xFF:       0,
+		TypeConfig:     ConfigLen,
+		TypeGrant:      GrantLen,
+		TypeData:       DataLen,
+		TypeNack:       NackLen,
+		TypeFabricData: FabricDataLen,
+		0x00:           0,
+		0xFF:           0,
 	}
 	for typ, want := range cases {
 		if got := FrameLen(typ); got != want {

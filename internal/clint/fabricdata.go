@@ -1,0 +1,115 @@
+// Fabric framing for the inter-switch links of the three-stage Clos
+// runtime (internal/closfabric). A frame crossing a stage boundary carries
+// the routing state the next switch needs in its header — the multi-stage
+// analogue of the host↔switch data frame of data.go, in the same Section
+// 4.1 style: a type byte, big-endian fields in field order, CRC-16/
+// CCITT-FALSE over everything before the CRC field.
+//
+//	fabric data (switch → switch, one per hop):
+//	    {type=fab | stage[3..0] | mid[7..0] | src[15..0] | dst[15..0] |
+//	     seq[63..0] | stamp[63..0] | CRC[15..0]}
+//
+// Stage is the pipeline stage the frame is entering (0 ingress, 1 middle,
+// 2 egress) — four bits on the wire, like the grant frame's NodeID/Gnt
+// nibbles, with the same loud-at-Encode contract for values that do not
+// fit. Mid is the middle switch chosen for the frame at admission (the
+// per-frame route); Src and Dst are the global external ports, 16 bits
+// each so a fabric can exceed the single-switch 4-bit port space. Seq and
+// Stamp are opaque end-to-end values echoed at delivery, exactly like the
+// single-switch data frame.
+
+package clint
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crc16"
+)
+
+// TypeFabricData tags an inter-switch fabric frame.
+const TypeFabricData byte = 0xFB
+
+// Fabric pipeline stages, in traversal order. They are wire values: the
+// stage field of a FabricData frame holds exactly one of these.
+const (
+	StageIngress uint8 = 0
+	StageMiddle  uint8 = 1
+	StageEgress  uint8 = 2
+	// MaxStage is the largest encodable stage. The wire field is four
+	// bits, but only the three pipeline stages are meaningful; Encode
+	// refuses anything above this and Decode rejects it as corruption.
+	MaxStage = StageEgress
+)
+
+// FabricData is one cell crossing an inter-switch link of the Clos
+// fabric, routing header included.
+type FabricData struct {
+	// Stage is the pipeline stage this frame is entering (StageIngress,
+	// StageMiddle or StageEgress).
+	Stage uint8
+	// Mid is the middle-stage switch carrying this frame — the route
+	// chosen at admission and pinned for the frame's lifetime.
+	Mid uint8
+	// Src and Dst are the global external input and output ports.
+	Src uint16
+	Dst uint16
+	// Seq and Stamp are opaque end-to-end values, echoed on delivery.
+	Seq   uint64
+	Stamp uint64
+}
+
+// FabricDataLen is the encoded length: type + stage + mid + src + dst +
+// seq + stamp + CRC-16.
+const FabricDataLen = 1 + 1 + 1 + 2 + 2 + 8 + 8 + 2
+
+// Encode serializes the frame with its CRC. Stage must be a valid
+// pipeline stage (≤ MaxStage).
+func (d FabricData) Encode() []byte {
+	buf := make([]byte, FabricDataLen)
+	d.EncodeTo(buf)
+	return buf
+}
+
+// EncodeTo serializes into buf, which must be at least FabricDataLen
+// bytes — the allocation-free path for the per-link transfer loops. It
+// panics on a stage outside the pipeline: a bad stage is a fabric
+// programming error, and truncating it silently would misroute the frame
+// at the next switch.
+func (d FabricData) EncodeTo(buf []byte) {
+	if d.Stage > MaxStage {
+		panic(fmt.Sprintf("clint: fabric stage %d does not fit the pipeline (max %d)", d.Stage, MaxStage))
+	}
+	buf[0] = TypeFabricData
+	buf[1] = d.Stage
+	buf[2] = d.Mid
+	binary.BigEndian.PutUint16(buf[3:], d.Src)
+	binary.BigEndian.PutUint16(buf[5:], d.Dst)
+	binary.BigEndian.PutUint64(buf[7:], d.Seq)
+	binary.BigEndian.PutUint64(buf[15:], d.Stamp)
+	binary.BigEndian.PutUint16(buf[23:], crc16.Checksum(buf[:23]))
+}
+
+// DecodeFabricData parses and verifies a fabric frame.
+func DecodeFabricData(frame []byte) (FabricData, error) {
+	var d FabricData
+	if len(frame) != FabricDataLen {
+		return d, fmt.Errorf("clint: fabric frame length %d, want %d", len(frame), FabricDataLen)
+	}
+	if frame[0] != TypeFabricData {
+		return d, fmt.Errorf("clint: fabric frame has type %#02x", frame[0])
+	}
+	if !crc16.Verify(frame[:23], binary.BigEndian.Uint16(frame[23:])) {
+		return d, fmt.Errorf("clint: fabric frame CRC mismatch")
+	}
+	if frame[1] > MaxStage {
+		return d, fmt.Errorf("clint: fabric frame stage %d out of pipeline range [0,%d]", frame[1], MaxStage)
+	}
+	d.Stage = frame[1]
+	d.Mid = frame[2]
+	d.Src = binary.BigEndian.Uint16(frame[3:])
+	d.Dst = binary.BigEndian.Uint16(frame[5:])
+	d.Seq = binary.BigEndian.Uint64(frame[7:])
+	d.Stamp = binary.BigEndian.Uint64(frame[15:])
+	return d, nil
+}

@@ -37,6 +37,19 @@ type Network struct {
 	viaEgress   [][]int  // [r][m]: ingress switch using this egress link, or -1
 }
 
+// Rearrangeable reports whether a C(m,k,·) configuration is rearrangeably
+// non-blocking: m ≥ k middle switches suffice to route any (partial)
+// permutation if existing connections may be re-routed (Slepian–Duguid).
+// This is the condition New enforces, since the fabric re-routes the
+// whole schedule from scratch every slot.
+func Rearrangeable(m, k int) bool { return m >= k }
+
+// StrictSense reports whether a C(m,k,·) configuration is strict-sense
+// non-blocking: m ≥ 2k−1 middle switches route any new connection without
+// disturbing established ones (Clos 1953). A live fabric that adds and
+// removes connections incrementally would need this stronger condition.
+func StrictSense(m, k int) bool { return m >= 2*k-1 }
+
 // New returns a C(m,k,r) network. Rearrangeable non-blocking operation
 // requires m ≥ k (Slepian–Duguid); strict-sense non-blocking requires
 // m ≥ 2k−1 (Clos 1953). New enforces the rearrangeable minimum since the
@@ -45,7 +58,7 @@ func New(m, k, r int) (*Network, error) {
 	if m <= 0 || k <= 0 || r <= 0 {
 		return nil, fmt.Errorf("clos: non-positive dimension m=%d k=%d r=%d", m, k, r)
 	}
-	if m < k {
+	if !Rearrangeable(m, k) {
 		return nil, fmt.Errorf("clos: m=%d < k=%d is blocking (Slepian–Duguid needs m ≥ k)", m, k)
 	}
 	nw := &Network{k: k, m: m, r: r}
@@ -80,7 +93,7 @@ func (nw *Network) Dims() (m, k, r int) { return nw.m, nw.k, nw.r }
 
 // StrictSenseNonBlocking reports whether the configuration meets Clos's
 // 1953 condition m ≥ 2k−1.
-func (nw *Network) StrictSenseNonBlocking() bool { return nw.m >= 2*nw.k-1 }
+func (nw *Network) StrictSenseNonBlocking() bool { return StrictSense(nw.m, nw.k) }
 
 // Route computes a middle-stage assignment for the schedule: route[i] is
 // the middle switch carrying input i's connection (or -1 for unmatched

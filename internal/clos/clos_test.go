@@ -45,6 +45,56 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+// TestNonBlockingPredicates pins the two classical conditions as named
+// predicates, exactly as the literature states them: rearrangeable needs
+// m ≥ k (Slepian–Duguid), strict-sense needs m ≥ 2k−1 (Clos 1953). The
+// boundary rows matter most — the fabric builders gate on these.
+func TestNonBlockingPredicates(t *testing.T) {
+	for _, tc := range []struct {
+		m, k          int
+		rearr, strict bool
+	}{
+		{1, 1, true, true},   // 1 ≥ 1, 1 ≥ 2·1−1
+		{1, 2, false, false}, // blocking
+		{2, 2, true, false},  // Slepian–Duguid minimum
+		{3, 2, true, true},   // 2k−1 exactly
+		{4, 4, true, false},
+		{6, 4, true, false}, // 2k−2: one short of strict-sense
+		{7, 4, true, true},  // 2k−1 exactly
+		{8, 4, true, true},
+		{16, 16, true, false},
+		{31, 16, true, true},
+	} {
+		if got := Rearrangeable(tc.m, tc.k); got != tc.rearr {
+			t.Errorf("Rearrangeable(%d,%d) = %v, want %v", tc.m, tc.k, got, tc.rearr)
+		}
+		if got := StrictSense(tc.m, tc.k); got != tc.strict {
+			t.Errorf("StrictSense(%d,%d) = %v, want %v", tc.m, tc.k, got, tc.strict)
+		}
+		// Strict-sense implies rearrangeable for k ≥ 1: 2k−1 ≥ k.
+		if StrictSense(tc.m, tc.k) && !Rearrangeable(tc.m, tc.k) {
+			t.Errorf("StrictSense(%d,%d) without Rearrangeable", tc.m, tc.k)
+		}
+	}
+}
+
+// TestPredicatesAgreeWithConstruction: New accepts exactly the
+// rearrangeable configurations, and the method view agrees with the
+// package-level predicate.
+func TestPredicatesAgreeWithConstruction(t *testing.T) {
+	for m := 1; m <= 9; m++ {
+		for k := 1; k <= 9; k++ {
+			nw, err := New(m, k, 3)
+			if Rearrangeable(m, k) != (err == nil) {
+				t.Fatalf("New(m=%d,k=%d) err=%v disagrees with Rearrangeable=%v", m, k, err, Rearrangeable(m, k))
+			}
+			if err == nil && nw.StrictSenseNonBlocking() != StrictSense(m, k) {
+				t.Fatalf("method/predicate disagree at m=%d k=%d", m, k)
+			}
+		}
+	}
+}
+
 // randomMatch builds a random partial permutation on n ports.
 func randomMatch(r *rand.Rand, n int, density float64) *matching.Match {
 	m := matching.NewMatch(n)

@@ -1,0 +1,804 @@
+// Package closfabric is the live three-stage Clos fabric: N independent
+// internal/runtime engines — one per ingress, middle and egress switch of
+// a C(m,k,r) Clos network — wired together with inter-switch links that
+// carry clint fabric frames, all driven in lockstep on one shared fabric
+// clock.
+//
+// Where internal/clos computes offline rearrangements of a single
+// matching, this package actually *runs* the datacenter-shaped topology:
+// every switch is a full LCF (or any registered scheduler) engine with its
+// own VOQs, arbiter and fault machinery, and frames hop ingress → middle →
+// egress exactly as cells would cross a folded-Clos fabric.
+//
+// # Topology and routing
+//
+// A C(m,k,r) fabric has r ingress switches of k external inputs, m middle
+// switches of r×r, and r egress switches of k external outputs; n = k·r
+// external ports. External port p maps to ingress switch p/k, local input
+// p%k (and symmetrically on the egress side). The only routing freedom is
+// the middle-stage choice, made once per frame at admission:
+//
+//   - SelectRoundRobin cycles a per-ingress pointer over the live middles.
+//   - SelectLeastBacklogged picks the live middle with the smallest
+//     backlog along its path (the middle engine's VOQ backlog gauge plus
+//     frames in flight on the ingress→middle links toward it).
+//
+// # Links and backpressure
+//
+// Each inter-switch link is a one-frame hold register on top of the
+// upstream engine's bounded output channel. Per fabric slot a link pops at
+// most one frame, encodes it as a clint.FabricData wire frame (the hop and
+// stage route travel on the wire, round-tripped through the real codec),
+// and offers it to the downstream engine. A full downstream VOQ NACKs the
+// link (ErrBackpressure): the frame stays in the hold register and retries
+// next slot, the stalled register stops the link popping, the upstream
+// output channel fills, the upstream engine masks that output, frames pile
+// into its VOQs, and eventually the external Admit sees ErrBackpressure —
+// backpressure propagates across the whole fabric without dropping a
+// frame.
+//
+// # Conservation
+//
+// Every frame admitted into the fabric allocates one slab entry holding
+// its end-to-end identity (external src/dst, chosen middle, caller seq and
+// stamp, admission slot); the entry is freed exactly once, on external
+// delivery or on a counted drop. After every slot the fabric asserts, from
+// two independent sets of books, that
+//
+//	injected == delivered + dropped + resident
+//
+// where resident is recomputed from engine backlog gauges, output-channel
+// occupancy and link hold registers — and must also equal the number of
+// live slab entries. A violation fails Tick with a full breakdown.
+//
+// # Faults
+//
+// FailMiddle kills an entire middle-stage switch: its ports all go down
+// and every ingress masks the output feeding it. New admissions reroute
+// around it (both selection policies skip dead middles); frames already
+// inside it follow the engines' FaultPolicy — held in place until
+// RecoverMiddle, or flushed and counted (the runtime.Config.OnDropped hook
+// releases their slab entries, keeping conservation exact). Frames already
+// in the dead switch's output channels have left the switch and still
+// deliver.
+package closfabric
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/clint"
+	"repro/internal/clos"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	rt "repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sched/registry"
+)
+
+// Fabric-level admission errors. ErrBackpressure and ErrBadPort are the
+// runtime package's own sentinels, re-exported so callers match one set.
+var (
+	ErrBackpressure = rt.ErrBackpressure
+	ErrBadPort      = rt.ErrBadPort
+	// ErrClosed reports admission after Close.
+	ErrClosed = errors.New("closfabric: fabric closed")
+	// ErrNoMiddle reports that every middle-stage switch is down: there is
+	// no path from any ingress to any egress.
+	ErrNoMiddle = errors.New("closfabric: no live middle-stage switch")
+)
+
+// MiddleSelect chooses how admission routes frames over the middle stage.
+type MiddleSelect int
+
+const (
+	// SelectRoundRobin cycles each ingress switch's pointer over the live
+	// middle switches — oblivious load balancing.
+	SelectRoundRobin MiddleSelect = iota
+	// SelectLeastBacklogged sends each frame to the live middle switch
+	// with the smallest backlog along its path, read from the engines' VOQ
+	// backlog gauges (ties break to the lowest index).
+	SelectLeastBacklogged
+)
+
+func (s MiddleSelect) String() string {
+	switch s {
+	case SelectRoundRobin:
+		return "rr"
+	case SelectLeastBacklogged:
+		return "backlog"
+	default:
+		return fmt.Sprintf("MiddleSelect(%d)", int(s))
+	}
+}
+
+// ParseMiddleSelect maps the flag spellings used by cmd/lcffab.
+func ParseMiddleSelect(s string) (MiddleSelect, error) {
+	switch s {
+	case "rr", "round-robin":
+		return SelectRoundRobin, nil
+	case "backlog", "least-backlogged":
+		return SelectLeastBacklogged, nil
+	default:
+		return 0, fmt.Errorf("closfabric: unknown middle selection %q (want rr or backlog)", s)
+	}
+}
+
+// Delivery is one frame leaving the fabric at its external egress port,
+// handed to Config.OnDeliver with its end-to-end identity restored from
+// the slab.
+type Delivery struct {
+	Src, Dst   int    // external ports
+	Mid        int    // middle switch the frame crossed
+	Seq, Stamp uint64 // caller values from Admit, echoed
+	// Admitted and DeliveredSlot are fabric slots: when the frame entered
+	// its ingress VOQ and when it left the egress engine.
+	Admitted, DeliveredSlot int64
+}
+
+// Config parameterizes a Fabric.
+type Config struct {
+	// M, K, R are the Clos dimensions: M middle switches, K external
+	// ports per ingress/egress switch, R ingress (= egress) switches.
+	// The topology must at least be rearrangeable (clos.Rearrangeable).
+	M, K, R int
+
+	// Scheduler is a sched registry name instantiated once per switch
+	// engine; every engine gets a distinct deterministic seed derived via
+	// SchedulerSeed. Default lcf_central_rr.
+	Scheduler  string
+	Iterations int
+	Seed       uint64
+
+	// VOQCap and OutCap are handed to every engine (runtime defaults
+	// apply when zero).
+	VOQCap, OutCap int
+
+	// Policy is every engine's disposition of frames stranded behind a
+	// failed link: HoldStranded parks them until recovery, DropStranded
+	// flushes them (the fabric counts the drops and frees their slab
+	// entries via the OnDropped hook).
+	Policy rt.FaultPolicy
+
+	// Select picks the middle-stage routing policy.
+	Select MiddleSelect
+
+	// DisableConservation skips the per-slot fabric-wide audit (it is
+	// O(switches + links) per slot; benchmarks measuring raw slot rate
+	// may want it off). Tests leave it on.
+	DisableConservation bool
+
+	// OnDeliver, when non-nil, receives every frame leaving the fabric.
+	// It runs on the Tick caller's goroutine.
+	OnDeliver func(Delivery)
+
+	// OnStageSlot, when non-nil, receives every engine's per-slot event
+	// tagged with its stage and index — the fabric-level mirror of
+	// runtime.Config.OnSlot.
+	OnStageSlot func(stage uint8, idx int, ev rt.SlotEvent)
+
+	// TracerFor, when non-nil, supplies a per-engine obs tracer (stage,
+	// index), letting a daemon tag trace events by position in the
+	// fabric. Return nil for engines that should not trace.
+	TracerFor func(stage uint8, idx int) *obs.Tracer
+}
+
+func (c *Config) normalize() error {
+	if c.Scheduler == "" {
+		c.Scheduler = "lcf_central_rr"
+	}
+	if c.Select != SelectRoundRobin && c.Select != SelectLeastBacklogged {
+		return fmt.Errorf("closfabric: unknown middle selection %d", int(c.Select))
+	}
+	n := c.K * c.R
+	if n > 1<<16 {
+		return fmt.Errorf("closfabric: %d external ports exceed the 16-bit wire address space", n)
+	}
+	return nil
+}
+
+// SchedulerSeed derives the deterministic per-engine scheduler seed from
+// the fabric's base seed, the engine's stage and its index within the
+// stage. Exported so lockstep tests can build a reference engine with the
+// exact seed a fabric engine received.
+func SchedulerSeed(base uint64, stage uint8, idx int) uint64 {
+	return base ^ (uint64(stage)+1)*0x9E3779B97F4A7C15 ^ (uint64(idx)+1)*0xBF58476D1CE4E5B9
+}
+
+// meta is one slab entry: the end-to-end identity of a frame in flight.
+// Engines only see the slab index (as their Frame.Seq); everything the
+// egress side needs to reconstruct the delivery lives here.
+type meta struct {
+	src, dst int
+	mid      int
+	seq      uint64
+	stamp    uint64
+	admitted int64
+	inUse    bool
+}
+
+// hold is a one-frame link register: the decoded wire frame waiting for
+// the downstream switch to accept it.
+type hold struct {
+	full bool
+	fd   clint.FabricData
+}
+
+// Stats holds the fabric-level counters, safe to scrape concurrently with
+// a ticking fabric (per-slot bookkeeping is single-goroutine; the counters
+// themselves are atomics).
+type Stats struct {
+	Injected      metrics.Counter        // external Admit successes
+	Delivered     metrics.Counter        // frames leaving an external egress port
+	Rejected      metrics.Counter        // Admit refusals: bad port, dead path (ErrPortDown, ErrNoMiddle)
+	Backpressured metrics.Counter        // Admit refusals: full ingress VOQ
+	Dropped       metrics.Counter        // frames dropped by fault policy, fabric-wide (engines + links)
+	LinkNacks     metrics.Counter        // inter-switch link admission refusals (downstream VOQ full or switch down)
+	Routed        []metrics.Counter      // per middle switch: frames routed through it at admission
+	MiddleLive    []metrics.Gauge        // per middle switch: 1 up, 0 failed
+	Latency       *metrics.LiveHistogram // end-to-end delivery latency in fabric slots
+}
+
+// Fabric is one live Clos fabric. All mutating methods (Admit, Tick,
+// FailMiddle, RecoverMiddle, Close) must run on a single goroutine — the
+// same lockstep contract as a non-Started runtime.Engine. Read-only
+// accessors and the registered metrics are safe from any goroutine.
+type Fabric struct {
+	cfg     Config
+	net     *clos.Network
+	m, k, r int
+	n       int // external ports = k·r
+	sq      int // ingress/egress engine size = max(k, m)
+
+	ingress []*rt.Engine // r engines of size sq: inputs 0..k-1 external, outputs 0..m-1 to middles
+	middle  []*rt.Engine // m engines of size r: input g from ingress g, output ge to egress ge
+	egress  []*rt.Engine // r engines of size sq: inputs 0..m-1 from middles, outputs 0..k-1 external
+
+	midLive []bool
+	live    int   // live middle count
+	rrNext  []int // per-ingress round-robin middle pointer
+
+	imHold [][]hold // [r][m] ingress→middle links
+	meHold [][]hold // [m][r] middle→egress links
+
+	slab []meta
+	free []int
+
+	slot   atomic.Int64 // completed fabric slots; atomic only for scrapers
+	closed bool
+
+	met     Stats
+	scratch [clint.FabricDataLen]byte
+}
+
+// New builds a fabric. The Clos dimensions are validated through
+// clos.New, so only (at least) rearrangeable topologies are accepted.
+func New(cfg Config) (*Fabric, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	net, err := clos.New(cfg.M, cfg.K, cfg.R)
+	if err != nil {
+		return nil, err
+	}
+	m, k, r := net.Dims()
+	f := &Fabric{
+		cfg: cfg,
+		net: net,
+		m:   m, k: k, r: r,
+		n:       k * r,
+		sq:      max(k, m),
+		ingress: make([]*rt.Engine, r),
+		middle:  make([]*rt.Engine, m),
+		egress:  make([]*rt.Engine, r),
+		midLive: make([]bool, m),
+		live:    m,
+		rrNext:  make([]int, r),
+		imHold:  make([][]hold, r),
+		meHold:  make([][]hold, m),
+	}
+	for g := range f.imHold {
+		f.imHold[g] = make([]hold, m)
+	}
+	for c := range f.meHold {
+		f.meHold[c] = make([]hold, r)
+	}
+	for c := range f.midLive {
+		f.midLive[c] = true
+	}
+	for g := 0; g < r; g++ {
+		if f.ingress[g], err = f.newEngine(clint.StageIngress, g, f.sq); err != nil {
+			return nil, err
+		}
+		if f.egress[g], err = f.newEngine(clint.StageEgress, g, f.sq); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < m; c++ {
+		if f.middle[c], err = f.newEngine(clint.StageMiddle, c, r); err != nil {
+			return nil, err
+		}
+	}
+	f.met.Routed = make([]metrics.Counter, m)
+	f.met.MiddleLive = make([]metrics.Gauge, m)
+	for c := range f.met.MiddleLive {
+		f.met.MiddleLive[c].Set(1)
+	}
+	// Latency buckets 1,2,4,… slots: three hops minimum, long tails under
+	// backpressure or held faults.
+	f.met.Latency = metrics.NewLiveHistogram(metrics.ExponentialBounds(1, 2, 16))
+	return f, nil
+}
+
+func (f *Fabric) newEngine(stage uint8, idx, size int) (*rt.Engine, error) {
+	s, err := registry.New(f.cfg.Scheduler, size, sched.Options{
+		Iterations: f.cfg.Iterations,
+		Seed:       SchedulerSeed(f.cfg.Seed, stage, idx),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("closfabric: stage %d switch %d: %w", stage, idx, err)
+	}
+	ecfg := rt.Config{
+		N:           size,
+		Scheduler:   s,
+		VOQCap:      f.cfg.VOQCap,
+		OutCap:      f.cfg.OutCap,
+		FaultPolicy: f.cfg.Policy,
+		OnDropped:   f.onEngineDrop,
+	}
+	if f.cfg.TracerFor != nil {
+		ecfg.Tracer = f.cfg.TracerFor(stage, idx)
+	}
+	if cb := f.cfg.OnStageSlot; cb != nil {
+		st, ix := stage, idx
+		ecfg.OnSlot = func(ev rt.SlotEvent) { cb(st, ix, ev) }
+	}
+	e, err := rt.New(ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("closfabric: stage %d switch %d: %w", stage, idx, err)
+	}
+	return e, nil
+}
+
+// onEngineDrop is the runtime.Config.OnDropped hook shared by every
+// engine: a frame an engine flushed from a stranded VOQ is gone from the
+// fabric, so its slab entry is released and the fabric-wide drop counted.
+// Runs on the Tick goroutine (engines are lockstep).
+func (f *Fabric) onEngineDrop(fr rt.Frame) {
+	f.freeSlab(int(fr.Seq))
+	f.met.Dropped.Inc()
+}
+
+// Dims returns the Clos dimensions (m, k, r).
+func (f *Fabric) Dims() (m, k, r int) { return f.m, f.k, f.r }
+
+// N returns the external port count k·r.
+func (f *Fabric) N() int { return f.n }
+
+// Slot returns the number of completed fabric slots.
+func (f *Fabric) Slot() int64 { return f.slot.Load() }
+
+// Stats returns the fabric-level counters for scraping.
+func (f *Fabric) Stats() *Stats { return &f.met }
+
+// Engine returns the engine at (stage, idx) — the per-switch view for
+// metrics registration and tests. It panics on an out-of-range position.
+func (f *Fabric) Engine(stage uint8, idx int) *rt.Engine {
+	switch stage {
+	case clint.StageIngress:
+		return f.ingress[idx]
+	case clint.StageMiddle:
+		return f.middle[idx]
+	case clint.StageEgress:
+		return f.egress[idx]
+	}
+	panic(fmt.Sprintf("closfabric: stage %d out of range", stage))
+}
+
+// MiddleLive reports whether middle switch c is up.
+func (f *Fabric) MiddleLive(c int) bool { return f.midLive[c] }
+
+// Resident returns the number of frames currently inside the fabric
+// (live slab entries).
+func (f *Fabric) Resident() int64 { return int64(len(f.slab) - len(f.free)) }
+
+func (f *Fabric) allocSlab(mt meta) int {
+	mt.inUse = true
+	if ln := len(f.free); ln > 0 {
+		idx := f.free[ln-1]
+		f.free = f.free[:ln-1]
+		f.slab[idx] = mt
+		return idx
+	}
+	f.slab = append(f.slab, mt)
+	return len(f.slab) - 1
+}
+
+func (f *Fabric) freeSlab(idx int) {
+	if idx < 0 || idx >= len(f.slab) || !f.slab[idx].inUse {
+		panic(fmt.Sprintf("closfabric: double free or bad slab index %d", idx))
+	}
+	f.slab[idx].inUse = false
+	f.free = append(f.free, idx)
+}
+
+// pickMiddle chooses the middle switch for a frame admitted at ingress
+// switch gi, honoring the configured selection policy over live middles.
+func (f *Fabric) pickMiddle(gi int) (int, error) {
+	if f.live == 0 {
+		return 0, ErrNoMiddle
+	}
+	switch f.cfg.Select {
+	case SelectLeastBacklogged:
+		best, bestLoad := -1, int64(0)
+		for c := 0; c < f.m; c++ {
+			if !f.midLive[c] {
+				continue
+			}
+			load := f.middle[c].Stats().Backlog.Value()
+			// In-flight frames on the ingress→middle links toward c are
+			// backlog the gauge cannot see yet.
+			for g := 0; g < f.r; g++ {
+				load += int64(len(f.ingress[g].Output(c)))
+				if f.imHold[g][c].full {
+					load++
+				}
+			}
+			if best < 0 || load < bestLoad {
+				best, bestLoad = c, load
+			}
+		}
+		return best, nil
+	default: // SelectRoundRobin
+		for off := 0; off < f.m; off++ {
+			c := (f.rrNext[gi] + off) % f.m
+			if f.midLive[c] {
+				f.rrNext[gi] = (c + 1) % f.m
+				return c, nil
+			}
+		}
+		return 0, ErrNoMiddle
+	}
+}
+
+// Admit offers a frame at external input port src destined to external
+// output port dst. Seq and stamp are opaque caller values echoed on
+// delivery. It returns nil on acceptance, ErrBackpressure when the path's
+// ingress VOQ is full, ErrNoMiddle when every middle switch is down,
+// ErrClosed after Close and ErrBadPort for out-of-range ports. Lockstep:
+// call only from the Tick goroutine.
+func (f *Fabric) Admit(src, dst int, seq, stamp uint64) error {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
+		return fmt.Errorf("%w: src %d dst %d (n=%d)", ErrBadPort, src, dst, f.n)
+	}
+	if f.closed {
+		return ErrClosed
+	}
+	gi, li := src/f.k, src%f.k
+	c, err := f.pickMiddle(gi)
+	if err != nil {
+		f.met.Rejected.Inc()
+		return err
+	}
+	idx := f.allocSlab(meta{src: src, dst: dst, mid: c, seq: seq, stamp: stamp, admitted: f.slot.Load()})
+	if err := f.ingress[gi].Admit(li, c, uint64(idx), stamp); err != nil {
+		f.freeSlab(idx)
+		if errors.Is(err, rt.ErrBackpressure) {
+			f.met.Backpressured.Inc()
+		} else {
+			f.met.Rejected.Inc()
+		}
+		return err
+	}
+	f.met.Injected.Inc()
+	f.met.Routed[c].Inc()
+	return nil
+}
+
+// popFrame non-blockingly takes one frame from an engine output channel.
+func popFrame(ch <-chan rt.Frame) (rt.Frame, bool) {
+	select {
+	case fr := <-ch:
+		return fr, true
+	default:
+		return rt.Frame{}, false
+	}
+}
+
+// encodeHop runs one frame through the real clint wire codec — the link
+// carries the stage/hop route on the wire, and a codec regression (or a
+// slab/route mismatch) surfaces here instead of as silent misdelivery.
+func (f *Fabric) encodeHop(stage uint8, mid int, fr rt.Frame) (clint.FabricData, error) {
+	idx := int(fr.Seq)
+	if idx < 0 || idx >= len(f.slab) || !f.slab[idx].inUse {
+		return clint.FabricData{}, fmt.Errorf("closfabric: frame with dead slab index %d on a link", idx)
+	}
+	mt := &f.slab[idx]
+	fd := clint.FabricData{
+		Stage: stage,
+		Mid:   uint8(mid),
+		Src:   uint16(mt.src),
+		Dst:   uint16(mt.dst),
+		Seq:   fr.Seq,
+		Stamp: mt.stamp,
+	}
+	fd.EncodeTo(f.scratch[:])
+	back, err := clint.DecodeFabricData(f.scratch[:])
+	if err != nil {
+		return clint.FabricData{}, fmt.Errorf("closfabric: link codec round trip: %w", err)
+	}
+	if back != fd {
+		return clint.FabricData{}, fmt.Errorf("closfabric: link codec mutated frame: sent %+v got %+v", fd, back)
+	}
+	return back, nil
+}
+
+// offerLink tries to move the held frame into the downstream engine,
+// applying the link NACK/hold/drop discipline. Reports whether the hold
+// register is now free.
+func (f *Fabric) offerLink(h *hold, admit func(fd clint.FabricData) error) {
+	err := admit(h.fd)
+	switch {
+	case err == nil:
+		h.full = false
+	case errors.Is(err, rt.ErrBackpressure), errors.Is(err, rt.ErrPortDown):
+		f.met.LinkNacks.Inc()
+		if errors.Is(err, rt.ErrPortDown) && f.cfg.Policy == rt.DropStranded {
+			// The downstream switch is dead and the policy says frames do
+			// not wait for it: the link drops the frame like the engines
+			// drop their stranded VOQs.
+			f.freeSlab(int(h.fd.Seq))
+			f.met.Dropped.Inc()
+			h.full = false
+		}
+		// Otherwise the frame stays in the register and retries next slot.
+	default:
+		// ErrClosed/ErrBadPort here mean fabric wiring is broken; surface
+		// loudly rather than leak the frame.
+		panic(fmt.Sprintf("closfabric: link admit: %v", err))
+	}
+}
+
+// transferIngressMiddle advances every ingress→middle link by at most one
+// frame: fill an empty hold register from the upstream output channel
+// (through the wire codec), then offer the held frame downstream.
+func (f *Fabric) transferIngressMiddle() error {
+	for g := 0; g < f.r; g++ {
+		for c := 0; c < f.m; c++ {
+			h := &f.imHold[g][c]
+			if !h.full {
+				fr, ok := popFrame(f.ingress[g].Output(c))
+				if ok {
+					fd, err := f.encodeHop(clint.StageMiddle, c, fr)
+					if err != nil {
+						return err
+					}
+					h.fd, h.full = fd, true
+				}
+			}
+			if h.full {
+				gi, mid := g, c
+				f.offerLink(h, func(fd clint.FabricData) error {
+					return f.middle[mid].Admit(gi, int(fd.Dst)/f.k, fd.Seq, fd.Stamp)
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// transferMiddleEgress advances every middle→egress link by at most one
+// frame, symmetrically to transferIngressMiddle.
+func (f *Fabric) transferMiddleEgress() error {
+	for c := 0; c < f.m; c++ {
+		for ge := 0; ge < f.r; ge++ {
+			h := &f.meHold[c][ge]
+			if !h.full {
+				fr, ok := popFrame(f.middle[c].Output(ge))
+				if ok {
+					fd, err := f.encodeHop(clint.StageEgress, c, fr)
+					if err != nil {
+						return err
+					}
+					h.fd, h.full = fd, true
+				}
+			}
+			if h.full {
+				mid, eg := c, ge
+				f.offerLink(h, func(fd clint.FabricData) error {
+					return f.egress[eg].Admit(mid, int(fd.Dst)%f.k, fd.Seq, fd.Stamp)
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// collectDeliveries drains every external egress output completely,
+// restoring each frame's end-to-end identity from the slab and releasing
+// its entry.
+func (f *Fabric) collectDeliveries() {
+	for ge := 0; ge < f.r; ge++ {
+		for lo := 0; lo < f.k; lo++ {
+			for {
+				fr, ok := popFrame(f.egress[ge].Output(lo))
+				if !ok {
+					break
+				}
+				idx := int(fr.Seq)
+				mt := f.slab[idx] // freeSlab panics below if idx is dead
+				f.freeSlab(idx)
+				f.met.Delivered.Inc()
+				f.met.Latency.Observe(float64(f.slot.Load() - mt.admitted + 1))
+				if f.cfg.OnDeliver != nil {
+					f.cfg.OnDeliver(Delivery{
+						Src: mt.src, Dst: mt.dst, Mid: mt.mid,
+						Seq: mt.seq, Stamp: mt.stamp,
+						Admitted: mt.admitted, DeliveredSlot: f.slot.Load(),
+					})
+				}
+			}
+		}
+	}
+}
+
+// Tick advances the whole fabric by one slot: move frames across the
+// middle→egress and ingress→middle links, tick every switch engine, and
+// collect external deliveries. Admissions made before Tick are visible to
+// this slot's ingress schedule — the same convention as runtime.Engine.
+// Unless disabled, the slot ends with the fabric-wide conservation audit;
+// a violation (or a wire codec failure) returns an error and the fabric
+// should be considered corrupt.
+func (f *Fabric) Tick() error {
+	if err := f.transferMiddleEgress(); err != nil {
+		return err
+	}
+	if err := f.transferIngressMiddle(); err != nil {
+		return err
+	}
+	for _, e := range f.ingress {
+		e.Tick()
+	}
+	for _, e := range f.middle {
+		e.Tick()
+	}
+	for _, e := range f.egress {
+		e.Tick()
+	}
+	f.collectDeliveries()
+	f.slot.Add(1)
+	if f.cfg.DisableConservation {
+		return nil
+	}
+	return f.checkConservation()
+}
+
+// checkConservation audits injected == delivered + dropped + resident,
+// with resident recomputed from the engines' backlog gauges, the output
+// channels and the link hold registers — books the slab does not keep.
+// The slab population must independently agree.
+func (f *Fabric) checkConservation() error {
+	var backlog, inChannels, inHolds int64
+	for g := 0; g < f.r; g++ {
+		backlog += f.ingress[g].Stats().Backlog.Value()
+		backlog += f.egress[g].Stats().Backlog.Value()
+		for c := 0; c < f.m; c++ {
+			inChannels += int64(len(f.ingress[g].Output(c)))
+		}
+		for lo := 0; lo < f.k; lo++ {
+			inChannels += int64(len(f.egress[g].Output(lo)))
+		}
+	}
+	for c := 0; c < f.m; c++ {
+		backlog += f.middle[c].Stats().Backlog.Value()
+		for ge := 0; ge < f.r; ge++ {
+			inChannels += int64(len(f.middle[c].Output(ge)))
+			if f.meHold[c][ge].full {
+				inHolds++
+			}
+		}
+	}
+	for g := 0; g < f.r; g++ {
+		for c := 0; c < f.m; c++ {
+			if f.imHold[g][c].full {
+				inHolds++
+			}
+		}
+	}
+	resident := backlog + inChannels + inHolds
+	injected := f.met.Injected.Value()
+	delivered := f.met.Delivered.Value()
+	dropped := f.met.Dropped.Value()
+	if injected != delivered+dropped+resident {
+		return fmt.Errorf("closfabric: conservation violated at slot %d: injected %d != delivered %d + dropped %d + resident %d (backlog %d, channels %d, holds %d)",
+			f.slot.Load(), injected, delivered, dropped, resident, backlog, inChannels, inHolds)
+	}
+	if live := f.Resident(); live != resident {
+		return fmt.Errorf("closfabric: slab accounting diverged at slot %d: %d live entries, %d frames resident",
+			f.slot.Load(), live, resident)
+	}
+	return nil
+}
+
+// FailMiddle kills middle switch c whole: all its ports go down, every
+// ingress masks the link feeding it, and routing stops choosing it. The
+// transition takes effect at the next slot, like the engine-level fault
+// setters. Idempotent.
+func (f *Fabric) FailMiddle(c int) error {
+	if c < 0 || c >= f.m {
+		return fmt.Errorf("%w: middle %d (m=%d)", ErrBadPort, c, f.m)
+	}
+	if !f.midLive[c] {
+		return nil
+	}
+	f.midLive[c] = false
+	f.live--
+	f.met.MiddleLive[c].Set(0)
+	for g := 0; g < f.r; g++ {
+		if err := f.ingress[g].FailOutput(c); err != nil {
+			return err
+		}
+	}
+	for p := 0; p < f.r; p++ {
+		if err := f.middle[c].FailInput(p); err != nil {
+			return err
+		}
+		if err := f.middle[c].FailOutput(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverMiddle restores middle switch c. Held frames resume within a
+// slot; routing starts choosing it again immediately. Idempotent.
+func (f *Fabric) RecoverMiddle(c int) error {
+	if c < 0 || c >= f.m {
+		return fmt.Errorf("%w: middle %d (m=%d)", ErrBadPort, c, f.m)
+	}
+	if f.midLive[c] {
+		return nil
+	}
+	f.midLive[c] = true
+	f.live++
+	f.met.MiddleLive[c].Set(1)
+	for g := 0; g < f.r; g++ {
+		if err := f.ingress[g].RecoverOutput(c); err != nil {
+			return err
+		}
+	}
+	for p := 0; p < f.r; p++ {
+		if err := f.middle[c].RecoverInput(p); err != nil {
+			return err
+		}
+		if err := f.middle[c].RecoverOutput(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain stops nothing but ticks the fabric until it is empty or maxSlots
+// have elapsed, returning the number of frames still resident. Callers
+// stop admitting first (or call Close).
+func (f *Fabric) Drain(maxSlots int) (int64, error) {
+	for s := 0; s < maxSlots && f.Resident() > 0; s++ {
+		if err := f.Tick(); err != nil {
+			return f.Resident(), err
+		}
+	}
+	return f.Resident(), nil
+}
+
+// Close rejects further admissions. The engines are lockstep (no
+// goroutines), so there is nothing else to stop; callers wanting an empty
+// fabric call Drain first.
+func (f *Fabric) Close() { f.closed = true }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

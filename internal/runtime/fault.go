@@ -190,7 +190,7 @@ func (e *Engine) sweepStranded() {
 			if drop {
 				row := e.core.OccupiedRow(i)
 				for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
-					dropped += e.core.FlushVOQ(i, j, nil)
+					dropped += e.core.FlushVOQ(i, j, e.cfg.OnDropped)
 				}
 			} else {
 				stranded += e.core.InputBacklog(i)
@@ -203,7 +203,7 @@ func (e *Engine) sweepStranded() {
 				continue
 			}
 			if drop {
-				dropped += e.core.FlushVOQ(i, j, nil)
+				dropped += e.core.FlushVOQ(i, j, e.cfg.OnDropped)
 			} else {
 				stranded += e.core.Len(i, j)
 			}

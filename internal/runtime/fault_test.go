@@ -337,3 +337,59 @@ func TestCloseStuckConsumer(t *testing.T) {
 		t.Fatalf("delivered counter %d, channel residue %d", got, inChannel)
 	}
 }
+
+// TestOnDroppedCallback checks the per-frame drop hook: under
+// DropStranded, every frame the sweep flushes is handed to
+// Config.OnDropped exactly once, before it is counted in DroppedFault —
+// the contract the Clos fabric relies on to release its per-frame slab
+// entries when an engine discards frames behind a failed link.
+func TestOnDroppedCallback(t *testing.T) {
+	const n = 4
+	var dropped []rt.Frame
+	e, err := rt.New(rt.Config{
+		N:           n,
+		Scheduler:   newScheduler(t, "lcf_central_rr", n),
+		VOQCap:      8,
+		FaultPolicy: rt.DropStranded,
+		OnDropped:   func(f rt.Frame) { dropped = append(dropped, f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strand frames behind a failed input AND behind a failed output, so
+	// both flush sites in the sweep are exercised.
+	for k := 0; k < 3; k++ {
+		if err := e.Admit(1, 2, uint64(100+k), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Admit(0, 3, 200, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailInput(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailOutput(3); err != nil {
+		t.Fatal(err)
+	}
+	e.Tick()
+	st := e.Stats()
+	if st.DroppedFault.Value() != 4 {
+		t.Fatalf("DroppedFault %d, want 4", st.DroppedFault.Value())
+	}
+	if len(dropped) != 4 {
+		t.Fatalf("OnDropped saw %d frames, want 4", len(dropped))
+	}
+	seen := make(map[uint64]bool)
+	for _, f := range dropped {
+		if seen[f.Seq] {
+			t.Fatalf("OnDropped saw seq %d twice", f.Seq)
+		}
+		seen[f.Seq] = true
+	}
+	for _, want := range []uint64{100, 101, 102, 200} {
+		if !seen[want] {
+			t.Fatalf("OnDropped missed seq %d (saw %v)", want, dropped)
+		}
+	}
+}

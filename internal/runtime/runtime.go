@@ -147,6 +147,13 @@ type Config struct {
 	// goroutine; keep it fast.
 	OnSlot func(SlotEvent)
 
+	// OnDropped, when non-nil, is invoked for every frame the fault
+	// policy flushes from a stranded VOQ (DropStranded only). It runs on
+	// the arbiter goroutine, once per frame, before the frame is counted
+	// in DroppedFault — the hook a composing layer (the Clos fabric)
+	// uses to release per-frame state the engine is about to discard.
+	OnDropped func(Frame)
+
 	// Tracer, when non-nil, receives one obs slot event per tick: the
 	// request cardinality, the matching, and per-grant attribution when
 	// the scheduler implements sched.Explainer. A disabled tracer costs

@@ -53,11 +53,13 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/clint"
+	"repro/internal/datapath"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	rt "repro/internal/runtime"
@@ -69,7 +71,9 @@ func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:9416", "TCP address for the data plane")
 		httpAddr   = flag.String("http", "127.0.0.1:9417", "HTTP address for the metrics endpoint (empty disables)")
-		schedName  = flag.String("sched", "lcf_central_rr", "scheduler (see lcfsim for the list)")
+		schedName  = flag.String("sched", "lcf_central_rr", "scheduler (see lcfsim for the list; ignored with -datapath=cicq)")
+		dpName     = flag.String("datapath", datapath.VOQ, "switch datapath organization: "+strings.Join(datapath.Names(), " or ")+" (cicq buffers frames at the crosspoints and embeds the least-choice rule in per-port arbiters)")
+		xpCap      = flag.Int("xpcap", datapath.DefaultXPCap, "per-crosspoint buffer capacity (-datapath=cicq only)")
 		n          = flag.Int("n", 16, "switch port count (max 16: the grant frame's NodeID field is 4 bits)")
 		slot       = flag.Duration("slot", 200*time.Microsecond, "slot period of the arbiter loop")
 		voqCap     = flag.Int("voqcap", 256, "per-VOQ capacity (admission backpressure threshold)")
@@ -102,9 +106,22 @@ func main() {
 		fatalUsage("-fault-policy must be drop or hold (got %q)", *faultPol)
 	}
 
-	s, err := registry.New(*schedName, *n, sched.Options{Iterations: *iterations, Seed: *seed})
-	if err != nil {
-		fatal("%v", err)
+	if !datapath.Known(*dpName) {
+		fatalUsage("-datapath must be one of %s (got %q)", strings.Join(datapath.Names(), ", "), *dpName)
+	}
+	if *xpCap <= 0 {
+		fatalUsage("-xpcap must be positive (got %d)", *xpCap)
+	}
+
+	// The CICQ datapath runs its own distributed least-choice arbiters;
+	// a central scheduler has nothing to schedule there.
+	var s sched.Scheduler
+	if *dpName != datapath.CICQ {
+		var err error
+		s, err = registry.New(*schedName, *n, sched.Options{Iterations: *iterations, Seed: *seed})
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 	var tracer *obs.Tracer
 	if *traceRing > 0 {
@@ -114,7 +131,8 @@ func main() {
 		fatalUsage("-trace needs a ring: set -trace-ring > 0")
 	}
 	engine, err := rt.New(rt.Config{
-		N: *n, Scheduler: s, VOQCap: *voqCap, OutCap: *outCap, SlotPeriod: *slot,
+		N: *n, Scheduler: s, Datapath: *dpName, XPCap: *xpCap,
+		VOQCap: *voqCap, OutCap: *outCap, SlotPeriod: *slot,
 		PreallocVOQs: *prealloc, Tracer: tracer, FaultPolicy: policy,
 	})
 	if err != nil {
@@ -156,7 +174,7 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("lcfd: %s on %s (n=%d, slot %v", s.Name(), ln.Addr(), *n, *slot)
+	fmt.Printf("lcfd: %s on %s (n=%d, slot %v", engine.SchedulerName(), ln.Addr(), *n, *slot)
 	if *httpAddr != "" {
 		fmt.Printf(", metrics on http://%s/metrics", *httpAddr)
 	}

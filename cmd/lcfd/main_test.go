@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/datapath"
 	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sched"
@@ -21,17 +22,28 @@ import (
 // listener) with a few slots of traffic already through it.
 func newTestServer(t *testing.T, ringCap int) *server {
 	t.Helper()
+	return newTestServerDP(t, ringCap, datapath.VOQ)
+}
+
+// newTestServerDP is newTestServer with an explicit datapath, mirroring
+// the -datapath flag: the CICQ organization takes no central scheduler.
+func newTestServerDP(t *testing.T, ringCap int, dpName string) *server {
+	t.Helper()
 	const n = 4
-	s, err := registry.New("lcf_central_rr", n, sched.Options{Iterations: 4, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
+	var s sched.Scheduler
+	if dpName != datapath.CICQ {
+		var err error
+		s, err = registry.New("lcf_central_rr", n, sched.Options{Iterations: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	var tracer *obs.Tracer
 	if ringCap > 0 {
 		tracer = obs.NewTracer(n, ringCap)
 		tracer.Enable()
 	}
-	engine, err := rt.New(rt.Config{N: n, Scheduler: s, Tracer: tracer})
+	engine, err := rt.New(rt.Config{N: n, Scheduler: s, Datapath: dpName, Tracer: tracer})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,12 +317,16 @@ func TestMetricsDocumented(t *testing.T) {
 	if err != nil {
 		t.Fatalf("OBSERVABILITY.md must ship with the daemon: %v", err)
 	}
+	// The registry's contents depend on the datapath (the CICQ engine
+	// adds its cicq_* instruments), so the documented set is diffed
+	// against the union over both organizations.
 	registered := newTestServer(t, 64).registry.Names()
+	registered = append(registered, newTestServerDP(t, 64, datapath.CICQ).registry.Names()...)
 
-	// Documented names are backticked `lcf_*` tokens. Histogram series
-	// suffixes (_bucket/_sum/_count) and label-carrying examples refer to
-	// a base metric and are not names of their own.
-	re := regexp.MustCompile("`(lcf_[a-z0-9_]+)`")
+	// Documented names are backticked `lcf_*`/`cicq_*` tokens. Histogram
+	// series suffixes (_bucket/_sum/_count) and label-carrying examples
+	// refer to a base metric and are not names of their own.
+	re := regexp.MustCompile("`((?:lcf|cicq)_[a-z0-9_]+)`")
 	documented := map[string]bool{}
 	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
 		name := m[1]

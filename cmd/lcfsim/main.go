@@ -34,7 +34,8 @@ func main() {
 	var (
 		figure     = flag.String("figure", "12a", "what to regenerate: 12a, 12b, throughput, iters, rrdensity, bursty, hotspot, diagonal")
 		n          = flag.Int("n", 16, "switch port count")
-		schedulers = flag.String("schedulers", "", "comma-separated scheduler list (default: the Figure 12 set)")
+		schedulers = flag.String("schedulers", "", "comma-separated scheduler list (default: the Figure 12 set); the pseudo-schedulers outbuf and lcf_cicq select switch organizations")
+		dp         = flag.String("datapath", lcf.DatapathVOQ, "switch datapath organization: "+strings.Join(lcf.DatapathNames(), " or ")+"; cicq sweeps the crosspoint-buffered switch (shorthand for -schedulers lcf_cicq)")
 		loads      = flag.String("loads", "", "comma-separated load list (default: the Figure 12 grid)")
 		iterations = flag.Int("iterations", 4, "iterations for the iterative schedulers")
 		seed       = flag.Uint64("seed", 1, "base RNG seed")
@@ -53,8 +54,11 @@ func main() {
 	// Validate flags up front with usage exit code 2: these used to be
 	// accepted silently (negative -workers ran serially, bad -pattern
 	// failed deep inside the sweep) instead of failing fast.
-	if err := checkFlags(*workers, *speedup, *n, *iterations, *repeats, *pattern); err != nil {
+	if err := checkFlags(*workers, *speedup, *n, *iterations, *repeats, *pattern, *dp); err != nil {
 		usage("%v", err)
+	}
+	if *dp == lcf.DatapathCICQ && *schedulers != "" {
+		usage("-datapath=cicq is shorthand for -schedulers %s; to compare organizations, list %s alongside the schedulers instead", lcf.CICQName, lcf.CICQName)
 	}
 
 	if *jsonOut {
@@ -74,6 +78,11 @@ func main() {
 	}
 	if *schedulers != "" {
 		cfg.Schedulers = strings.Split(*schedulers, ",")
+	}
+	if *dp == lcf.DatapathCICQ {
+		// Sweep the CICQ organization against the reference switch, the
+		// same comparison shape as the default Figure 12 set.
+		cfg.Schedulers = []string{lcf.CICQName, lcf.OutbufName}
 	}
 	if *loads != "" {
 		for _, f := range strings.Split(*loads, ",") {
@@ -158,9 +167,12 @@ func patternList() string {
 
 // checkFlags rejects flag combinations that would otherwise be accepted
 // silently or fail deep inside a run.
-func checkFlags(workers, speedup, n, iterations, repeats int, pattern string) error {
+func checkFlags(workers, speedup, n, iterations, repeats int, pattern, dp string) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be ≥ 0 (0 = all CPUs), got %d", workers)
+	}
+	if known := lcf.DatapathNames(); !slicesContains(known, dp) {
+		return fmt.Errorf("unknown -datapath %q (known: %s)", dp, strings.Join(known, ", "))
 	}
 	if speedup < 1 {
 		return fmt.Errorf("-speedup must be ≥ 1 (1 = no speedup), got %d", speedup)
@@ -178,6 +190,15 @@ func checkFlags(workers, speedup, n, iterations, repeats int, pattern string) er
 		return fmt.Errorf("-repeat must be ≥ 1, got %d", repeats)
 	}
 	return nil
+}
+
+func slicesContains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }
 
 // usage reports a flag error and exits with the conventional usage status 2.

@@ -8,19 +8,19 @@ import (
 )
 
 func TestCheckFlags(t *testing.T) {
-	ok := func(workers, speedup, n, iters, repeats int, pattern string) {
+	ok := func(workers, speedup, n, iters, repeats int, pattern, dp string) {
 		t.Helper()
-		if err := checkFlags(workers, speedup, n, iters, repeats, pattern); err != nil {
-			t.Errorf("checkFlags(%d,%d,%d,%d,%d,%q) = %v, want nil",
-				workers, speedup, n, iters, repeats, pattern, err)
+		if err := checkFlags(workers, speedup, n, iters, repeats, pattern, dp); err != nil {
+			t.Errorf("checkFlags(%d,%d,%d,%d,%d,%q,%q) = %v, want nil",
+				workers, speedup, n, iters, repeats, pattern, dp, err)
 		}
 	}
-	bad := func(workers, speedup, n, iters, repeats int, pattern, wantSub string) {
+	bad := func(workers, speedup, n, iters, repeats int, pattern, dp, wantSub string) {
 		t.Helper()
-		err := checkFlags(workers, speedup, n, iters, repeats, pattern)
+		err := checkFlags(workers, speedup, n, iters, repeats, pattern, dp)
 		if err == nil {
-			t.Errorf("checkFlags(%d,%d,%d,%d,%d,%q) accepted, want error",
-				workers, speedup, n, iters, repeats, pattern)
+			t.Errorf("checkFlags(%d,%d,%d,%d,%d,%q,%q) accepted, want error",
+				workers, speedup, n, iters, repeats, pattern, dp)
 			return
 		}
 		if !strings.Contains(err.Error(), wantSub) {
@@ -28,19 +28,44 @@ func TestCheckFlags(t *testing.T) {
 		}
 	}
 
-	ok(0, 1, 16, 4, 1, "")
-	ok(8, 2, 16, 4, 3, "bursty")
+	ok(0, 1, 16, 4, 1, "", lcf.DatapathVOQ)
+	ok(8, 2, 16, 4, 3, "bursty", lcf.DatapathVOQ)
 	for p := range knownPatterns {
-		ok(0, 1, 16, 4, 1, p)
+		ok(0, 1, 16, 4, 1, p, lcf.DatapathVOQ)
+	}
+	for _, dp := range lcf.DatapathNames() {
+		ok(0, 1, 16, 4, 1, "", dp)
 	}
 
-	bad(-1, 1, 16, 4, 1, "", "-workers")
-	bad(0, 0, 16, 4, 1, "", "-speedup")
-	bad(0, -3, 16, 4, 1, "", "-speedup")
-	bad(0, 1, 16, 4, 1, "nonsense", "-pattern")
-	bad(0, 1, 0, 4, 1, "", "-n")
-	bad(0, 1, 16, 0, 1, "", "-iterations")
-	bad(0, 1, 16, 4, 0, "", "-repeat")
+	bad(-1, 1, 16, 4, 1, "", lcf.DatapathVOQ, "-workers")
+	bad(0, 0, 16, 4, 1, "", lcf.DatapathVOQ, "-speedup")
+	bad(0, -3, 16, 4, 1, "", lcf.DatapathVOQ, "-speedup")
+	bad(0, 1, 16, 4, 1, "nonsense", lcf.DatapathVOQ, "-pattern")
+	bad(0, 1, 0, 4, 1, "", lcf.DatapathVOQ, "-n")
+	bad(0, 1, 16, 0, 1, "", lcf.DatapathVOQ, "-iterations")
+	bad(0, 1, 16, 4, 0, "", lcf.DatapathVOQ, "-repeat")
+	bad(0, 1, 16, 4, 1, "", "crossbarn't", "-datapath")
+	bad(0, 1, 16, 4, 1, "", "", "-datapath")
+}
+
+// TestCICQSchedulerList pins the -datapath=cicq shorthand: it must expand
+// to a sweep the harness accepts, comparing the crosspoint-buffered
+// organization against the output-buffered reference.
+func TestCICQSchedulerList(t *testing.T) {
+	cfg := lcf.SweepConfig{
+		N: 4, Loads: []float64{0.1},
+		Schedulers:  []string{lcf.CICQName, lcf.OutbufName},
+		WarmupSlots: 1, MeasureSlots: 2,
+	}
+	res, err := lcf.Sweep(cfg)
+	if err != nil {
+		t.Fatalf("cicq sweep rejected: %v", err)
+	}
+	for _, name := range []string{lcf.CICQName, lcf.OutbufName} {
+		if len(res.Points[name]) != 1 {
+			t.Errorf("scheduler %q: got %d points, want 1", name, len(res.Points[name]))
+		}
+	}
 }
 
 // TestKnownPatternsMatchSimulator keeps the CLI's up-front pattern list in

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/conserve"
+	"repro/internal/datapath"
 	"repro/internal/matching"
 	"repro/internal/rng"
 	rt "repro/internal/runtime"
@@ -43,6 +45,9 @@ type Config struct {
 	// VOQCap and OutCap are deliberately small by default (16 and 8) so
 	// the run exercises backpressure and output masking alongside faults.
 	VOQCap, OutCap int
+	// XPCap bounds each crosspoint buffer (RunCICQ only); default 4,
+	// small enough that dispatch regularly finds crosspoints full.
+	XPCap int
 	// Policy is the engine's disposition of stranded frames.
 	Policy rt.FaultPolicy
 
@@ -72,6 +77,9 @@ func (c *Config) normalize() error {
 	}
 	if c.OutCap == 0 {
 		c.OutCap = 8
+	}
+	if c.XPCap == 0 {
+		c.XPCap = 4
 	}
 	if c.FlapRate == 0 {
 		c.FlapRate = 0.02
@@ -243,6 +251,25 @@ func (s *schedule) checkMatch(slot int64, m *matching.Match) error {
 	return nil
 }
 
+// checkGrants is checkMatch for the CICQ engine's per-output grant
+// vector: the pull arbiters must never grant a down output, nor pull
+// from a down input's crosspoints.
+func (s *schedule) checkGrants(slot int64, g *sched.GrantSet) error {
+	if g == nil {
+		return nil
+	}
+	for j, i := range g.Src {
+		if i == matching.Unmatched {
+			continue
+		}
+		if s.inDown[i] || s.outDown[j] {
+			return fmt.Errorf("chaos: slot %d: grant %d→%d touches a failed link (seed %d)",
+				slot, i, j, s.cfg.Seed)
+		}
+	}
+	return nil
+}
+
 func newScheduler(name string, n int, seed uint64) (sched.Scheduler, error) {
 	return registry.New(name, n, sched.Options{Iterations: 4, Seed: seed})
 }
@@ -255,17 +282,15 @@ func RunEngine(cfg Config) (*Report, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	n := cfg.N
-	sch, err := newScheduler(cfg.Scheduler, n, cfg.Seed)
+	sch, err := newScheduler(cfg.Scheduler, cfg.N, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	plan := newSchedule(&cfg)
-	rep := &Report{Slots: cfg.Slots}
 
 	var grantErr error
 	e, err := rt.New(rt.Config{
-		N:           n,
+		N:           cfg.N,
 		Scheduler:   sch,
 		VOQCap:      cfg.VOQCap,
 		OutCap:      cfg.OutCap,
@@ -279,7 +304,47 @@ func RunEngine(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	return driveEngine(&cfg, "engine", e, plan, &grantErr)
+}
 
+// RunCICQ is RunEngine on the crosspoint-buffered datapath: the same
+// seeded fault schedule, offered load, conservation ledger and shutdown
+// accounting, with grant isolation checked against the per-output grant
+// vector the CICQ pull arbiters produce (SlotEvent.Match is nil — there
+// is no central matching to inspect).
+func RunCICQ(cfg Config) (*Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	plan := newSchedule(&cfg)
+
+	var grantErr error
+	e, err := rt.New(rt.Config{
+		N:           cfg.N,
+		Datapath:    datapath.CICQ,
+		VOQCap:      cfg.VOQCap,
+		OutCap:      cfg.OutCap,
+		XPCap:       cfg.XPCap,
+		FaultPolicy: cfg.Policy,
+		OnSlot: func(ev rt.SlotEvent) {
+			if grantErr == nil {
+				grantErr = plan.checkGrants(ev.Slot, ev.Grants)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return driveEngine(&cfg, "cicq", e, plan, &grantErr)
+}
+
+// driveEngine is the shared slot loop of RunEngine and RunCICQ: offered
+// load, fault-schedule advancement, per-slot conservation and delivery
+// accounting, and the post-Close audit that every frame landed in
+// exactly one bucket.
+func driveEngine(cfg *Config, scope string, e *rt.Engine, plan *schedule, grantErr *error) (*Report, error) {
+	n := cfg.N
+	rep := &Report{Slots: cfg.Slots}
 	admitRng := rng.NewPCG32(cfg.Seed, 0xAD)
 	st := e.Stats()
 	var seq uint64
@@ -310,8 +375,8 @@ func RunEngine(cfg Config) (*Report, error) {
 		}
 
 		e.Tick()
-		if grantErr != nil {
-			return rep, grantErr
+		if *grantErr != nil {
+			return rep, *grantErr
 		}
 
 		// Consumers read everything currently deliverable, except stuck
@@ -333,22 +398,27 @@ func RunEngine(cfg Config) (*Report, error) {
 
 		// Conservation, exact: the driver is single-threaded, so the
 		// counters are quiescent between slots.
-		admitted, delivered := st.Admitted.Value(), st.Delivered.Value()
-		dropped, resident := st.DroppedFault.Value(), st.Backlog.Value()
-		if admitted != delivered+dropped+resident {
-			return rep, fmt.Errorf("chaos: slot %d: conservation broken: admitted %d != delivered %d + dropped %d + resident %d (seed %d)",
-				slot, admitted, delivered, dropped, resident, cfg.Seed)
+		terms := conserve.Terms{
+			Scope:     scope,
+			Slot:      slot,
+			Injected:  st.Admitted.Value(),
+			Delivered: st.Delivered.Value(),
+			Dropped:   st.DroppedFault.Value(),
+			Resident:  st.Backlog.Value(),
+		}
+		if err := terms.Check(); err != nil {
+			return rep, fmt.Errorf("chaos: %w (seed %d)", err, cfg.Seed)
 		}
 		inflight := int64(0)
 		for j := 0; j < n; j++ {
 			inflight += int64(len(e.Output(j)))
 		}
-		if delivered != rep.Consumed+inflight {
+		if terms.Delivered != rep.Consumed+inflight {
 			return rep, fmt.Errorf("chaos: slot %d: delivery accounting broken: delivered %d != consumed %d + in-flight %d (seed %d)",
-				slot, delivered, rep.Consumed, inflight, cfg.Seed)
+				slot, terms.Delivered, rep.Consumed, inflight, cfg.Seed)
 		}
-		if resident > rep.MaxBacklog {
-			rep.MaxBacklog = resident
+		if terms.Resident > rep.MaxBacklog {
+			rep.MaxBacklog = terms.Resident
 		}
 	}
 
@@ -365,9 +435,16 @@ func RunEngine(cfg Config) (*Report, error) {
 	rep.Delivered = st.Delivered.Value()
 	rep.Dropped = st.DroppedFault.Value()
 	rep.Undrained = st.Undrained.Value()
-	if rep.Admitted != rep.Consumed+rep.Dropped+rep.Undrained {
-		return rep, fmt.Errorf("chaos: shutdown accounting broken: admitted %d != consumed %d + dropped %d + undrained %d (seed %d)",
-			rep.Admitted, rep.Consumed, rep.Dropped, rep.Undrained, cfg.Seed)
+	shutdown := conserve.Terms{
+		Scope:     scope + " shutdown",
+		Slot:      cfg.Slots,
+		Injected:  rep.Admitted,
+		Delivered: rep.Consumed,
+		Dropped:   rep.Dropped,
+		Resident:  rep.Undrained,
+	}
+	if err := shutdown.Check(); err != nil {
+		return rep, fmt.Errorf("chaos: %w (seed %d)", err, cfg.Seed)
 	}
 	return rep, nil
 }
@@ -427,9 +504,16 @@ func RunSim(cfg Config) (*Report, error) {
 		}
 		c := sim.CountersNow()
 		live := int64(sim.Live())
-		if c.Generated != c.Forwarded+c.DroppedPQ+live {
-			return rep, fmt.Errorf("chaos: slot %d: sim conservation broken: generated %d != forwarded %d + dropped %d + live %d (seed %d)",
-				slot, c.Generated, c.Forwarded, c.DroppedPQ, live, cfg.Seed)
+		terms := conserve.Terms{
+			Scope:     "sim",
+			Slot:      slot,
+			Injected:  c.Generated,
+			Delivered: c.Forwarded,
+			Dropped:   c.DroppedPQ,
+			Resident:  live,
+		}
+		if err := terms.Check(); err != nil {
+			return rep, fmt.Errorf("chaos: %w (seed %d)", err, cfg.Seed)
 		}
 		if live > rep.MaxBacklog {
 			rep.MaxBacklog = live

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"testing"
+
+	rt "repro/internal/runtime"
+)
+
+// TestCICQChaos10k is the CICQ acceptance run: the same 10k-slot storm
+// as TestEngineChaos10k, on the crosspoint-buffered datapath, under both
+// stranded-frame policies. Conservation is asserted inside RunCICQ after
+// every slot; grant isolation is checked against the pull arbiters'
+// per-output grant vector.
+func TestCICQChaos10k(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy rt.FaultPolicy
+	}{
+		{"hold", rt.HoldStranded},
+		{"drop", rt.DropStranded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{N: 8, Slots: 10_000, Seed: 0xC1C0, Policy: tc.policy}
+			rep, err := RunCICQ(cfg)
+			if err != nil {
+				reportSeed(t, cfg, err)
+			}
+			if rep.Flaps == 0 || rep.Stucks == 0 || rep.Kills == 0 {
+				t.Fatalf("fault schedule too quiet: %+v", rep)
+			}
+			if rep.Rejected == 0 {
+				t.Fatal("no admissions were rejected by down links — faults not exercised")
+			}
+			if rep.Admitted == 0 || rep.Consumed == 0 {
+				t.Fatalf("no traffic flowed: %+v", rep)
+			}
+			if tc.policy == rt.HoldStranded && rep.Dropped != 0 {
+				t.Fatalf("hold policy dropped %d frames", rep.Dropped)
+			}
+			if tc.policy == rt.DropStranded && rep.Dropped == 0 {
+				t.Fatal("drop policy dropped nothing across 10k chaotic slots")
+			}
+			t.Logf("report: %+v", rep)
+		})
+	}
+}
+
+// TestCICQChaosSeeds fans more seeds at a shorter run, with the tiny
+// default crosspoint capacity so dispatch regularly hits full
+// crosspoints mid-fault.
+func TestCICQChaosSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1337} {
+		cfg := Config{N: 6, Slots: 2_000, Seed: seed, Policy: rt.DropStranded, Load: 0.8, XPCap: 1}
+		if _, err := RunCICQ(cfg); err != nil {
+			reportSeed(t, cfg, err)
+		}
+	}
+}
+
+// TestCICQChaosDeterminism pins seed replayability for the CICQ driver,
+// matching the CI seed-artifact contract.
+func TestCICQChaosDeterminism(t *testing.T) {
+	cfg := Config{N: 5, Slots: 1_500, Seed: 99, Policy: rt.DropStranded}
+	a, err := RunCICQ(cfg)
+	if err != nil {
+		reportSeed(t, cfg, err)
+	}
+	b, err := RunCICQ(cfg)
+	if err != nil {
+		reportSeed(t, cfg, err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

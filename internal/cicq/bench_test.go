@@ -1,0 +1,56 @@
+package cicq
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+// benchmarkDecision measures one full CICQ arbitration cycle — n
+// dispatch decisions (SnapshotRow) plus the n pull decisions
+// (Arbitrate) and pulls (Take) — against a core held at a steady ~0.9
+// occupancy, the CICQ counterpart of the scheduler-decision benchmarks.
+// The hot path must not allocate.
+func benchmarkDecision(b *testing.B, n int) {
+	c := NewPrealloc[int](n, 64, 4, true)
+	r := rng.NewPCG32(uint64(n), 0xBE)
+	// Prime to a steady working set.
+	for s := 0; s < 4*n; s++ {
+		for i := 0; i < n; i++ {
+			if r.Bool(0.9) {
+				c.Enqueue(i, r.Intn(n), s)
+			}
+		}
+		for i := 0; i < n; i++ {
+			c.SnapshotRow(i)
+		}
+		g := c.Arbitrate(nil)
+		for j := 0; j < n; j++ {
+			if g.Src[j] != matching.Unmatched {
+				c.Take(j)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		for i := 0; i < n; i++ {
+			if r.Bool(0.9) {
+				c.Enqueue(i, r.Intn(n), k)
+			}
+		}
+		for i := 0; i < n; i++ {
+			c.SnapshotRow(i)
+		}
+		g := c.Arbitrate(nil)
+		for j := 0; j < n; j++ {
+			if g.Src[j] != matching.Unmatched {
+				c.Take(j)
+			}
+		}
+	}
+}
+
+func BenchmarkCICQDecisionN64(b *testing.B)  { benchmarkDecision(b, 64) }
+func BenchmarkCICQDecisionN256(b *testing.B) { benchmarkDecision(b, 256) }

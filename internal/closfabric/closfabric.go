@@ -70,6 +70,7 @@ import (
 
 	"repro/internal/clint"
 	"repro/internal/clos"
+	"repro/internal/conserve"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	rt "repro/internal/runtime"
@@ -707,12 +708,17 @@ func (f *Fabric) checkConservation() error {
 		}
 	}
 	resident := backlog + inChannels + inHolds
-	injected := f.met.Injected.Value()
-	delivered := f.met.Delivered.Value()
-	dropped := f.met.Dropped.Value()
-	if injected != delivered+dropped+resident {
-		return fmt.Errorf("closfabric: conservation violated at slot %d: injected %d != delivered %d + dropped %d + resident %d (backlog %d, channels %d, holds %d)",
-			f.slot.Load(), injected, delivered, dropped, resident, backlog, inChannels, inHolds)
+	terms := conserve.Terms{
+		Scope:     "fabric",
+		Slot:      f.slot.Load(),
+		Injected:  f.met.Injected.Value(),
+		Delivered: f.met.Delivered.Value(),
+		Dropped:   f.met.Dropped.Value(),
+		Resident:  resident,
+	}
+	if err := terms.Check(); err != nil {
+		return fmt.Errorf("closfabric: %w (backlog %d, channels %d, holds %d)",
+			err, backlog, inChannels, inHolds)
 	}
 	if live := f.Resident(); live != resident {
 		return fmt.Errorf("closfabric: slab accounting diverged at slot %d: %d live entries, %d frames resident",

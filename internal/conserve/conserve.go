@@ -1,0 +1,61 @@
+// Package conserve is the shared frame-conservation ledger: one
+// statement of the audit identity
+//
+//	injected == delivered + dropped + resident
+//
+// that every layer of the system asserts per slot — the single-switch
+// chaos harness (internal/chaos), the CICQ datapath tests, and the
+// Clos fabric's fabric-wide audit (internal/closfabric). Before this
+// package each of those hand-rolled the same bookkeeping and error
+// prose; now they share one Terms type, so the identity (and how a
+// violation reads) cannot drift between layers.
+package conserve
+
+import "fmt"
+
+// Terms is one evaluation of the conservation identity. Scope names the
+// auditing layer ("engine", "sim", "fabric", ...); Slot is the slot the
+// audit ran after.
+type Terms struct {
+	Scope string
+	Slot  int64
+
+	// Injected counts every frame the layer accepted from outside.
+	Injected int64
+	// Delivered counts frames handed out of the layer.
+	Delivered int64
+	// Dropped counts frames the layer disposed of deliberately (drop
+	// policy, flushes).
+	Dropped int64
+	// Resident counts frames still inside the layer (queues, crosspoint
+	// buffers, channels, hold registers).
+	Resident int64
+}
+
+// Leak returns the identity's imbalance: positive means frames vanished
+// (injected but unaccounted), negative means frames were fabricated.
+func (t Terms) Leak() int64 {
+	return t.Injected - t.Delivered - t.Dropped - t.Resident
+}
+
+// Check returns nil when the identity holds, else an error naming every
+// term so a violation is immediately diagnosable from the message.
+func (t Terms) Check() error {
+	leak := t.Leak()
+	if leak == 0 {
+		return nil
+	}
+	verb := "vanished"
+	if leak < 0 {
+		verb = "fabricated"
+	}
+	return fmt.Errorf("conserve: %s slot %d: injected %d != delivered %d + dropped %d + resident %d (%d frames %s)",
+		t.Scope, t.Slot, t.Injected, t.Delivered, t.Dropped, t.Resident, abs(leak), verb)
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCICQSweepRuns pins the CICQName pseudo-scheduler through the sweep
+// harness: the crosspoint-buffered switch must carry near-full
+// throughput at moderate uniform load, like every other Figure 12
+// organization.
+func TestCICQSweepRuns(t *testing.T) {
+	cfg := Config{
+		N:            8,
+		Schedulers:   []string{CICQName, "lcf_central_rr"},
+		Loads:        []float64{0.7},
+		Seed:         5,
+		WarmupSlots:  1_000,
+		MeasureSlots: 5_000,
+	}
+	sw, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cfg.Schedulers {
+		pts := sw.Points[name]
+		if len(pts) != 1 {
+			t.Fatalf("%s: %d points, want 1", name, len(pts))
+		}
+		if thr := pts[0].Throughput; thr < 0.65 {
+			t.Fatalf("%s: throughput %.3f at load 0.7", name, thr)
+		}
+	}
+}
+
+// TestCICQFairnessVsCentral runs the centralized LCF scheduler and the
+// CICQ organization on the same saturating hotspot trace and compares
+// Jain's fairness index. The CICQ pull arbiters' rotating tie-break
+// plays the role of the central scheduler's round-robin density, so its
+// service distribution must stay in the same fairness regime — not
+// collapse to starvation (Jain near 1/flows).
+func TestCICQFairnessVsCentral(t *testing.T) {
+	cfg := Config{
+		N:            8,
+		Schedulers:   []string{"lcf_central_rr", CICQName},
+		Seed:         9,
+		WarmupSlots:  2_000,
+		MeasureSlots: 20_000,
+		Pattern:      PatternHotspot,
+		HotspotFrac:  0.5,
+	}
+	pts, err := Fairness(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jain := map[string]float64{}
+	for _, p := range pts {
+		jain[p.Scheduler] = p.Jain
+		if p.Jain <= 0 || p.Jain > 1 {
+			t.Fatalf("%s: Jain index %.4f out of (0,1]", p.Scheduler, p.Jain)
+		}
+		if p.MinShare <= 0 {
+			t.Fatalf("%s: a served flow was starved (min share %.6f)", p.Scheduler, p.MinShare)
+		}
+		// The hot output is the bottleneck: at load 1.0 with half the
+		// traffic on one port, aggregate carried load is far below 1
+		// by construction — only guard against collapse.
+		if p.Throughput < 0.2 {
+			t.Fatalf("%s: throughput %.3f under saturating hotspot", p.Scheduler, p.Throughput)
+		}
+	}
+	// The hotspot service distribution is inherently uneven across
+	// flows (measured ≈0.44 for both at frac 0.5), so the assertion is
+	// comparative: distributing the least-choice rule must not change
+	// the fairness regime. The run is seeded and deterministic; the two
+	// measure within 0.001 of each other today, 0.05 leaves slack for
+	// intentional arbiter tweaks without letting a starvation bug pass.
+	central, cicq := jain["lcf_central_rr"], jain[CICQName]
+	if d := math.Abs(central - cicq); d > 0.05 {
+		t.Fatalf("Jain divergence %.4f between central (%.4f) and CICQ (%.4f)", d, central, cicq)
+	}
+	t.Logf("jain: central %.4f, cicq %.4f", central, cicq)
+}

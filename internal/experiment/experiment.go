@@ -31,6 +31,12 @@ import (
 // reference switch in Figure 12.
 const OutbufName = "outbuf"
 
+// CICQName is the pseudo-scheduler label of the crosspoint-buffered
+// (CICQ) switch: the least-choice rule applied by distributed dispatch
+// and pull arbiters instead of a central matching. Like OutbufName it
+// selects a switch organization, not a registry scheduler.
+const CICQName = "lcf_cicq"
+
 // Pattern names accepted by Config.Pattern.
 const (
 	PatternUniform     = "uniform"
@@ -45,7 +51,7 @@ const (
 // settings via Normalize.
 type Config struct {
 	N          int
-	Schedulers []string  // registry names plus OutbufName
+	Schedulers []string  // registry names plus OutbufName and CICQName
 	Loads      []float64 // offered loads to sweep
 	Iterations int       // for the iterative schedulers
 	Seed       uint64
@@ -204,18 +210,20 @@ func (c *Config) runOne(schedName string, load float64, repeat int) (*simswitch.
 		WarmupSlots:  c.WarmupSlots,
 		MeasureSlots: c.MeasureSlots,
 	}
-	if c.Speedup > 1 && schedName != OutbufName && schedName != "fifo" {
+	if c.Speedup > 1 && schedName != OutbufName && schedName != CICQName && schedName != "fifo" {
 		simCfg.Speedup = c.Speedup
 	}
 	switch schedName {
 	case OutbufName:
 		simCfg.Mode = simswitch.OutputBuffered
+	case CICQName:
+		simCfg.Mode = simswitch.CICQ
 	case "fifo":
 		simCfg.Mode = simswitch.FIFO
 	default:
 		simCfg.Mode = simswitch.VOQ
 	}
-	if schedName != OutbufName {
+	if schedName != OutbufName && schedName != CICQName {
 		s, err := registry.New(schedName, c.N, sched.Options{Iterations: c.Iterations, Seed: seed + 1})
 		if err != nil {
 			return nil, err

@@ -176,6 +176,37 @@ func (t *Tracer) Emit(slot int64, requested int, m *matching.Match, ex sched.Exp
 	t.pos.Store(w + 1)
 }
 
+// EmitGrants records one slot decision from a per-output grant vector —
+// the CICQ datapath's native decision shape, where the pull arbiters are
+// not constrained to a permutation and matching.Match cannot represent
+// the result. Ring records are identical in schema to Emit's (grants
+// carry in/out/rule/choices), just enumerated in output order. Same
+// contract as Emit: single-writer, nil-safe, one atomic load when
+// disabled, zero heap allocations.
+func (t *Tracer) EmitGrants(slot int64, requested int, g *sched.GrantSet) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	w := t.pos.Load()
+	e := &t.ring[w%uint64(len(t.ring))]
+	e.seq.Store(2*w + 1)
+	e.slot.Store(slot)
+	e.fault.Store(0)
+	ngrants := 0
+	for j, i := range g.Src {
+		if i == matching.Unmatched {
+			continue
+		}
+		if ngrants < len(e.grants) { // cannot overflow with a valid grant set; belt and braces
+			e.grants[ngrants].Store(packGrant(i, j, g.Rule[j], g.Choices[j]))
+			ngrants++
+		}
+	}
+	e.counts.Store(uint64(uint32(requested))<<32 | uint64(uint16(ngrants)))
+	e.seq.Store(2*w + 2)
+	t.pos.Store(w + 1)
+}
+
 // EmitFault records a link-state transition (port's input or output link
 // going down or recovering) as a ring event, so drained timelines show
 // degradation windows inline with the slot decisions they shaped. Same

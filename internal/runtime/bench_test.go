@@ -3,6 +3,7 @@ package runtime_test
 import (
 	"testing"
 
+	"repro/internal/datapath"
 	"repro/internal/obs"
 	rt "repro/internal/runtime"
 	"repro/internal/sched"
@@ -89,6 +90,53 @@ func BenchmarkEngineSlotLCFRRN256(b *testing.B) {
 func BenchmarkEngineSlotISLIPN16(b *testing.B)  { benchmarkSlot(b, "islip", 16, 0.9, tracerNone) }
 func BenchmarkEngineSlotISLIPN64(b *testing.B)  { benchmarkSlot(b, "islip", 64, 0.9, tracerNone) }
 func BenchmarkEngineSlotISLIPN256(b *testing.B) { benchmarkSlot(b, "islip", 256, 0.9, tracerNone) }
+
+// benchmarkSlotCICQ is benchmarkSlot on the crosspoint-buffered
+// datapath: no central scheduler — the slot's arbitration cost is the n
+// dispatch decisions plus the n pull decisions.
+func benchmarkSlotCICQ(b *testing.B, n int, load float64) {
+	e, err := rt.New(rt.Config{N: n, Datapath: datapath.CICQ, VOQCap: 256, OutCap: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const traceLen = 4096
+	arrivals := make([][]int, traceLen)
+	gen := traffic.NewBernoulli(n, load, traffic.NewUniform(n), 3)
+	for t := range arrivals {
+		row := make([]int, n)
+		for i := 0; i < n; i++ {
+			row[i] = gen.Next(i)
+		}
+		gen.Advance()
+		arrivals[t] = row
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		for i, dst := range arrivals[k%traceLen] {
+			if dst == traffic.NoPacket {
+				continue
+			}
+			_ = e.Admit(i, dst, 0, 0)
+		}
+		e.Tick()
+		for j := 0; j < n; j++ {
+			out := e.Output(j)
+			for {
+				select {
+				case <-out:
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkEngineSlotCICQN64(b *testing.B)  { benchmarkSlotCICQ(b, 64, 0.9) }
+func BenchmarkEngineSlotCICQN256(b *testing.B) { benchmarkSlotCICQ(b, 256, 0.9) }
 
 // The traced variants quantify the observability tax at n=64: attached-
 // but-disabled must be within noise of the baseline (the zero-overhead-

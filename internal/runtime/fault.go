@@ -160,10 +160,10 @@ func (e *Engine) applyFaults(now int64) {
 	for _, tr := range pending {
 		dir := obs.DirInput
 		if tr.output {
-			e.core.SetOutputDown(tr.port, tr.down)
+			e.dp.SetOutputDown(tr.port, tr.down)
 			dir = obs.DirOutput
 		} else {
-			e.core.SetInputDown(tr.port, tr.down)
+			e.dp.SetInputDown(tr.port, tr.down)
 		}
 		e.cfg.Tracer.EmitFault(now, tr.port, dir, !tr.down)
 	}
@@ -175,7 +175,7 @@ func (e *Engine) applyFaults(now int64) {
 // HoldStranded only refreshes the Stranded gauge. Arbiter-only, called
 // every tick right after applyFaults; free when no link is down.
 func (e *Engine) sweepStranded() {
-	if !e.core.AnyLinkDown() {
+	if !e.dp.AnyLinkDown() {
 		if e.met.Stranded.Value() != 0 {
 			e.met.Stranded.Set(0)
 		}
@@ -186,26 +186,26 @@ func (e *Engine) sweepStranded() {
 	for i := 0; i < e.n; i++ {
 		mu := &e.inMu[i]
 		mu.Lock()
-		if e.core.InputDown(i) {
+		if e.dp.InputDown(i) {
 			if drop {
-				row := e.core.OccupiedRow(i)
+				row := e.dp.OccupiedRow(i)
 				for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
-					dropped += e.core.FlushVOQ(i, j, e.cfg.OnDropped)
+					dropped += e.dp.FlushVOQ(i, j, e.cfg.OnDropped)
 				}
 			} else {
-				stranded += e.core.InputBacklog(i)
+				stranded += e.dp.InputBacklog(i)
 			}
 			mu.Unlock()
 			continue
 		}
 		for j := 0; j < e.n; j++ {
-			if !e.core.OutputDown(j) || !e.core.HasBacklog(i, j) {
+			if !e.dp.OutputDown(j) || !e.dp.HasBacklog(i, j) {
 				continue
 			}
 			if drop {
-				dropped += e.core.FlushVOQ(i, j, e.cfg.OnDropped)
+				dropped += e.dp.FlushVOQ(i, j, e.cfg.OnDropped)
 			} else {
-				stranded += e.core.Len(i, j)
+				stranded += e.dp.Len(i, j)
 			}
 		}
 		mu.Unlock()

@@ -25,9 +25,9 @@ func (e *Engine) Register(r *obs.Registry) {
 	m := &e.met
 	n := e.n
 
-	r.GaugeVec("lcf_info", "Static engine info; value is always 1. Labels carry the scheduler name and port count.", func() []obs.Sample {
+	r.GaugeVec("lcf_info", "Static engine info; value is always 1. Labels carry the scheduler name, datapath and port count.", func() []obs.Sample {
 		return []obs.Sample{{
-			Labels: obs.Labels("scheduler", e.SchedulerName(), "n", strconv.Itoa(n)),
+			Labels: obs.Labels("scheduler", e.SchedulerName(), "datapath", e.DatapathName(), "n", strconv.Itoa(n)),
 			Value:  1,
 		}}
 	})
@@ -112,7 +112,7 @@ func (e *Engine) Register(r *obs.Registry) {
 		s := make([]obs.Sample, n)
 		for p := 0; p < n; p++ {
 			e.inMu[p].Lock()
-			backlog := e.core.InputBacklog(p)
+			backlog := e.dp.InputBacklog(p)
 			e.inMu[p].Unlock()
 			s[p] = obs.Sample{Labels: inputLabels[p], Value: float64(backlog)}
 		}
@@ -122,6 +122,13 @@ func (e *Engine) Register(r *obs.Registry) {
 	r.Histogram("lcf_voq_depth", "Per-slot samples of every non-empty VOQ's backlog (frames).", m.VOQDepth.Snapshot)
 	r.Histogram("lcf_match_size", "Matching cardinality per slot (grants in the computed matching).", m.MatchSize.Snapshot)
 	r.Histogram("lcf_slot_duration_nanoseconds", "Arbiter compute time per slot, in nanoseconds.", m.SlotLatency.Snapshot)
+
+	// Datapath-specific instruments: the CICQ datapath publishes its
+	// cicq_* crosspoint gauges and per-arbiter grant counters through the
+	// same registry, so one scrape covers both layers.
+	if reg, ok := e.dp.(interface{ Register(*obs.Registry) }); ok {
+		reg.Register(r)
+	}
 }
 
 func upValue(up bool) float64 {

@@ -58,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/datapath"
 	"repro/internal/matching"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -91,18 +92,34 @@ type Frame struct {
 }
 
 // SlotEvent is the per-slot view handed to Config.OnSlot (lockstep
-// observation and tracing). Match is valid during the callback only.
+// observation and tracing). Match and Grants are valid during the
+// callback only. Grants is the per-output decision vector both datapaths
+// produce; Match is the central matching behind it, nil on a CICQ engine
+// (whose pull arbiters are not constrained to a permutation).
 type SlotEvent struct {
 	Slot      int64
 	Match     *matching.Match
+	Grants    *sched.GrantSet
 	Requested int // request-matrix bits this slot
 	Matched   int // frames dispatched this slot
 }
 
 // Config parameterizes an Engine.
 type Config struct {
-	N         int
+	N int
+	// Scheduler computes the central matching. Required by the "voq"
+	// datapath; the "cicq" datapath arbitrates locally and ignores it
+	// (it may be left nil there).
 	Scheduler sched.Scheduler
+
+	// Datapath selects the switch organization: "voq" (default; VOQ core
+	// with one central matching per slot) or "cicq" (crosspoint-buffered,
+	// independent per-input dispatch and per-output pull arbiters). See
+	// internal/datapath.Names.
+	Datapath string
+	// XPCap bounds each crosspoint buffer ("cicq" only; 0 means
+	// datapath.DefaultXPCap).
+	XPCap int
 
 	// VOQCap bounds each of the n² VOQs; Admit returns ErrBackpressure
 	// when the target VOQ is full. Default 256 (the paper's Figure 12
@@ -167,11 +184,17 @@ func (c *Config) normalize() error {
 	if c.N <= 0 {
 		return fmt.Errorf("runtime: port count %d", c.N)
 	}
-	if c.Scheduler == nil {
+	if !datapath.Known(c.Datapath) {
+		return fmt.Errorf("runtime: unknown datapath %q (known: %v)", c.Datapath, datapath.Names())
+	}
+	if c.Scheduler == nil && c.Datapath != datapath.CICQ {
 		return fmt.Errorf("runtime: no scheduler")
 	}
-	if c.Scheduler.N() != c.N {
+	if c.Scheduler != nil && c.Scheduler.N() != c.N {
 		return fmt.Errorf("runtime: scheduler for %d ports, engine has %d", c.Scheduler.N(), c.N)
+	}
+	if c.XPCap < 0 {
+		return fmt.Errorf("runtime: negative crosspoint capacity %d", c.XPCap)
 	}
 	if c.VOQCap == 0 {
 		c.VOQCap = 256
@@ -202,14 +225,11 @@ type Engine struct {
 	cfg Config
 	n   int
 
-	// core holds the shared VOQ datapath; inMu[i] guards every core
-	// operation touching input i (see the package comment).
-	core *switchcore.Core[Frame]
+	// dp holds the shared datapath (VOQ core or CICQ); inMu[i] guards
+	// every datapath operation touching input i (see the package
+	// comment).
+	dp   switchcore.Datapath[Frame]
 	inMu []sync.Mutex
-
-	// explainer is cfg.Scheduler's sched.Explainer view, or nil — cached
-	// at construction so tick pays a nil check instead of a type assert.
-	explainer sched.Explainer
 
 	outs []chan Frame
 
@@ -282,10 +302,19 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	n := cfg.N
+	dp, err := datapath.New[Frame](cfg.Datapath, datapath.Config{
+		N:        n,
+		VOQCap:   cfg.VOQCap,
+		XPCap:    cfg.XPCap,
+		Prealloc: cfg.PreallocVOQs,
+	})
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		cfg:  cfg,
 		n:    n,
-		core: switchcore.NewPrealloc[Frame](n, cfg.VOQCap, cfg.PreallocVOQs),
+		dp:   dp,
 		inMu: make([]sync.Mutex, n),
 		outs: make([]chan Frame, n),
 		stop: make(chan struct{}),
@@ -305,9 +334,6 @@ func New(cfg Config) (*Engine, error) {
 		MatchSize:   metrics.NewLiveHistogram(metrics.LinearBounds(0, 1, n+1)),
 		SlotLatency: metrics.NewLiveHistogram(metrics.ExponentialBounds(1000, 2, 13)),
 	}
-	// Grant attribution is resolved once here, not per slot: the type
-	// assertion would be cheap but the nil check in tick is cheaper.
-	e.explainer, _ = cfg.Scheduler.(sched.Explainer)
 	return e, nil
 }
 
@@ -322,9 +348,25 @@ func depthBuckets(voqCap int) int {
 // N returns the port count.
 func (e *Engine) N() int { return e.n }
 
-// SchedulerName returns the wrapped scheduler's evaluation label. Safe
-// concurrently: Name is a pure getter on every registered scheduler.
-func (e *Engine) SchedulerName() string { return e.cfg.Scheduler.Name() }
+// SchedulerName returns the wrapped scheduler's evaluation label — or
+// "lcf_cicq" on a CICQ engine running without a central scheduler (its
+// local arbiters are the scheduler). Safe concurrently: Name is a pure
+// getter on every registered scheduler.
+func (e *Engine) SchedulerName() string {
+	if e.cfg.Scheduler == nil {
+		return "lcf_cicq"
+	}
+	return e.cfg.Scheduler.Name()
+}
+
+// DatapathName returns the datapath the engine was built with ("voq" or
+// "cicq").
+func (e *Engine) DatapathName() string {
+	if e.cfg.Datapath == "" {
+		return datapath.VOQ
+	}
+	return e.cfg.Datapath
+}
 
 // Slot returns the current slot number (the number of completed ticks).
 func (e *Engine) Slot() int64 { return e.slot.Load() }
@@ -371,7 +413,7 @@ func (e *Engine) Admit(src, dst int, seq, stamp uint64) error {
 		mu.Unlock()
 		return ErrClosed
 	}
-	ok := e.core.Enqueue(src, dst, f)
+	ok := e.dp.Enqueue(src, dst, f)
 	if ok {
 		e.met.Backlog.Add(1)
 	}
@@ -500,10 +542,10 @@ func (e *Engine) tick() {
 	// Output-side backpressure: a full delivery channel masks its column.
 	// Only the arbiter sends on outs, so "not full here" cannot become
 	// full before dispatch below.
-	e.core.ResetOutputMask()
+	e.dp.ResetOutputMask()
 	for j := range e.outs {
 		if len(e.outs[j]) == cap(e.outs[j]) {
-			e.core.MaskOutput(j)
+			e.dp.MaskOutput(j)
 		}
 	}
 
@@ -516,11 +558,11 @@ func (e *Engine) tick() {
 	for i := 0; i < e.n; i++ {
 		mu := &e.inMu[i]
 		mu.Lock()
-		row := e.core.OccupiedRow(i)
+		row := e.dp.OccupiedRow(i)
 		for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
-			e.met.VOQDepth.Observe(float64(e.core.Len(i, j)))
+			e.met.VOQDepth.Observe(float64(e.dp.Len(i, j)))
 		}
-		r, m, f := e.core.SnapshotRow(i)
+		r, m, f := e.dp.SnapshotRow(i)
 		requested += r
 		masked += m
 		faulted += f
@@ -537,39 +579,37 @@ func (e *Engine) tick() {
 	// not occupancy.
 	e.met.OccupiedVOQs.Set(int64(requested + masked + faulted))
 
-	// Run the scheduler every slot, requests or not: round-robin pointers
-	// and other slot-to-slot state must advance exactly as they do in the
-	// offline simulator for the lockstep cross-check to hold.
-	match := e.core.Schedule(e.cfg.Scheduler)
+	// Arbitrate every slot, requests or not: round-robin pointers and
+	// other slot-to-slot state must advance exactly as they do in the
+	// offline simulator for the lockstep cross-check to hold. The VOQ
+	// datapath runs the central scheduler here; CICQ runs its per-output
+	// pull arbiters and ignores the argument.
+	grants := e.dp.Arbitrate(e.cfg.Scheduler)
 
 	matched := 0
-	for i := 0; i < e.n; i++ {
-		j := match.InToOut[i]
-		if j == matching.Unmatched {
+	for j := 0; j < e.n; j++ {
+		i := grants.Src[j]
+		if i == matching.Unmatched {
 			continue
 		}
 		// Attribute the grant to its decision rule. This counts the
-		// scheduler's decision, not the dispatch outcome: a grant wasted
+		// arbiter's decision, not the dispatch outcome: a grant wasted
 		// on a drained VOQ or a full channel was still decided.
-		rule := sched.RuleUnattributed
-		if e.explainer != nil {
-			rule, _ = e.explainer.Explain(i)
-		}
-		e.met.GrantsByRule[rule].Inc()
-		// Unreachable with a correct scheduler (fault masking removes the
+		e.met.GrantsByRule[grants.Rule[j]].Inc()
+		// Unreachable with a correct arbiter (fault masking removes the
 		// request bits), but a failed port must never receive a grant even
 		// under a buggy one.
-		if e.core.InputDown(i) || e.core.OutputDown(j) {
+		if e.dp.InputDown(i) || e.dp.OutputDown(j) {
 			e.met.WastedGrants.Inc()
 			continue
 		}
 		mu := &e.inMu[i]
 		mu.Lock()
-		f, ok := e.core.Dequeue(i, j)
+		f, ok := e.dp.Take(j)
 		mu.Unlock()
 		if !ok {
-			// Cannot happen with a correct scheduler (grants imply
-			// requests and only the arbiter pops), but a buggy scheduler
+			// Cannot happen with a correct arbiter (grants imply
+			// requests and only the arbiter pops), but a buggy one
 			// must not lose accounting.
 			e.met.WastedGrants.Inc()
 			continue
@@ -585,7 +625,7 @@ func (e *Engine) tick() {
 			// Unreachable while the mask above holds (consumers only
 			// drain); keep the frame rather than lose it.
 			mu.Lock()
-			e.core.Requeue(i, j, f)
+			e.dp.Untake(j, f)
 			mu.Unlock()
 			e.met.WastedGrants.Inc()
 		}
@@ -593,13 +633,13 @@ func (e *Engine) tick() {
 
 	e.met.Requested.Add(int64(requested))
 	e.met.Matched.Add(int64(matched))
-	e.met.MatchSize.Observe(float64(match.Size()))
+	e.met.MatchSize.Observe(float64(grants.Size()))
 	e.met.SlotLatency.Observe(float64(time.Since(start).Nanoseconds()))
 
-	e.core.EmitTrace(e.cfg.Tracer, now, requested, match, e.cfg.Scheduler)
+	e.dp.EmitSlotTrace(e.cfg.Tracer, now, requested)
 
 	if e.cfg.OnSlot != nil {
-		e.cfg.OnSlot(SlotEvent{Slot: now, Match: match, Requested: requested, Matched: matched})
+		e.cfg.OnSlot(SlotEvent{Slot: now, Match: e.dp.Match(), Grants: grants, Requested: requested, Matched: matched})
 	}
 	e.slot.Add(1)
 }

@@ -118,7 +118,7 @@ func (e *Engine) Snapshot() Snapshot {
 	s.Ports = make([]PortSnapshot, e.n)
 	for p := range s.Ports {
 		e.inMu[p].Lock()
-		backlog := e.core.InputBacklog(p)
+		backlog := e.dp.InputBacklog(p)
 		e.inMu[p].Unlock()
 		s.Ports[p] = PortSnapshot{
 			Port:          p,

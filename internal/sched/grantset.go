@@ -1,0 +1,88 @@
+package sched
+
+import "repro/internal/matching"
+
+// GrantSet is the per-output view of one slot's scheduling decision: for
+// every output j, the input granted to it this slot (or
+// matching.Unmatched), plus the same per-grant attribution the Explainer
+// interface exposes for matchings. It is the decision type shared by both
+// datapaths: the VOQ core derives one from its central matching
+// (FromMatch), while the crosspoint-buffered datapath produces one
+// directly — its per-output pull arbiters are not constrained to a
+// permutation (two outputs may pull frames buffered from the same input
+// in one slot), which matching.Match cannot represent.
+//
+// All storage is preallocated at construction; Reset and FromMatch stay
+// allocation-free so the GrantSet can live on the drivers' slot paths.
+type GrantSet struct {
+	// Src[j] is the input granted to output j, or matching.Unmatched.
+	Src []int
+	// Rule[j] attributes output j's grant to a decision rule
+	// (RuleUnattributed when Src[j] is Unmatched).
+	Rule []GrantRule
+	// Choices[j] is the LCF priority level behind output j's grant — how
+	// many alternatives the decision weighed — or -1 when unattributed.
+	Choices []int
+}
+
+// NewGrantSet returns an empty grant set for an n-port switch.
+func NewGrantSet(n int) *GrantSet {
+	g := &GrantSet{
+		Src:     make([]int, n),
+		Rule:    make([]GrantRule, n),
+		Choices: make([]int, n),
+	}
+	g.Reset()
+	return g
+}
+
+// N returns the port count.
+func (g *GrantSet) N() int { return len(g.Src) }
+
+// Reset clears every grant.
+func (g *GrantSet) Reset() {
+	for j := range g.Src {
+		g.Src[j] = matching.Unmatched
+		g.Rule[j] = RuleUnattributed
+		g.Choices[j] = -1
+	}
+}
+
+// Set records the grant input i → output j.
+func (g *GrantSet) Set(j, i int, rule GrantRule, choices int) {
+	g.Src[j] = i
+	g.Rule[j] = rule
+	g.Choices[j] = choices
+}
+
+// Size returns the number of granted outputs.
+func (g *GrantSet) Size() int {
+	s := 0
+	for _, i := range g.Src {
+		if i != matching.Unmatched {
+			s++
+		}
+	}
+	return s
+}
+
+// FromMatch fills g from a central matching, attributing each grant via
+// ex when non-nil. This is the bridge the VOQ core uses so both datapaths
+// hand their drivers the same decision type.
+func (g *GrantSet) FromMatch(m *matching.Match, ex Explainer) {
+	for j, i := range m.OutToIn {
+		if i == matching.Unmatched {
+			g.Src[j] = matching.Unmatched
+			g.Rule[j] = RuleUnattributed
+			g.Choices[j] = -1
+			continue
+		}
+		rule, choices := RuleUnattributed, -1
+		if ex != nil {
+			rule, choices = ex.Explain(i)
+		}
+		g.Src[j] = i
+		g.Rule[j] = rule
+		g.Choices[j] = choices
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"math"
 
 	"repro/internal/bitvec"
+	"repro/internal/cicq"
+	"repro/internal/datapath"
 	"repro/internal/fabric"
 	"repro/internal/matching"
 	"repro/internal/metrics"
@@ -59,6 +61,10 @@ const (
 	// OutputBuffered is the outbuf reference switch (no input contention;
 	// all queuing at the outputs).
 	OutputBuffered
+	// CICQ is the crosspoint-buffered organization (internal/cicq):
+	// independent per-input dispatch and per-output pull arbiters
+	// applying the least-choice rule locally, no central matching.
+	CICQ
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +76,8 @@ func (m Mode) String() string {
 		return "fifo"
 	case OutputBuffered:
 		return "outbuf"
+	case CICQ:
+		return "cicq"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -91,6 +99,9 @@ type Config struct {
 	VOQCap    int
 	PQCap     int
 	OutBufCap int
+	// XPCap bounds each crosspoint buffer (CICQ organization only; 0
+	// means datapath.DefaultXPCap).
+	XPCap int
 
 	// WarmupSlots are simulated but not measured; statistics cover packets
 	// generated during the following MeasureSlots.
@@ -152,7 +163,11 @@ type TraceEvent struct {
 	Slot     packet.Slot
 	Requests *bitvec.Matrix // valid during the callback only
 	Match    *matching.Match
-	Moved    int
+	// Grants is the per-output grant vector of the CICQ organization
+	// (nil elsewhere; Match is nil on CICQ — there is no central
+	// matching). Valid during the callback only.
+	Grants *sched.GrantSet
+	Moved  int
 	// Departures lists the packets that left the system this slot, in
 	// departure order. Valid during the callback only (reused backing
 	// array); copy entries to retain them.
@@ -170,13 +185,16 @@ func (c *Config) Normalize() error {
 	if c.Gen.N() != c.N {
 		return fmt.Errorf("simswitch: generator for %d ports, switch has %d", c.Gen.N(), c.N)
 	}
-	if c.Mode != OutputBuffered {
+	if c.Mode != OutputBuffered && c.Mode != CICQ {
 		if c.Scheduler == nil {
 			return fmt.Errorf("simswitch: %v organization needs a scheduler", c.Mode)
 		}
 		if c.Scheduler.N() != c.N {
 			return fmt.Errorf("simswitch: scheduler for %d ports, switch has %d", c.Scheduler.N(), c.N)
 		}
+	}
+	if c.XPCap < 0 {
+		return fmt.Errorf("simswitch: negative crosspoint capacity %d", c.XPCap)
 	}
 	if c.VOQCap == 0 {
 		c.VOQCap = 256
@@ -264,6 +282,8 @@ type Sim struct {
 	// core is the shared VOQ datapath (VOQ organization only): queues,
 	// incremental request matrix, backlogs, per-slot scratch.
 	core *switchcore.Core[*packet.Packet]
+	// xq is the crosspoint-buffered datapath (CICQ organization only).
+	xq *cicq.Core[*packet.Packet]
 
 	req      *bitvec.Matrix  // FIFO organization's HOL request matrix
 	match    *matching.Match // FIFO organization's match scratch
@@ -302,6 +322,12 @@ func New(cfg Config) (*Sim, error) {
 	switch cfg.Mode {
 	case VOQ:
 		s.core = switchcore.New[*packet.Packet](n, cfg.VOQCap)
+	case CICQ:
+		xp := cfg.XPCap
+		if xp <= 0 {
+			xp = datapath.DefaultXPCap
+		}
+		s.xq = cicq.New[*packet.Packet](n, cfg.VOQCap, xp)
 	case FIFO:
 		s.ififo = make([]*queue.FIFO, n)
 		for i := 0; i < n; i++ {
@@ -336,9 +362,12 @@ func New(cfg Config) (*Sim, error) {
 		Load:  cfg.Gen.Load(),
 		Flows: metrics.NewFlowMatrix(n),
 	}
-	if cfg.Scheduler != nil {
+	switch {
+	case cfg.Scheduler != nil:
 		s.res.SchedulerName = cfg.Scheduler.Name()
-	} else {
+	case cfg.Mode == CICQ:
+		s.res.SchedulerName = "lcf_cicq"
+	default:
 		s.res.SchedulerName = "outbuf"
 	}
 	if cfg.HistogramBuckets > 0 {
@@ -375,8 +404,14 @@ func (s *Sim) step() error {
 	s.promote()
 
 	// 2. Schedule and transfer (input-queued organizations); with fabric
-	// speedup the scheduler runs several passes per slot.
-	if s.cfg.Mode != OutputBuffered {
+	// speedup the scheduler runs several passes per slot. The CICQ
+	// organization has no central schedule — its distributed dispatch
+	// and pull arbiters run instead.
+	switch s.cfg.Mode {
+	case CICQ:
+		s.cicqTransfer()
+	case OutputBuffered:
+	default:
 		for pass := 0; pass < s.cfg.Speedup; pass++ {
 			if err := s.scheduleAndTransfer(); err != nil {
 				return err
@@ -434,6 +469,8 @@ func (s *Sim) promote() {
 			switch s.cfg.Mode {
 			case VOQ:
 				accepted = s.core.Enqueue(in, head.Dst, head)
+			case CICQ:
+				accepted = s.xq.Enqueue(in, head.Dst, head)
 			case FIFO:
 				accepted = s.ififo[in].Push(head)
 			case OutputBuffered:
@@ -566,6 +603,37 @@ func (s *Sim) scheduleAndTransfer() error {
 	return nil
 }
 
+// cicqTransfer runs one CICQ slot: every input's dispatch arbiter moves
+// its least-choice VOQ head into a crosspoint buffer, then every
+// output's pull arbiter drains the least-choice occupied crosspoint.
+// There is no central matching and no crossbar configuration — pulled
+// packets go straight to depart. Dispatch before pull gives same-slot
+// cut-through, so an uncontended packet still sees a 1-slot latency
+// exactly like the centralized organizations.
+func (s *Sim) cicqTransfer() {
+	requested := 0
+	for i := 0; i < s.cfg.N; i++ {
+		r, _, _ := s.xq.SnapshotRow(i)
+		requested += r
+	}
+	grants := s.xq.Arbitrate(nil)
+	if tr := s.cfg.Tracer; tr != nil && tr.Enabled() {
+		tr.EmitGrants(int64(s.now), requested, grants)
+	}
+	moved := 0
+	for j := 0; j < s.cfg.N; j++ {
+		p, ok := s.xq.Take(j)
+		if !ok {
+			continue
+		}
+		moved++
+		s.depart(j, p)
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(TraceEvent{Slot: s.now, Grants: grants, Moved: moved, Departures: s.departed})
+	}
+}
+
 // pop is the crossbar's input-side callback.
 func (s *Sim) pop(in, out int) *packet.Packet {
 	switch s.cfg.Mode {
@@ -639,6 +707,22 @@ func (s *Sim) trackOccupancy() {
 			}
 			s.res.VOQSpread.Add(math.Sqrt(variance))
 		}
+	case CICQ:
+		occupied := 0
+		for i := 0; i < s.cfg.N; i++ {
+			for j := 0; j < s.cfg.N; j++ {
+				l := s.xq.Len(i, j)
+				if l > max {
+					max = l
+				}
+				if l > 0 {
+					occupied++
+				}
+			}
+		}
+		if s.warmed {
+			s.res.Choice.Add(float64(occupied) / float64(s.cfg.N))
+		}
 	case FIFO:
 		for _, q := range s.ififo {
 			if l := q.Len(); l > max {
@@ -682,13 +766,24 @@ func (s *Sim) Live() int { return s.pool.Live() }
 // Slot returns the current slot number.
 func (s *Sim) Slot() int64 { return int64(s.now) }
 
-// errFaultMode rejects fault injection outside the VOQ organization: the
-// FIFO and output-buffered switches have no request matrix to mask.
-func (s *Sim) faultCore() (*switchcore.Core[*packet.Packet], error) {
-	if s.cfg.Mode != VOQ || s.core == nil {
-		return nil, fmt.Errorf("simswitch: fault injection supported on the VOQ organization only (mode %v)", s.cfg.Mode)
+// faultPorts is the port-fault surface shared by the VOQ and CICQ
+// datapaths.
+type faultPorts interface {
+	SetInputDown(i int, down bool)
+	SetOutputDown(j int, down bool)
+}
+
+// faultCore rejects fault injection outside the VOQ and CICQ
+// organizations: the FIFO and output-buffered switches have no request
+// state to mask.
+func (s *Sim) faultCore() (faultPorts, error) {
+	switch {
+	case s.cfg.Mode == VOQ && s.core != nil:
+		return s.core, nil
+	case s.cfg.Mode == CICQ && s.xq != nil:
+		return s.xq, nil
 	}
-	return s.core, nil
+	return nil, fmt.Errorf("simswitch: fault injection supported on the VOQ and CICQ organizations only (mode %v)", s.cfg.Mode)
 }
 
 // FailInput marks input i's link down: its row vanishes from the request

@@ -1,33 +1,35 @@
 package switchcore
 
-// ring is a bounded power-of-two ring buffer, the storage behind every
-// VOQ. It generalizes the old queue.FIFO (pointer elements) and the old
-// runtime frameRing (value elements): items are held by value of T, so a
-// by-value driver enqueues without allocating and a pointer driver pays
-// only for the pointer slot. The buffer starts small and doubles up to
-// the capacity bound; once at its working size the ring never allocates
-// again.
-type ring[T any] struct {
+// Ring is a bounded power-of-two ring buffer, the storage behind every
+// VOQ and (in internal/cicq) every crosspoint buffer. It generalizes the
+// old queue.FIFO (pointer elements) and the old runtime frameRing (value
+// elements): items are held by value of T, so a by-value driver enqueues
+// without allocating and a pointer driver pays only for the pointer slot.
+// The buffer starts small and doubles up to the capacity bound; once at
+// its working size the ring never allocates again.
+type Ring[T any] struct {
 	buf      []T
 	head     int
 	len      int
 	capLimit int // 0 = unbounded
 }
 
-func newRing[T any](capLimit int) ring[T] {
+// NewRing returns a ring bounded at capLimit items (0 = unbounded) whose
+// buffer starts small and grows on demand.
+func NewRing[T any](capLimit int) Ring[T] {
 	initial := 16
 	if capLimit > 0 && capLimit < initial {
 		initial = ceilPow2(capLimit)
 	}
-	return ring[T]{buf: make([]T, initial), capLimit: capLimit}
+	return Ring[T]{buf: make([]T, initial), capLimit: capLimit}
 }
 
-// newRingFull returns a ring whose buffer is sized for capLimit up front,
-// so push never grows (and therefore never allocates): the trade behind
+// NewRingFull returns a ring whose buffer is sized for capLimit up front,
+// so Push never grows (and therefore never allocates): the trade behind
 // the engine's PreallocVOQs option. capLimit must be positive — an
 // unbounded ring has no full size to allocate.
-func newRingFull[T any](capLimit int) ring[T] {
-	return ring[T]{buf: make([]T, ceilPow2(capLimit)), capLimit: capLimit}
+func NewRingFull[T any](capLimit int) Ring[T] {
+	return Ring[T]{buf: make([]T, ceilPow2(capLimit)), capLimit: capLimit}
 }
 
 func ceilPow2(n int) int {
@@ -38,9 +40,13 @@ func ceilPow2(n int) int {
 	return p
 }
 
-func (r *ring[T]) full() bool { return r.capLimit > 0 && r.len >= r.capLimit }
+// Len returns the number of buffered items.
+func (r *Ring[T]) Len() int { return r.len }
 
-func (r *ring[T]) grow() {
+// Full reports whether the ring is at its capacity bound.
+func (r *Ring[T]) Full() bool { return r.capLimit > 0 && r.len >= r.capLimit }
+
+func (r *Ring[T]) grow() {
 	nb := make([]T, len(r.buf)*2)
 	for i := 0; i < r.len; i++ {
 		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
@@ -49,8 +55,9 @@ func (r *ring[T]) grow() {
 	r.head = 0
 }
 
-func (r *ring[T]) push(v T) bool {
-	if r.full() {
+// Push appends v and reports acceptance; a full ring rejects.
+func (r *Ring[T]) Push(v T) bool {
+	if r.Full() {
 		return false
 	}
 	if r.len == len(r.buf) {
@@ -61,7 +68,8 @@ func (r *ring[T]) push(v T) bool {
 	return true
 }
 
-func (r *ring[T]) pop() (T, bool) {
+// Pop removes and returns the oldest item.
+func (r *Ring[T]) Pop() (T, bool) {
 	var zero T
 	if r.len == 0 {
 		return zero, false
@@ -73,9 +81,10 @@ func (r *ring[T]) pop() (T, bool) {
 	return v, true
 }
 
-// pushFront prepends v, making it the next pop. It grows rather than
-// rejects: the only caller is Requeue, returning a just-popped item.
-func (r *ring[T]) pushFront(v T) {
+// PushFront prepends v, making it the next Pop. It grows rather than
+// rejects: the callers (Requeue, Untake) return a just-popped item, so
+// the ring cannot exceed the bound it satisfied before the Pop.
+func (r *Ring[T]) PushFront(v T) {
 	if r.len == len(r.buf) {
 		r.grow()
 	}

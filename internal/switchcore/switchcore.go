@@ -63,7 +63,7 @@ type Core[T any] struct {
 	voqCap int
 
 	// Per-input state (see the package comment's concurrency contract).
-	voqs    []ring[T]      // flattened n×n, index i*n+j
+	voqs    []Ring[T]      // flattened n×n, index i*n+j
 	occ     *bitvec.Matrix // bit (i,j) ⇔ VOQ (i,j) non-empty
 	lens    [][]int        // live per-VOQ backlog, rows into one flat array
 	backlog []int          // per-input totals
@@ -75,6 +75,14 @@ type Core[T any] struct {
 	lensSnap [][]int        // queue-length snapshot handed to the scheduler
 	match    *matching.Match
 	ctx      sched.Context
+
+	// GrantSet bridge (arbiter-only): the per-output view of the last
+	// matching, plus the scheduler whose Explainer attributed it. Cached
+	// so Arbitrate/EmitSlotTrace stay free of per-slot interface
+	// assertions (the zero-allocation slot contract).
+	grants    *sched.GrantSet
+	lastEx    sched.Explainer
+	lastSched sched.Scheduler
 
 	// Link state (arbiter-only, like the slot scratch): persistent fault
 	// masks, as opposed to the per-slot backpressure mask above. A down
@@ -116,7 +124,7 @@ func NewPrealloc[T any](n, voqCap int, prealloc bool) *Core[T] {
 	c := &Core[T]{
 		n:       n,
 		voqCap:  voqCap,
-		voqs:    make([]ring[T], n*n),
+		voqs:    make([]Ring[T], n*n),
 		occ:     bitvec.NewMatrix(n),
 		backlog: make([]int, n),
 		mask:    bitvec.New(n),
@@ -124,12 +132,13 @@ func NewPrealloc[T any](n, voqCap int, prealloc bool) *Core[T] {
 		downOut: bitvec.New(n),
 		req:     bitvec.NewMatrix(n),
 		match:   matching.NewMatch(n),
+		grants:  sched.NewGrantSet(n),
 	}
 	for k := range c.voqs {
 		if prealloc {
-			c.voqs[k] = newRingFull[T](voqCap)
+			c.voqs[k] = NewRingFull[T](voqCap)
 		} else {
-			c.voqs[k] = newRing[T](voqCap)
+			c.voqs[k] = NewRing[T](voqCap)
 		}
 	}
 	c.lens = flatRows(n)
@@ -158,10 +167,10 @@ func (c *Core[T]) VOQCap() int { return c.voqCap }
 // The occupancy bit, queue length and input backlog update incrementally.
 func (c *Core[T]) Enqueue(i, j int, v T) bool {
 	q := &c.voqs[i*c.n+j]
-	if !q.push(v) {
+	if !q.Push(v) {
 		return false
 	}
-	if q.len == 1 {
+	if q.Len() == 1 {
 		c.occ.Set(i, j)
 	}
 	c.lens[i][j]++
@@ -174,13 +183,13 @@ func (c *Core[T]) Enqueue(i, j int, v T) bool {
 // as a wasted grant).
 func (c *Core[T]) Dequeue(i, j int) (v T, ok bool) {
 	q := &c.voqs[i*c.n+j]
-	v, ok = q.pop()
+	v, ok = q.Pop()
 	if !ok {
 		return v, false
 	}
 	c.lens[i][j]--
 	c.backlog[i]--
-	if q.len == 0 {
+	if q.Len() == 0 {
 		c.occ.Clear(i, j)
 	}
 	return v, true
@@ -192,10 +201,10 @@ func (c *Core[T]) Dequeue(i, j int) (v T, ok bool) {
 // exceed the bound it satisfied before the Dequeue.
 func (c *Core[T]) Requeue(i, j int, v T) {
 	q := &c.voqs[i*c.n+j]
-	if q.len == 0 {
+	if q.Len() == 0 {
 		c.occ.Set(i, j)
 	}
-	q.pushFront(v)
+	q.PushFront(v)
 	c.lens[i][j]++
 	c.backlog[i]++
 }

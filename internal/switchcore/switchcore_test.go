@@ -10,42 +10,42 @@ import (
 )
 
 func TestRingBasics(t *testing.T) {
-	r := newRing[int](4)
-	if _, ok := r.pop(); ok {
+	r := NewRing[int](4)
+	if _, ok := r.Pop(); ok {
 		t.Fatal("pop from empty ring succeeded")
 	}
 	for k := 0; k < 4; k++ {
-		if !r.push(k) {
+		if !r.Push(k) {
 			t.Fatalf("push %d rejected below capacity", k)
 		}
 	}
-	if r.push(99) {
+	if r.Push(99) {
 		t.Fatal("push beyond capacity accepted")
 	}
 	for k := 0; k < 4; k++ {
-		v, ok := r.pop()
+		v, ok := r.Pop()
 		if !ok || v != k {
 			t.Fatalf("pop %d: got %d,%v", k, v, ok)
 		}
 	}
 	// pushFront makes the item the next pop.
-	r.push(1)
-	r.pushFront(0)
-	if v, _ := r.pop(); v != 0 {
+	r.Push(1)
+	r.PushFront(0)
+	if v, _ := r.Pop(); v != 0 {
 		t.Fatalf("pushFront not popped first: %d", v)
 	}
 }
 
 func TestRingGrowsUnbounded(t *testing.T) {
-	r := newRing[int](0)
+	r := NewRing[int](0)
 	const total = 1000
 	for k := 0; k < total; k++ {
-		if !r.push(k) {
+		if !r.Push(k) {
 			t.Fatalf("unbounded ring rejected push %d", k)
 		}
 	}
 	for k := 0; k < total; k++ {
-		if v, ok := r.pop(); !ok || v != k {
+		if v, ok := r.Pop(); !ok || v != k {
 			t.Fatalf("pop %d: got %d,%v", k, v, ok)
 		}
 	}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/datapath"
 	"repro/internal/matching"
 	switchruntime "repro/internal/runtime"
 	"repro/internal/sched"
@@ -67,6 +68,21 @@ func NewScheduler(name string, n int, opt Options) (Scheduler, error) {
 
 // SchedulerNames returns all registered scheduler names.
 func SchedulerNames() []string { return registry.Names() }
+
+// Datapath organization names for SimConfig.Datapath and
+// RuntimeConfig.Datapath.
+const (
+	// DatapathVOQ is the paper's virtual-output-queued switch with a
+	// central per-slot matching.
+	DatapathVOQ = datapath.VOQ
+	// DatapathCICQ is the crosspoint-buffered switch: bounded buffers at
+	// every (input, output) crosspoint, decoupled per-input dispatch and
+	// per-output pull arbiters applying the least-choice rule locally.
+	DatapathCICQ = datapath.CICQ
+)
+
+// DatapathNames returns the known datapath organization names, sorted.
+func DatapathNames() []string { return datapath.Names() }
 
 // Figure12Schedulers returns the scheduler labels of the paper's Figure 12
 // in legend order (excluding the "outbuf" switch organization).
@@ -146,6 +162,16 @@ type SimConfig struct {
 	Load      float64
 	Seed      uint64
 
+	// Datapath selects the switch datapath organization: "" or
+	// DatapathVOQ follows the Scheduler as documented on Simulate;
+	// DatapathCICQ selects the crosspoint-buffered switch, whose
+	// distributed arbiters embed the least-choice rule (Scheduler must
+	// be nil).
+	Datapath string
+	// XPCap bounds each crosspoint buffer (DatapathCICQ only; 0 takes
+	// the default).
+	XPCap int
+
 	Pattern     TrafficPattern
 	MeanBurst   float64 // Bursty only; default 16
 	HotspotFrac float64 // Hotspot only; default 0.5
@@ -223,6 +249,7 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		VOQCap:           cfg.VOQCap,
 		PQCap:            cfg.PQCap,
 		OutBufCap:        cfg.OutBufCap,
+		XPCap:            cfg.XPCap,
 		WarmupSlots:      cfg.WarmupSlots,
 		MeasureSlots:     cfg.MeasureSlots,
 		Speedup:          cfg.Speedup,
@@ -230,6 +257,13 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 		HistogramBuckets: cfg.HistogramBuckets,
 	}
 	switch {
+	case cfg.Datapath != "" && !datapath.Known(cfg.Datapath):
+		return nil, fmt.Errorf("lcf: unknown datapath %q (known: %v)", cfg.Datapath, datapath.Names())
+	case cfg.Datapath == DatapathCICQ:
+		if cfg.Scheduler != nil {
+			return nil, fmt.Errorf("lcf: the cicq datapath embeds the least-choice rule in its own arbiters; Scheduler must be nil")
+		}
+		simCfg.Mode = simswitch.CICQ
 	case cfg.Scheduler == nil:
 		simCfg.Mode = simswitch.OutputBuffered
 	case cfg.Scheduler.Name() == "fifo":

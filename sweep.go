@@ -21,6 +21,11 @@ type SweepPoint = experiment.Point
 // OutbufName is the label of the output-buffered reference switch.
 const OutbufName = experiment.OutbufName
 
+// CICQName is the sweep label of the crosspoint-buffered (CICQ) switch;
+// like OutbufName it names a switch organization, not a registry
+// scheduler.
+const CICQName = experiment.CICQName
+
 // Sweep runs a load sweep, fanning independent simulations out over a
 // bounded worker pool. Results are deterministic for a given SweepConfig
 // regardless of worker count.

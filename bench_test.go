@@ -257,6 +257,31 @@ func decisionMatrix(n int) *RequestMatrix {
 	return req
 }
 
+// BenchmarkSchedulerDecisionN1024 is the n=1024 decision tier, run for
+// the word-parallel schedulers only: at this width the bit-at-a-time
+// schedulers are orders of magnitude slower and would drown a smoke run,
+// while the bitvec kernels are exactly what the tier is sizing. This is
+// the per-slot compute the pipelined engine overlaps with transmit
+// (DESIGN.md §13); results/bench_pr8.json records the trajectory.
+func BenchmarkSchedulerDecisionN1024(b *testing.B) {
+	const n = 1024
+	for _, name := range []string{"lcf_central_rr", "islip"} {
+		b.Run(name, func(b *testing.B) {
+			s, err := NewScheduler(name, n, Options{Iterations: 4, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := decisionMatrix(n)
+			m := NewMatch(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Schedule(s, r, m)
+			}
+		})
+	}
+}
+
 // BenchmarkSchedulerDecision measures one scheduling decision per
 // scheduler on a dense request matrix — the per-slot cost that bounds
 // achievable line rate in a software implementation. The n=16 tier is

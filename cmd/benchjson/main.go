@@ -25,8 +25,13 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// GoMaxProcs is the -N suffix go test appends to every benchmark name
+	// when GOMAXPROCS > 1. It matters for the pipelined/sharded engine
+	// tiers, whose numbers are only comparable at equal parallelism;
+	// omitted when absent (GOMAXPROCS=1 runs carry no suffix).
+	GoMaxProcs  int     `json:"gomaxprocs,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
@@ -130,17 +135,19 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	name := f[0]
-	// Strip the GOMAXPROCS suffix: Benchmark.../n64-8 → Benchmark.../n64.
+	// Split off the GOMAXPROCS suffix: Benchmark.../n64-8 → Benchmark.../n64
+	// with GoMaxProcs 8, so equal-parallelism runs diff by name alone.
+	procs := 0
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			name, procs = name[:i], p
 		}
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: name, Iterations: iters}
+	r := Result{Name: name, Iterations: iters, GoMaxProcs: procs}
 	seen := false
 	for i := 2; i+1 < len(f); i += 2 {
 		v, unit := f[i], f[i+1]

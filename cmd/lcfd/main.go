@@ -85,6 +85,8 @@ func main() {
 		traceOn    = flag.Bool("trace", false, "start with slot-event tracing enabled (toggle later with POST /trace)")
 		debugAddr  = flag.String("debug-addr", "", "HTTP address for pprof and runtime execution traces (empty disables)")
 		faultPol   = flag.String("fault-policy", "drop", "disposition of frames stranded behind a failed port: drop (flush and count) or hold (keep until recovery)")
+		pipeline   = flag.Bool("pipeline", false, "overlap each slot's transmit with computing the next slot's matching from a speculative snapshot (voq datapath only; see DESIGN.md §13)")
+		shards     = flag.Int("shards", 0, "worker shards for the snapshot/dispatch loops: 0 auto-sizes from GOMAXPROCS at n>=256, 1 disables")
 	)
 	flag.Parse()
 	if *n <= 0 || *n > clint.NumPorts {
@@ -112,6 +114,15 @@ func main() {
 	if *xpCap <= 0 {
 		fatalUsage("-xpcap must be positive (got %d)", *xpCap)
 	}
+	if *pipeline && *dpName == datapath.CICQ {
+		// rt.New would refuse too, but say why at the flag level: the CICQ
+		// pull arbiters mutate live crosspoint state as they decide, so
+		// there is no pure matching to speculate and validate.
+		fatalUsage("-pipeline requires the voq datapath: cicq arbitration reads live crosspoint state and cannot be speculated")
+	}
+	if *shards < 0 {
+		fatalUsage("-shards must be >= 0 (got %d)", *shards)
+	}
 
 	// The CICQ datapath runs its own distributed least-choice arbiters;
 	// a central scheduler has nothing to schedule there.
@@ -134,6 +145,7 @@ func main() {
 		N: *n, Scheduler: s, Datapath: *dpName, XPCap: *xpCap,
 		VOQCap: *voqCap, OutCap: *outCap, SlotPeriod: *slot,
 		PreallocVOQs: *prealloc, Tracer: tracer, FaultPolicy: policy,
+		Pipeline: *pipeline, Shards: *shards,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -359,19 +371,7 @@ func (s *server) serveConn(conn net.Conn) {
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		for {
-			select {
-			case b := <-c.outbox:
-				if _, err := conn.Write(b); err != nil {
-					// Close the conn so the read loop errors out promptly
-					// (it then closes c.gone); keep draining the outbox in
-					// the meantime so pumps never block on a corpse.
-					conn.Close()
-				}
-			case <-c.gone:
-				return
-			}
-		}
+		writeLoop(c)
 	}()
 
 	s.readLoop(c)
@@ -380,6 +380,46 @@ func (s *server) serveConn(conn net.Conn) {
 	close(c.gone)
 	conn.Close()
 	writerWG.Wait()
+}
+
+// maxWriteBatch bounds one flush. 64 frames is ~4 KB of data frames —
+// far below any socket buffer, so a flush never splits a frame across
+// kernel writes in practice, and a pathological outbox cannot pin the
+// writer in a single writev forever.
+const maxWriteBatch = 64
+
+// writeLoop serializes c's outbox onto the connection. Frames that
+// accumulated while the previous flush was on the wire go out together
+// as one writev-style net.Buffers write — under bursty delivery (the
+// pipelined engine dispatches a whole matching per slot) this collapses
+// up to maxWriteBatch syscalls into one, instead of paying a write per
+// frame. The loop exits when the client is gone; buffered leftovers are
+// dropped with the outbox.
+func writeLoop(c *client) {
+	scratch := make(net.Buffers, 0, maxWriteBatch)
+	for {
+		select {
+		case b := <-c.outbox:
+			bufs := append(scratch[:0], b)
+		fill:
+			for len(bufs) < maxWriteBatch {
+				select {
+				case nb := <-c.outbox:
+					bufs = append(bufs, nb)
+				default:
+					break fill
+				}
+			}
+			if _, err := bufs.WriteTo(c.conn); err != nil {
+				// Close the conn so the read loop errors out promptly (it
+				// then closes c.gone); keep draining the outbox in the
+				// meantime so pumps never block on a corpse.
+				c.conn.Close()
+			}
+		case <-c.gone:
+			return
+		}
+	}
 }
 
 func (s *server) readLoop(c *client) {

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -10,7 +13,9 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/clint"
 	"repro/internal/datapath"
 	"repro/internal/obs"
 	rt "repro/internal/runtime"
@@ -304,6 +309,75 @@ func TestPortReclaim(t *testing.T) {
 	}
 	if srv.lookup(0) != b {
 		t.Fatal("stale release evicted the new owner")
+	}
+}
+
+// TestWriteLoopBatches pins the batched writer's contract: frames
+// queued in a burst all reach the peer, intact and in order, through
+// coalesced net.Buffers flushes, and the loop retires promptly when the
+// client is gone even with frames still buffered.
+func TestWriteLoopBatches(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	acceptc := make(chan accepted, 1)
+	go func() {
+		conn, err := ln.Accept()
+		acceptc <- accepted{conn, err}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	acc := <-acceptc
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	defer acc.conn.Close()
+
+	// Preload a burst larger than one batch before the writer starts, so
+	// the first flush coalesces maxWriteBatch frames and the remainder
+	// rides the next one.
+	const frames = maxWriteBatch + 17
+	c := &client{conn: acc.conn, outbox: make(chan []byte, frames), gone: make(chan struct{})}
+	var want []byte
+	for k := 0; k < frames; k++ {
+		buf := make([]byte, clint.DataLen)
+		clint.Data{Src: uint8(k % 16), Dst: uint8((k + 1) % 16), Seq: uint64(k), Stamp: uint64(k)}.EncodeTo(buf)
+		want = append(want, buf...)
+		c.outbox <- buf
+	}
+	done := make(chan struct{})
+	go func() {
+		writeLoop(c)
+		close(done)
+	}()
+
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("reading the burst back: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("burst arrived corrupted or out of order")
+	}
+	for off := 0; off < len(got); off += clint.DataLen {
+		if _, err := clint.DecodeData(got[off : off+clint.DataLen]); err != nil {
+			t.Fatalf("frame at offset %d does not decode: %v", off, err)
+		}
+	}
+
+	close(c.gone)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writeLoop did not exit after gone")
 	}
 }
 

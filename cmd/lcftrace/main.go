@@ -199,6 +199,10 @@ func renderTimeline(w io.Writer, evs []obs.Event) {
 			fmt.Fprintf(w, "%-8d fault: port %d %s link %s\n", ev.Slot, ev.Port, ev.Dir, ev.State)
 			continue
 		}
+		if ev.Kind == "spec" {
+			fmt.Fprintf(w, "%-8d spec: %d hit %d missed %d repaired\n", ev.Slot, ev.Hits, ev.Misses, ev.Repairs)
+			continue
+		}
 		var pairs []string
 		for _, g := range ev.Grants {
 			switch {

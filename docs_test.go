@@ -1,10 +1,13 @@
 package lcf_test
 
 import (
+	"go/parser"
+	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -61,6 +64,90 @@ func TestMarkdownLinks(t *testing.T) {
 				t.Errorf("%s links to %s, which does not exist", doc, target)
 			}
 		}
+	}
+}
+
+// resultsRef matches any mention of a results/ JSON document, linked or
+// merely backticked — EXPERIMENTS.md cites measurement records both ways.
+var resultsRef = regexp.MustCompile(`results/[A-Za-z0-9_.-]+\.json`)
+
+// TestExperimentsResultsExist holds EXPERIMENTS.md to a stronger
+// standard than the link check: every results/*.json it mentions, in
+// prose, backticks or links, must exist. A study whose measurement
+// record was never committed (or was renamed away) fails here instead of
+// silently pointing at vapor.
+func TestExperimentsResultsExist(t *testing.T) {
+	raw, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := resultsRef.FindAllString(string(raw), -1)
+	if len(refs) == 0 {
+		t.Fatal("EXPERIMENTS.md mentions no results/*.json records")
+	}
+	seen := map[string]bool{}
+	for _, ref := range refs {
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		if _, err := os.Stat(ref); err != nil {
+			t.Errorf("EXPERIMENTS.md references %s, which does not exist", ref)
+		}
+	}
+}
+
+// TestPackageDocs requires a real package comment on every package in
+// the module: godoc is the first page a reader lands on, and a bare
+// "Package x ..." stub (or nothing) there means the design lives only in
+// scattered file comments. CI's docs job runs this next to the link
+// check.
+func TestPackageDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	packageDirs := map[string]bool{}
+	documentedDirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" || d.Name() == "results" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil {
+			docText := strings.TrimSpace(f.Doc.Text())
+			if len(docText) >= 60 { // a sentence, not a stub
+				documentedDirs[dir] = true
+			}
+		}
+		packageDirs[dir] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packageDirs) < 10 {
+		t.Fatalf("found only %d Go packages; test running from the wrong directory?", len(packageDirs))
+	}
+	var missing []string
+	for dir := range packageDirs {
+		if !documentedDirs[dir] {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	for _, dir := range missing {
+		t.Errorf("package in %s has no substantial package comment (want a doc comment of at least one full sentence on some file)", dir)
 	}
 }
 

@@ -50,6 +50,13 @@ type Config struct {
 	XPCap int
 	// Policy is the engine's disposition of stranded frames.
 	Policy rt.FaultPolicy
+	// Pipeline runs the engine in speculative pipelined mode (RunEngine
+	// only — the CICQ datapath refuses to pipeline). Faults landing
+	// between a matching's compute and its dispatch become speculation
+	// misses, so a chaotic pipelined run exercises the validate/repair
+	// path on every episode while the same per-slot conservation and
+	// grant-isolation checks hold.
+	Pipeline bool
 
 	// Per-slot, per-healthy-port probabilities of each fault kind
 	// starting, and the mean duration of an episode in slots. A port is
@@ -113,6 +120,13 @@ type Report struct {
 	Backpressured int64 // Admit calls refused with ErrBackpressure
 	Undrained     int64 // frames the shutdown drain could not deliver
 	MaxBacklog    int64
+
+	// Speculation accounting, nonzero only for pipelined engine runs:
+	// grants validated/invalidated at the slot boundary and the misses
+	// whose frames survived for re-advertisement (see runtime.Stats).
+	SpecHits    int64
+	SpecMisses  int64
+	SpecRepairs int64
 
 	Flaps, Stucks, Kills int // fault episodes injected
 }
@@ -295,7 +309,12 @@ func RunEngine(cfg Config) (*Report, error) {
 		VOQCap:      cfg.VOQCap,
 		OutCap:      cfg.OutCap,
 		FaultPolicy: cfg.Policy,
+		Pipeline:    cfg.Pipeline,
 		OnSlot: func(ev rt.SlotEvent) {
+			// On a pipelined engine ev.Match is the validated matching —
+			// grants invalidated at the boundary are already removed — so
+			// the isolation check cannot false-positive on a grant that
+			// was computed before the fault landed and never dispatched.
 			if grantErr == nil {
 				grantErr = plan.checkMatch(ev.Slot, ev.Match)
 			}
@@ -435,6 +454,9 @@ func driveEngine(cfg *Config, scope string, e *rt.Engine, plan *schedule, grantE
 	rep.Delivered = st.Delivered.Value()
 	rep.Dropped = st.DroppedFault.Value()
 	rep.Undrained = st.Undrained.Value()
+	rep.SpecHits = st.SpecHits.Value()
+	rep.SpecMisses = st.SpecMisses.Value()
+	rep.SpecRepairs = st.SpecRepairs.Value()
 	shutdown := conserve.Terms{
 		Scope:     scope + " shutdown",
 		Slot:      cfg.Slots,

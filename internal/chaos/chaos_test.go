@@ -62,6 +62,67 @@ func TestEngineChaos10k(t *testing.T) {
 	}
 }
 
+// TestEngineChaosPipelined10k reruns the acceptance storm with the
+// speculative pipeline on. Every fault that lands between a matching's
+// compute and its dispatch must surface as a speculation miss and be
+// repaired without breaking the per-slot conservation ledger or grant
+// isolation (both asserted inside RunEngine, which sees only the
+// validated matching).
+func TestEngineChaosPipelined10k(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy rt.FaultPolicy
+	}{
+		{"hold", rt.HoldStranded},
+		{"drop", rt.DropStranded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{N: 8, Slots: 10_000, Seed: 0xC0FFEE, Policy: tc.policy, Pipeline: true}
+			rep, err := RunEngine(cfg)
+			if err != nil {
+				reportSeed(t, cfg, err)
+			}
+			if rep.SpecHits == 0 {
+				t.Fatal("pipelined run dispatched no speculative grants")
+			}
+			if rep.SpecMisses == 0 {
+				t.Fatal("10k chaotic slots produced no speculation misses — repair path not exercised")
+			}
+			if rep.SpecRepairs > rep.SpecMisses {
+				t.Fatalf("repairs %d exceed misses %d", rep.SpecRepairs, rep.SpecMisses)
+			}
+			if rep.Flaps == 0 || rep.Kills == 0 {
+				t.Fatalf("fault schedule too quiet: %+v", rep)
+			}
+			if rep.Admitted == 0 || rep.Consumed == 0 {
+				t.Fatalf("no traffic flowed: %+v", rep)
+			}
+			t.Logf("report: %+v", rep)
+		})
+	}
+}
+
+// TestEngineChaosPipelinedSeeds fans extra seeds at the pipelined
+// engine, and pins determinism: speculation is driven entirely by the
+// lockstep tick, so the same seed must reproduce the identical run,
+// spec counters included.
+func TestEngineChaosPipelinedSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1337} {
+		cfg := Config{N: 6, Slots: 2_000, Seed: seed, Policy: rt.DropStranded, Load: 0.8, Pipeline: true}
+		a, err := RunEngine(cfg)
+		if err != nil {
+			reportSeed(t, cfg, err)
+		}
+		b, err := RunEngine(cfg)
+		if err != nil {
+			reportSeed(t, cfg, err)
+		}
+		if *a != *b {
+			t.Fatalf("seed %d diverged under pipelining:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
 // TestEngineChaosSeeds fans a few more seeds at a shorter run so a
 // seed-dependent schedule can't hide a violation.
 func TestEngineChaosSeeds(t *testing.T) {

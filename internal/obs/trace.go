@@ -34,6 +34,16 @@ type Grant struct {
 // events thread degradation windows through the same timeline the slot
 // decisions live on, so a trace shows exactly which matchings were
 // computed under which failures.
+//
+// Kind == "spec" marks a pipelined engine's speculation outcome for a
+// slot whose validation dropped at least one grant (runtime.Config
+// .Pipeline): Hits counts the grants that validated and dispatched,
+// Misses the grants invalidated at the slot boundary, Repairs the misses
+// whose backlog survived for re-advertisement. The event follows the
+// slot-decision record it annotates, so a drained timeline shows each
+// mis-speculation next to the validated matching it shrank. Slots with
+// zero misses emit no spec event — under healthy speculation the trace
+// stays pure slot decisions.
 type Event struct {
 	Slot      int64   `json:"slot"`
 	Requested int     `json:"requested"`
@@ -44,6 +54,10 @@ type Event struct {
 	Port  int    `json:"port,omitempty"`
 	Dir   string `json:"dir,omitempty"`
 	State string `json:"state,omitempty"`
+
+	Hits    int `json:"hits,omitempty"`
+	Misses  int `json:"misses,omitempty"`
+	Repairs int `json:"repairs,omitempty"`
 }
 
 // Link directions for EmitFault.
@@ -61,15 +75,22 @@ type traceSlot struct {
 	seq    atomic.Uint64
 	slot   atomic.Int64
 	counts atomic.Uint64   // requested<<32 | ngrants
-	fault  atomic.Uint64   // packed fault record, 0 for slot-decision entries
+	aux    atomic.Uint64   // packed fault or spec record, 0 for slot-decision entries
 	grants []atomic.Uint64 // packed Grant records, capacity n
 }
 
-// packFault packs a link-state transition into one word: a presence flag
-// (so the zero word means "slot decision"), the port, the direction and
-// the new state.
+// The aux word's kind flags: bit 63 marks a fault record, bit 62 a spec
+// record; the zero word means "slot decision". The flags are disjoint so
+// a reader branches on one load.
+const (
+	auxFault = uint64(1) << 63
+	auxSpec  = uint64(1) << 62
+)
+
+// packFault packs a link-state transition into one word: the fault flag,
+// the port, the direction and the new state.
 func packFault(port int, dir string, up bool) uint64 {
-	w := uint64(1)<<63 | uint64(uint16(port))<<16
+	w := auxFault | uint64(uint16(port))<<16
 	if dir == DirOutput {
 		w |= 1 << 8
 	}
@@ -77,6 +98,15 @@ func packFault(port int, dir string, up bool) uint64 {
 		w |= 1
 	}
 	return w
+}
+
+// packSpec packs a slot's speculation outcome into one word: the spec
+// flag and three 16-bit counts. A count cannot exceed the port bound
+// (one grant per output per slot), which the tracer caps at 16 bits
+// everywhere else too.
+func packSpec(hits, misses, repairs int) uint64 {
+	return auxSpec | uint64(uint16(hits))<<32 |
+		uint64(uint16(misses))<<16 | uint64(uint16(repairs))
 }
 
 // packGrant packs a grant into one word: in(16) out(16) choices+1(16)
@@ -156,7 +186,7 @@ func (t *Tracer) Emit(slot int64, requested int, m *matching.Match, ex sched.Exp
 	e := &t.ring[w%uint64(len(t.ring))]
 	e.seq.Store(2*w + 1)
 	e.slot.Store(slot)
-	e.fault.Store(0)
+	e.aux.Store(0)
 	ngrants := 0
 	for i, j := range m.InToOut {
 		if j == matching.Unmatched {
@@ -191,7 +221,7 @@ func (t *Tracer) EmitGrants(slot int64, requested int, g *sched.GrantSet) {
 	e := &t.ring[w%uint64(len(t.ring))]
 	e.seq.Store(2*w + 1)
 	e.slot.Store(slot)
-	e.fault.Store(0)
+	e.aux.Store(0)
 	ngrants := 0
 	for j, i := range g.Src {
 		if i == matching.Unmatched {
@@ -222,7 +252,27 @@ func (t *Tracer) EmitFault(slot int64, port int, dir string, up bool) {
 	e.seq.Store(2*w + 1)
 	e.slot.Store(slot)
 	e.counts.Store(0)
-	e.fault.Store(packFault(port, dir, up))
+	e.aux.Store(packFault(port, dir, up))
+	e.seq.Store(2*w + 2)
+	t.pos.Store(w + 1)
+}
+
+// EmitSpec records a pipelined slot's speculation outcome — hits, misses
+// and repairs from validating a speculatively computed matching against
+// the live switch state. Drivers emit it only for slots with misses, so
+// spec events annotate exactly the slots where speculation diverged.
+// Same contract as Emit: single-writer, nil-safe, one atomic load when
+// disabled, and zero heap allocations.
+func (t *Tracer) EmitSpec(slot int64, hits, misses, repairs int) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	w := t.pos.Load()
+	e := &t.ring[w%uint64(len(t.ring))]
+	e.seq.Store(2*w + 1)
+	e.slot.Store(slot)
+	e.counts.Store(0)
+	e.aux.Store(packSpec(hits, misses, repairs))
 	e.seq.Store(2*w + 2)
 	t.pos.Store(w + 1)
 }
@@ -251,7 +301,7 @@ func (t *Tracer) Drain() []Event {
 			Requested: int(counts >> 32),
 			Matched:   int(counts & 0xffff),
 		}
-		if f := e.fault.Load(); f&(1<<63) != 0 {
+		if f := e.aux.Load(); f&auxFault != 0 {
 			ev.Kind = "fault"
 			ev.Port = int(uint16(f >> 16))
 			ev.Dir, ev.State = DirInput, "down"
@@ -261,6 +311,16 @@ func (t *Tracer) Drain() []Event {
 			if f&1 != 0 {
 				ev.State = "up"
 			}
+			if e.seq.Load() != s1 {
+				continue
+			}
+			evs = append(evs, ev)
+			continue
+		} else if f&auxSpec != 0 {
+			ev.Kind = "spec"
+			ev.Hits = int(uint16(f >> 32))
+			ev.Misses = int(uint16(f >> 16))
+			ev.Repairs = int(uint16(f))
 			if e.seq.Load() != s1 {
 				continue
 			}

@@ -61,7 +61,7 @@ func TestEngineRegisterScrape(t *testing.T) {
 		"lcf_engine_occupied_voqs":                                  float64(snap.OccupiedVOQs),
 		"lcf_match_size_count":                                      float64(slots),
 		"lcf_slot_duration_nanoseconds_count":                       float64(slots),
-		`lcf_info{scheduler="lcf_central_rr",datapath="voq",n="4"}`: 1,
+		`lcf_info{scheduler="lcf_central_rr",datapath="voq",n="4",mode="inline"}`: 1,
 	} {
 		got, ok := s.Value(key)
 		if !ok {

@@ -49,6 +49,15 @@
 // slot t is likewise first schedulable in slot t+1; driving the lockstep
 // engine with "Tick, then admit slot t's arrivals" reproduces simswitch's
 // matchings exactly (DESIGN.md §7).
+//
+// Config.Pipeline overlaps slot t's dispatch with computing slot t+1's
+// matching from a speculative snapshot, validating every grant against
+// live state at the next slot boundary and repairing misses by dropping
+// the stale grant (head-requeue makes that loss-free); Config.Shards
+// fans the snapshot and dispatch loops across a bounded worker pool for
+// wide switches. Both are engine-internal: the SlotEvent and metric
+// contracts are unchanged except for the lcf_spec_* counters. DESIGN.md
+// §13 gives the state machine and the proof obligations.
 package runtime
 
 import (
@@ -96,12 +105,22 @@ type Frame struct {
 // callback only. Grants is the per-output decision vector both datapaths
 // produce; Match is the central matching behind it, nil on a CICQ engine
 // (whose pull arbiters are not constrained to a permutation).
+//
+// On a pipelined engine (Config.Pipeline) the reported decision is the
+// validated one: Match and Grants describe the grants actually dispatched
+// this slot — speculative grants invalidated at the boundary have been
+// removed — and the Spec fields break the slot's speculation outcome
+// down. All three are zero on an inline engine.
 type SlotEvent struct {
 	Slot      int64
 	Match     *matching.Match
 	Grants    *sched.GrantSet
 	Requested int // request-matrix bits this slot
 	Matched   int // frames dispatched this slot
+
+	SpecHits    int // speculative grants that validated and dispatched
+	SpecMisses  int // speculative grants invalidated at the slot boundary
+	SpecRepairs int // misses whose backlog survives for re-advertisement
 }
 
 // Config parameterizes an Engine.
@@ -141,6 +160,29 @@ type Config struct {
 	// for latency-sensitive deployments where an allocation (and the GC
 	// pressure behind it) on the admit path is worse than the footprint.
 	PreallocVOQs bool
+
+	// Pipeline enables speculative pipelined arbitration (DESIGN.md §13):
+	// each tick dispatches the matching computed during the previous slot
+	// — validating every grant against the live queues and link state,
+	// dropping the ones speculation got wrong — then snapshots the request
+	// matrix and hands it to a compute worker that runs the scheduler
+	// concurrently with the next slot's transmit. Scheduling leaves the
+	// slot's critical path (the paper's Clint overlap of schedule and
+	// transfer); the price is one slot of decision latency and the
+	// speculation accounting in Stats.SpecHits/SpecMisses/SpecRepairs.
+	// Requires a datapath whose PipelineSafe reports true (the VOQ core;
+	// CICQ refuses). A pipelined engine owns a compute goroutine: it must
+	// be Closed, even in lockstep mode, or the worker leaks.
+	Pipeline bool
+
+	// Shards sets the worker pool that shards the per-slot snapshot and
+	// dispatch phases across cores by row range (DESIGN.md §13). 0 picks
+	// automatically: GOMAXPROCS capped at 8, engaged only for n ≥ 256
+	// (below that the word-parallel kernels outrun the handoff cost).
+	// 1 disables sharding; k > 1 forces k shards at any width (tests use
+	// this to exercise the pool at small n). Like the pipeline worker,
+	// a sharded engine must be Closed to release its pool.
+	Shards int
 
 	// SlotPeriod > 0 selects live mode: Start runs the arbiter on a
 	// ticker with this period. 0 selects lockstep mode: the caller drives
@@ -217,6 +259,9 @@ func (c *Config) normalize() error {
 	if c.FaultPolicy != HoldStranded && c.FaultPolicy != DropStranded {
 		return fmt.Errorf("runtime: unknown fault policy %d", c.FaultPolicy)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("runtime: negative shard count %d", c.Shards)
+	}
 	return nil
 }
 
@@ -241,6 +286,12 @@ type Engine struct {
 	// the desired state from any goroutine, the arbiter folds it into the
 	// core's fault masks at each slot top.
 	fault faultState
+
+	// spec is the pipelined-arbitration state (see pipeline.go): the
+	// compute worker, the pending matching and the validation scratch.
+	// pool is the shard worker pool for the snapshot/dispatch phases.
+	spec specState
+	pool shardPool
 
 	met Stats
 
@@ -274,6 +325,19 @@ type Stats struct {
 	DroppedFault     metrics.Counter
 	Stranded         metrics.Gauge
 	Undrained        metrics.Gauge
+
+	// Speculation accounting (pipelined engines only, Config.Pipeline).
+	// SpecHits counts speculative grants that validated at the slot
+	// boundary and dispatched; SpecMisses counts grants the validation
+	// dropped (their VOQ was flushed, their link failed, or their output
+	// channel filled between compute and dispatch); SpecRepairs counts
+	// the misses whose VOQ still held frames — backlog the next snapshot
+	// re-advertises, so the mis-speculation costs one slot of service,
+	// never a frame. Every miss is also a WastedGrants increment: the
+	// decision was made and not dispatched.
+	SpecHits    metrics.Counter
+	SpecMisses  metrics.Counter
+	SpecRepairs metrics.Counter
 
 	// GrantsByRule attributes every grant to the LCF decision rule that
 	// produced it (sched.GrantRule order: unattributed, lcf, diagonal,
@@ -311,6 +375,9 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Pipeline && !dp.PipelineSafe() {
+		return nil, fmt.Errorf("runtime: datapath %q cannot be pipelined (its arbitration mutates live queue state; see switchcore.Datapath.PipelineSafe)", cfg.Datapath)
+	}
 	e := &Engine{
 		cfg:  cfg,
 		n:    n,
@@ -321,6 +388,8 @@ func New(cfg Config) (*Engine, error) {
 		done: make(chan struct{}),
 	}
 	e.fault.init(n)
+	e.spec.init(n, cfg.Pipeline)
+	e.pool.init(e, cfg.Shards)
 	for j := range e.outs {
 		e.outs[j] = make(chan Frame, cfg.OutCap)
 	}
@@ -492,6 +561,12 @@ func (e *Engine) drain(wait func()) {
 			wait()
 		}
 	}
+	// The pipeline worker and shard pool (if any) are quiescent between
+	// ticks; release them before the channels close. Both paths — live
+	// (run's stop select) and lockstep (Close's inline drain) — end here,
+	// so a pipelined engine never leaks its goroutines past Close.
+	e.spec.stop()
+	e.pool.stop()
 	// Whatever is still queued — frames held behind failed links, or
 	// stuck behind an output nobody consumed — is accounted here before
 	// the channels close, so shutdown never loses frames silently.
@@ -527,8 +602,15 @@ func (e *Engine) Close() {
 	<-e.done
 }
 
-// tick is one slot of the arbiter: snapshot → schedule → dispatch.
+// tick is one slot of the arbiter. Inline mode (the default) runs
+// snapshot → schedule → dispatch on the slot clock; pipelined mode
+// (Config.Pipeline, pipeline.go) dispatches the previous slot's
+// speculative matching and overlaps the next schedule with transmit.
 func (e *Engine) tick() {
+	if e.cfg.Pipeline {
+		e.tickPipelined()
+		return
+	}
 	start := time.Now()
 	now := e.slot.Load()
 
@@ -539,45 +621,9 @@ func (e *Engine) tick() {
 	e.applyFaults(now)
 	e.sweepStranded()
 
-	// Output-side backpressure: a full delivery channel masks its column.
-	// Only the arbiter sends on outs, so "not full here" cannot become
-	// full before dispatch below.
-	e.dp.ResetOutputMask()
-	for j := range e.outs {
-		if len(e.outs[j]) == cap(e.outs[j]) {
-			e.dp.MaskOutput(j)
-		}
-	}
-
-	// Snapshot each input's occupancy row and queue lengths under that
-	// input's lock; after this loop the scheduler reads only the core's
-	// slot scratch, never state a concurrent Admit is writing.
-	requested := 0
-	masked := 0
-	faulted := 0
-	for i := 0; i < e.n; i++ {
-		mu := &e.inMu[i]
-		mu.Lock()
-		row := e.dp.OccupiedRow(i)
-		for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
-			e.met.VOQDepth.Observe(float64(e.dp.Len(i, j)))
-		}
-		r, m, f := e.dp.SnapshotRow(i)
-		requested += r
-		masked += m
-		faulted += f
-		mu.Unlock()
-	}
-	if masked > 0 {
-		e.met.MaskedOutputs.Add(int64(masked))
-	}
-	if faulted > 0 {
-		e.met.FaultMasked.Add(int64(faulted))
-	}
-	// requested+masked+faulted is the number of non-empty VOQs at snapshot
-	// time: masking (backpressure or fault) suppresses request bits but
-	// not occupancy.
-	e.met.OccupiedVOQs.Set(int64(requested + masked + faulted))
+	e.maskFullOutputs()
+	requested, masked, faulted := e.snapshotAll()
+	e.recordSnapshot(requested, masked, faulted)
 
 	// Arbitrate every slot, requests or not: round-robin pointers and
 	// other slot-to-slot state must advance exactly as they do in the
@@ -586,50 +632,7 @@ func (e *Engine) tick() {
 	// pull arbiters and ignores the argument.
 	grants := e.dp.Arbitrate(e.cfg.Scheduler)
 
-	matched := 0
-	for j := 0; j < e.n; j++ {
-		i := grants.Src[j]
-		if i == matching.Unmatched {
-			continue
-		}
-		// Attribute the grant to its decision rule. This counts the
-		// arbiter's decision, not the dispatch outcome: a grant wasted
-		// on a drained VOQ or a full channel was still decided.
-		e.met.GrantsByRule[grants.Rule[j]].Inc()
-		// Unreachable with a correct arbiter (fault masking removes the
-		// request bits), but a failed port must never receive a grant even
-		// under a buggy one.
-		if e.dp.InputDown(i) || e.dp.OutputDown(j) {
-			e.met.WastedGrants.Inc()
-			continue
-		}
-		mu := &e.inMu[i]
-		mu.Lock()
-		f, ok := e.dp.Take(j)
-		mu.Unlock()
-		if !ok {
-			// Cannot happen with a correct arbiter (grants imply
-			// requests and only the arbiter pops), but a buggy one
-			// must not lose accounting.
-			e.met.WastedGrants.Inc()
-			continue
-		}
-		f.Departed = now
-		select {
-		case e.outs[j] <- f:
-			matched++
-			e.met.Delivered.Inc()
-			e.met.PerOutputDelivered[j].Inc()
-			e.met.Backlog.Add(-1)
-		default:
-			// Unreachable while the mask above holds (consumers only
-			// drain); keep the frame rather than lose it.
-			mu.Lock()
-			e.dp.Untake(j, f)
-			mu.Unlock()
-			e.met.WastedGrants.Inc()
-		}
-	}
+	matched, _, _, _ := e.dispatchAll(grants, now, false)
 
 	e.met.Requested.Add(int64(requested))
 	e.met.Matched.Add(int64(matched))
@@ -642,4 +645,161 @@ func (e *Engine) tick() {
 		e.cfg.OnSlot(SlotEvent{Slot: now, Match: e.dp.Match(), Grants: grants, Requested: requested, Matched: matched})
 	}
 	e.slot.Add(1)
+}
+
+// maskFullOutputs resets the per-slot output mask and masks every full
+// delivery channel: a backpressured output must not attract grants it
+// cannot accept. Only the arbiter sends on outs, so "not full here"
+// cannot become full before the grants dispatch.
+func (e *Engine) maskFullOutputs() {
+	e.dp.ResetOutputMask()
+	for j := range e.outs {
+		if len(e.outs[j]) == cap(e.outs[j]) {
+			e.dp.MaskOutput(j)
+		}
+	}
+}
+
+// snapshotAll snapshots every input row — sharded across the worker pool
+// when it is engaged, serially otherwise — and returns the summed
+// requested/masked/faulted counts.
+func (e *Engine) snapshotAll() (requested, masked, faulted int) {
+	if e.pool.engaged() {
+		return e.pool.snapshot()
+	}
+	return e.snapshotRows(0, e.n)
+}
+
+// snapshotRows snapshots input rows [lo,hi): each input's occupancy row
+// and queue lengths are copied into the datapath's slot scratch under
+// that input's lock, so the scheduler reads only the snapshot, never
+// state a concurrent Admit is writing. Rows are disjoint per shard, so
+// pool workers run this concurrently on disjoint ranges.
+func (e *Engine) snapshotRows(lo, hi int) (requested, masked, faulted int) {
+	for i := lo; i < hi; i++ {
+		mu := &e.inMu[i]
+		mu.Lock()
+		row := e.dp.OccupiedRow(i)
+		for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
+			e.met.VOQDepth.Observe(float64(e.dp.Len(i, j)))
+		}
+		r, m, f := e.dp.SnapshotRow(i)
+		requested += r
+		masked += m
+		faulted += f
+		mu.Unlock()
+	}
+	return requested, masked, faulted
+}
+
+// recordSnapshot folds one snapshot's mask/fault counts into the
+// counters. requested+masked+faulted is the number of non-empty VOQs at
+// snapshot time: masking (backpressure or fault) suppresses request bits
+// but not occupancy.
+func (e *Engine) recordSnapshot(requested, masked, faulted int) {
+	if masked > 0 {
+		e.met.MaskedOutputs.Add(int64(masked))
+	}
+	if faulted > 0 {
+		e.met.FaultMasked.Add(int64(faulted))
+	}
+	e.met.OccupiedVOQs.Set(int64(requested + masked + faulted))
+}
+
+// dispatchAll realizes the slot's grants — sharded across the worker
+// pool when engaged, serially otherwise. With spec true (the pipelined
+// tick) every grant is first validated against the live state and the
+// speculation outcome is counted; see dispatchRange.
+func (e *Engine) dispatchAll(g *sched.GrantSet, now int64, spec bool) (matched, hits, misses, repairs int) {
+	if e.pool.engaged() {
+		return e.pool.dispatch(g, now, spec)
+	}
+	return e.dispatchRange(g, 0, e.n, now, spec)
+}
+
+// dispatchRange pops and delivers the granted frames for outputs
+// [lo,hi). A valid grant set is a permutation, so distinct outputs touch
+// distinct inputs and pool workers can run disjoint output ranges
+// concurrently: each takes one input lock at a time and is the only
+// sender on its outputs' channels this slot.
+//
+// With spec false this is the inline dispatch: the failure legs are
+// unreachable with a correct arbiter (fault masking removes the request
+// bits and the output mask guarantees channel room) but must not lose
+// accounting under a buggy one. With spec true the grants are one slot
+// old and the same legs become the speculation-validation path: a grant
+// whose link failed, whose VOQ was flushed, or whose channel filled
+// since the snapshot is a miss — dropped here, counted, and flagged in
+// e.spec.missed so the pipelined tick can repair the reported decision.
+// A missed grant's frames were never popped (head-requeue for the
+// channel-full leg), so the backlog survives for the next snapshot; a
+// miss with surviving backlog is additionally a repair.
+func (e *Engine) dispatchRange(g *sched.GrantSet, lo, hi int, now int64, spec bool) (matched, hits, misses, repairs int) {
+	for j := lo; j < hi; j++ {
+		i := g.Src[j]
+		if i == matching.Unmatched {
+			continue
+		}
+		// Attribute the grant to its decision rule. This counts the
+		// arbiter's decision, not the dispatch outcome: a grant wasted
+		// on a drained VOQ or a full channel was still decided.
+		e.met.GrantsByRule[g.Rule[j]].Inc()
+		// A failed port must never receive a grant, even under a buggy
+		// arbiter; under speculation this leg fires whenever the link
+		// failed after the matching was computed.
+		if e.dp.InputDown(i) || e.dp.OutputDown(j) {
+			e.met.WastedGrants.Inc()
+			if spec {
+				misses++
+				mu := &e.inMu[i]
+				mu.Lock()
+				if e.dp.HasBacklog(i, j) {
+					repairs++
+				}
+				mu.Unlock()
+				e.spec.missed[j] = true
+			}
+			continue
+		}
+		mu := &e.inMu[i]
+		mu.Lock()
+		f, ok := e.dp.Take(j)
+		mu.Unlock()
+		if !ok {
+			// Inline: cannot happen (grants imply requests and only the
+			// arbiter pops). Speculative: the VOQ was flushed since the
+			// snapshot (a stranded-frame sweep) — nothing left to repair.
+			e.met.WastedGrants.Inc()
+			if spec {
+				misses++
+				e.spec.missed[j] = true
+			}
+			continue
+		}
+		f.Departed = now
+		select {
+		case e.outs[j] <- f:
+			matched++
+			if spec {
+				hits++
+			}
+			e.met.Delivered.Inc()
+			e.met.PerOutputDelivered[j].Inc()
+			e.met.Backlog.Add(-1)
+		default:
+			// Unreachable while the output mask holds (consumers only
+			// drain, so a channel with room at snapshot time still has
+			// room); keep the frame rather than lose it.
+			mu.Lock()
+			e.dp.Untake(j, f)
+			mu.Unlock()
+			e.met.WastedGrants.Inc()
+			if spec {
+				misses++
+				repairs++
+				e.spec.missed[j] = true
+			}
+		}
+	}
+	return matched, hits, misses, repairs
 }

@@ -13,6 +13,12 @@
 //     input port. A full VOQ answers with a nack frame carrying the
 //     frame's sequence number — explicit backpressure, never a silent
 //     drop.
+//   - With -flows, the client may instead send flow data frames naming a
+//     64-bit flow id: the switch's steering table (internal/flowtable)
+//     resolves the input port — sticky per flow, chosen by -flow-policy —
+//     and admits the frame there. A full VOQ or a full steering table
+//     answers with the same nack frame. GET /flows serves the tier's
+//     counters and per-flow fairness summary.
 //   - Frames matched to output port j are delivered, src filled in, over
 //     the connection that owns port j (each connection is both input and
 //     output port of the same index, as in Clint's host↔switch star).
@@ -34,6 +40,8 @@
 //
 //	lcfd                                  # lcf_central_rr, n=16, :9416
 //	lcfd -sched islip -slot 100us
+//	lcfd -flows 1000000 -flow-policy po2  # flow-steered admission
+//	curl localhost:9417/flows | jq .fairness.jain
 //	curl localhost:9417/metrics | jq .engine.match_ratio
 //	curl -H 'Accept: text/plain' localhost:9417/metrics   # Prometheus
 //	curl -X POST 'localhost:9417/trace?enabled=true'
@@ -60,6 +68,7 @@ import (
 
 	"repro/internal/clint"
 	"repro/internal/datapath"
+	"repro/internal/flowtable"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	rt "repro/internal/runtime"
@@ -87,6 +96,10 @@ func main() {
 		faultPol   = flag.String("fault-policy", "drop", "disposition of frames stranded behind a failed port: drop (flush and count) or hold (keep until recovery)")
 		pipeline   = flag.Bool("pipeline", false, "overlap each slot's transmit with computing the next slot's matching from a speculative snapshot (voq datapath only; see DESIGN.md §13)")
 		shards     = flag.Int("shards", 0, "worker shards for the snapshot/dispatch loops: 0 auto-sizes from GOMAXPROCS at n>=256, 1 disables")
+		flows      = flag.Int("flows", 0, "flow steering table capacity — enables the flow front tier and the /flows endpoint (0 disables; see DESIGN.md §14)")
+		flowPolicy = flag.String("flow-policy", "", "flow steering policy: "+strings.Join(flowtable.Names(), ", ")+" (default hash; requires -flows)")
+		flowEpoch  = flag.Duration("flow-epoch", time.Second, "period of the flow idle-eviction epoch clock (requires -flows)")
+		flowIdle   = flag.Uint("flow-idle", 60, "epochs a flow may sit idle before eviction; 0 keeps flows forever (requires -flows)")
 	)
 	flag.Parse()
 	if *n <= 0 || *n > clint.NumPorts {
@@ -123,6 +136,26 @@ func main() {
 	if *shards < 0 {
 		fatalUsage("-shards must be >= 0 (got %d)", *shards)
 	}
+	if *flows < 0 {
+		fatalUsage("-flows must be >= 0 (got %d)", *flows)
+	}
+	if *flows > 0 {
+		if _, err := flowtable.NewPolicy(*flowPolicy); err != nil {
+			fatalUsage("-flow-policy: %v", err)
+		}
+		if *flowEpoch <= 0 {
+			fatalUsage("-flow-epoch must be positive (got %v)", *flowEpoch)
+		}
+	} else {
+		// Flow-tier tuning without the tier is a misconfiguration, not a
+		// silent no-op: say so instead of ignoring the flag.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "flow-policy", "flow-epoch", "flow-idle":
+				fatalUsage("-%s requires -flows > 0", f.Name)
+			}
+		})
+	}
 
 	// The CICQ datapath runs its own distributed least-choice arbiters;
 	// a central scheduler has nothing to schedule there.
@@ -146,6 +179,7 @@ func main() {
 		VOQCap: *voqCap, OutCap: *outCap, SlotPeriod: *slot,
 		PreallocVOQs: *prealloc, Tracer: tracer, FaultPolicy: policy,
 		Pipeline: *pipeline, Shards: *shards,
+		Flows: *flows, FlowPolicy: *flowPolicy,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -166,11 +200,33 @@ func main() {
 		go srv.outputPump(j)
 	}
 
+	// The flow-epoch clock: advance the table's epoch every -flow-epoch
+	// and sweep out flows idle longer than -flow-idle epochs. Steering
+	// state only — frames already queued are never touched by eviction.
+	var epochStop chan struct{}
+	if *flows > 0 && *flowIdle > 0 {
+		epochStop = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*flowEpoch)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					engine.AdvanceFlowEpoch()
+					engine.EvictIdleFlows(uint32(*flowIdle))
+				case <-epochStop:
+					return
+				}
+			}
+		}()
+	}
+
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", srv.handleMetrics)
 		mux.HandleFunc("/trace", srv.handleTrace)
 		mux.HandleFunc("/fault", srv.handleFault)
+		mux.HandleFunc("/flows", srv.handleFlows)
 		mux.HandleFunc("/", srv.handleRoot)
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
@@ -209,6 +265,9 @@ func main() {
 	}
 
 	srv.closeConns()
+	if epochStop != nil {
+		close(epochStop)
+	}
 	engine.Close() // drains; output pumps exit when the channels close
 	srv.wg.Wait()
 	snap := engine.Snapshot()
@@ -460,6 +519,30 @@ func (s *server) readLoop(c *client) {
 			default:
 				return
 			}
+		case clint.TypeFlowData:
+			d, err := clint.DecodeFlowData(frame)
+			if err != nil {
+				s.protocolErrors.Inc()
+				return
+			}
+			_, err = s.engine.AdmitFlow(d.Flow, int(d.Dst), d.Seq, d.Stamp)
+			switch {
+			case err == nil:
+			case errors.Is(err, rt.ErrNoFlowTable):
+				// Flow frames toward a flow-free daemon are a configuration
+				// mismatch, not load: nacking would invite an infinite retry.
+				s.protocolErrors.Inc()
+				return
+			case errors.Is(err, rt.ErrBackpressure), errors.Is(err, rt.ErrBadPort),
+				errors.Is(err, rt.ErrPortDown), errors.Is(err, flowtable.ErrTableFull):
+				// A full steering table reads exactly like a full VOQ from
+				// the host's side: backpressure on Seq, retry later.
+				s.nack(c, d.Seq)
+			case errors.Is(err, rt.ErrClosed):
+				return
+			default:
+				return
+			}
 		case clint.TypeConfig:
 			// Control-plane configuration (request/enable masks) is not
 			// interpreted by the live switch — the request matrix is
@@ -553,6 +636,36 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		enc.SetIndent("", "  ")
 		enc.Encode(s.payload())
 	}
+}
+
+// flowsPayload is the GET /flows document: the flow tier's counter
+// snapshot plus the per-flow service-fairness summary (Jain's index,
+// min/max share, resident flows per port).
+type flowsPayload struct {
+	Flows    *rt.FlowSnapshot   `json:"flows"`
+	Fairness flowtable.Fairness `json:"fairness"`
+}
+
+// handleFlows serves the flow tier's state. 404 without -flows: the
+// resource genuinely does not exist on a flow-free daemon.
+func (s *server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	tbl := s.engine.Flows()
+	if tbl == nil {
+		http.Error(w, "flow tier not enabled (start lcfd with -flows)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(flowsPayload{Flows: s.engine.Snapshot().Flows, Fairness: tbl.Fairness()})
 }
 
 // portLinkState is one port's entry in the GET /fault document.

@@ -66,6 +66,24 @@ func newTestServerDP(t *testing.T, ringCap int, dpName string) *server {
 	return srv
 }
 
+// newTestServerFlows is newTestServer with the flow front tier enabled,
+// mirroring -flows/-flow-policy.
+func newTestServerFlows(t *testing.T, flows int, policy string) *server {
+	t.Helper()
+	const n = 4
+	s, err := registry.New("lcf_central_rr", n, sched.Options{Iterations: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := rt.New(rt.Config{N: n, Scheduler: s, Flows: flows, FlowPolicy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(engine, n)
+	srv.registry = srv.buildRegistry()
+	return srv
+}
+
 func TestMetricsContentNegotiation(t *testing.T) {
 	srv := newTestServer(t, 64)
 
@@ -274,6 +292,106 @@ func TestFaultEndpoint(t *testing.T) {
 	}
 }
 
+// TestFlowsEndpoint pins the GET /flows contract: the flow tier's
+// counters plus the fairness summary on a flow-enabled daemon, 404 on a
+// flow-free one, 405 for writes.
+func TestFlowsEndpoint(t *testing.T) {
+	srv := newTestServerFlows(t, 1024, "po2")
+	for id := uint64(0); id < 16; id++ {
+		if _, err := srv.engine.AdmitFlow(id, int(id)%4, id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	srv.handleFlows(rec, httptest.NewRequest(http.MethodGet, "/flows", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /flows = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var p flowsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("/flows body does not parse: %v", err)
+	}
+	if p.Flows == nil || p.Flows.Policy != "po2" || p.Flows.Resident != 16 {
+		t.Fatalf("/flows snapshot = %+v", p.Flows)
+	}
+	if p.Fairness.Flows != 16 || p.Fairness.Jain != 1 {
+		t.Fatalf("/flows fairness = %+v (every flow served once, Jain must be 1)", p.Fairness)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.handleFlows(rec, httptest.NewRequest(http.MethodPost, "/flows", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /flows = %d, want 405", rec.Code)
+	}
+
+	// A flow-free daemon has no /flows resource.
+	rec = httptest.NewRecorder()
+	newTestServer(t, 0).handleFlows(rec, httptest.NewRequest(http.MethodGet, "/flows", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("GET /flows without -flows = %d, want 404", rec.Code)
+	}
+}
+
+// TestReadLoopFlowFrames drives flow data frames through the wire-facing
+// read loop: each frame is steered and admitted by flow id, sticky per
+// flow, and the same frames against a flow-free daemon are a protocol
+// error (configuration mismatch, not backpressure).
+func TestReadLoopFlowFrames(t *testing.T) {
+	srv := newTestServerFlows(t, 1024, "hash")
+	host, sw := net.Pipe()
+	defer host.Close()
+	c := &client{conn: sw, outbox: make(chan []byte, 16), gone: make(chan struct{})}
+	if p := srv.assign(c); p != 0 {
+		t.Fatalf("assign = %d", p)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.readLoop(c)
+		close(done)
+	}()
+
+	const frames = 24
+	for k := 0; k < frames; k++ {
+		f := clint.FlowData{Flow: uint64(k % 8), Dst: uint8(k % 4), Seq: uint64(k)}
+		if _, err := host.Write(f.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host.Close() // EOF retires the read loop once every frame is consumed
+	<-done
+
+	st := srv.engine.Flows().Stats()
+	if st.Resident != 8 || st.Steered != frames {
+		t.Fatalf("resident %d steered %d, want 8 resident / %d steered", st.Resident, st.Steered, frames)
+	}
+	if got := srv.engine.Snapshot().Admitted; got != frames {
+		t.Fatalf("admitted %d frames, want %d", got, frames)
+	}
+
+	// The same wire bytes against a flow-free daemon: protocol error.
+	plain := newTestServer(t, 0)
+	host2, sw2 := net.Pipe()
+	defer host2.Close()
+	c2 := &client{conn: sw2, outbox: make(chan []byte, 16), gone: make(chan struct{})}
+	plain.assign(c2)
+	done2 := make(chan struct{})
+	go func() {
+		plain.readLoop(c2)
+		close(done2)
+	}()
+	if _, err := host2.Write(clint.FlowData{Flow: 1, Dst: 1, Seq: 1}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	<-done2
+	if got := plain.protocolErrors.Value(); got != 1 {
+		t.Fatalf("protocol errors = %d, want 1", got)
+	}
+}
+
 // TestPortReclaim pins the disconnect/reconnect link-state contract:
 // release fails the departed client's links so the arbiter stops wasting
 // grants on an unconsumed output, and a later assign on the same port
@@ -394,8 +512,10 @@ func TestMetricsDocumented(t *testing.T) {
 	// The registry's contents depend on the datapath (the CICQ engine
 	// adds its cicq_* instruments), so the documented set is diffed
 	// against the union over both organizations.
+	// ... and a flow-enabled engine adds the lcf_flow_* tier.
 	registered := newTestServer(t, 64).registry.Names()
 	registered = append(registered, newTestServerDP(t, 64, datapath.CICQ).registry.Names()...)
+	registered = append(registered, newTestServerFlows(t, 1024, "po2").registry.Names()...)
 
 	// Documented names are backticked `lcf_*`/`cicq_*` tokens. Histogram
 	// series suffixes (_bucket/_sum/_count) and label-carrying examples

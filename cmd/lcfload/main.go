@@ -15,10 +15,19 @@
 // failed over, daemon restarted) is redialed until the same port is
 // reclaimed. Both paths are visible in the final report.
 //
+// With -flows the generator drives the switch's flow front tier (lcfd
+// -flows) instead of per-port admission: every frame carries a 64-bit
+// flow id drawn from a Zipf-skewed popularity distribution over -flows
+// distinct flows (-flow-skew sets the exponent; 0 is uniform, 1 the
+// classic elephant/mice law), and the switch steers each flow to a
+// sticky input port. A full steering table nacks exactly like a full
+// VOQ, so the retransmit path is shared.
+//
 // Usage:
 //
 //	lcfload -pattern uniform -load 0.8
 //	lcfload -addr switch:9416 -pattern hotspot -load 0.6 -slots 20000
+//	lcfload -flows 100000 -flow-skew 1.1 -slots 20000   # flow mode
 //
 // Expected output (lcfd with defaults on the same host):
 //
@@ -62,23 +71,48 @@ func main() {
 		retries      = flag.Int("retries", 3, "retransmit attempts per frame after a NACK before counting it dropped")
 		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "first retransmit backoff, doubling per attempt")
 		metricsURL   = flag.String("metrics", "", "lcfd metrics URL (e.g. http://127.0.0.1:9417/metrics); scraped after the run for the switch-side view")
+		flows        = flag.Int("flows", 0, "distinct flow ids to offer through the switch's flow front tier (0 = classic per-port data frames; the daemon needs -flows too)")
+		flowSkew     = flag.Float64("flow-skew", 1.0, "Zipf skew exponent of the flow popularity distribution (0 = uniform; requires -flows)")
 	)
 	flag.Parse()
+	// Flag validation failures are usage errors: exit 2, distinct from
+	// the runtime failures fatal reports with exit 1.
 	if *n <= 0 {
-		fatal("-n must be positive")
+		fatalUsage("-n must be positive")
 	}
 	if *load < 0 || *load > 1 {
-		fatal("-load %g out of [0,1]", *load)
+		fatalUsage("-load %g out of [0,1]", *load)
 	}
 	if *slots <= 0 || *slot <= 0 {
-		fatal("-slots and -slot must be positive")
+		fatalUsage("-slots and -slot must be positive")
 	}
 	if *retries < 0 || *retryBackoff <= 0 {
-		fatal("-retries must be >= 0 and -retry-backoff positive")
+		fatalUsage("-retries must be >= 0 and -retry-backoff positive")
+	}
+	if *flows < 0 {
+		fatalUsage("-flows must be >= 0 (got %d)", *flows)
+	}
+	if *flowSkew < 0 {
+		fatalUsage("-flow-skew must be >= 0 (got %g)", *flowSkew)
+	}
+	if *flows == 0 {
+		// Flow-mode tuning without flow mode is a misconfiguration, not a
+		// silent no-op.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "flow-skew" {
+				fatalUsage("-flow-skew requires -flows > 0")
+			}
+		})
 	}
 	gen, err := buildGenerator(*pattern, *n, *load, *burst, *hotfrac, *seed)
 	if err != nil {
-		fatal("%v", err)
+		fatalUsage("%v", err)
+	}
+	var zipf *traffic.Zipf
+	if *flows > 0 {
+		// An independent stream from the arrival RNGs: adding flow ids
+		// must not perturb the per-port arrival sequences.
+		zipf = traffic.NewZipf(*flows, *flowSkew, *seed^0xf10f10f1)
 	}
 
 	conns := make([]*portConn, *n)
@@ -132,8 +166,12 @@ func main() {
 			if shuttingDown.Load() {
 				return
 			}
-			buf := make([]byte, clint.DataLen)
-			clint.Data{Dst: fl.dst, Seq: seq, Stamp: fl.stamp}.EncodeTo(buf)
+			var buf []byte
+			if fl.isFlow {
+				buf = clint.FlowData{Flow: fl.flow, Dst: fl.dst, Seq: seq, Stamp: fl.stamp}.Encode()
+			} else {
+				buf = clint.Data{Dst: fl.dst, Seq: seq, Stamp: fl.stamp}.Encode()
+			}
 			if err := c.send(buf); err != nil {
 				retryOrDrop(c, seq) // conn mid-reconnect: burn another attempt
 				return
@@ -206,6 +244,7 @@ func main() {
 	var sent int64
 	var seq uint64
 	frame := make([]byte, clint.DataLen)
+	flowFrame := make([]byte, clint.FlowDataLen)
 	start := time.Now()
 	ticker := time.NewTicker(*slot)
 	for t := 0; t < *slots; t++ {
@@ -217,14 +256,20 @@ func main() {
 			}
 			seq++
 			stamp := uint64(time.Now().UnixNano())
-			clint.Data{
-				Dst:   uint8(dst),
-				Seq:   seq,
-				Stamp: stamp,
-			}.EncodeTo(frame)
-			flights.track(seq, uint8(dst), stamp)
+			wire := frame
+			if zipf != nil {
+				// Flow mode: the connection is transport only — the switch
+				// steers the frame to an input port by its flow id.
+				id := uint64(zipf.Next())
+				clint.FlowData{Flow: id, Dst: uint8(dst), Seq: seq, Stamp: stamp}.EncodeTo(flowFrame)
+				flights.trackFlow(seq, id, uint8(dst), stamp)
+				wire = flowFrame
+			} else {
+				clint.Data{Dst: uint8(dst), Seq: seq, Stamp: stamp}.EncodeTo(frame)
+				flights.track(seq, uint8(dst), stamp)
+			}
 			sent++
-			if err := conns[in].write(frame); err != nil {
+			if err := conns[in].write(wire); err != nil {
 				writeErrs.Add(1)
 				retryOrDrop(conns[in], seq)
 			}
@@ -274,8 +319,12 @@ func main() {
 	lost := sent - del - drop
 	offered := float64(sent) / float64(*slots**n)
 	achieved := float64(del) / float64(*slots**n)
-	fmt.Printf("lcfload: n=%d pattern=%s load=%.2f slots=%d slot=%v elapsed=%v\n",
-		*n, *pattern, *load, *slots, *slot, elapsed.Round(time.Millisecond))
+	flowMode := ""
+	if zipf != nil {
+		flowMode = fmt.Sprintf(" flows=%d skew=%.2f", *flows, *flowSkew)
+	}
+	fmt.Printf("lcfload: n=%d pattern=%s load=%.2f slots=%d slot=%v%s elapsed=%v\n",
+		*n, *pattern, *load, *slots, *slot, flowMode, elapsed.Round(time.Millisecond))
 	fmt.Printf("sent %d frames (offered %.3f/port/slot), delivered %d, nacked %d, retransmitted %d, dropped %d, unaccounted %d\n",
 		sent, offered, del, nak, rtx, drop, lost)
 	if rc := reconnects.Load(); rc > 0 || writeErrs.Load() > 0 {
@@ -347,12 +396,28 @@ func reportSwitchSide(url string) error {
 	if len(parts) > 0 {
 		fmt.Printf("grants by rule: %s\n", strings.Join(parts, ", "))
 	}
+	// The flow tier's view, when the daemon runs one.
+	if steered, ok := s.Value("lcf_flow_steered_total"); ok {
+		resident, _ := s.Value("lcf_flow_resident")
+		admitted, _ := s.Value("lcf_flow_admitted_total")
+		rejected, _ := s.Value("lcf_flow_rejected_total")
+		imbalance, _ := s.Value("lcf_flow_backlog_imbalance")
+		fmt.Printf("flow tier: %.0f resident, %.0f steered (%.0f new, %.0f rejected), backlog imbalance %.2f\n",
+			resident, steered, admitted, rejected, imbalance)
+	}
 	return nil
 }
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "lcfload: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// fatalUsage exits with status 2, the conventional code for command-line
+// usage errors (fatal's 1 is for runtime failures).
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lcfload: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 // Dispositions returned by flightTable.retry.
@@ -368,6 +433,8 @@ const (
 type flight struct {
 	dst      uint8
 	stamp    uint64
+	flow     uint64 // flow id; meaningful only when isFlow
+	isFlow   bool   // retransmit as a flow data frame
 	attempts int
 }
 
@@ -383,6 +450,14 @@ type flightTable struct {
 func (ft *flightTable) track(seq uint64, dst uint8, stamp uint64) {
 	ft.mu.Lock()
 	ft.pending[seq] = &flight{dst: dst, stamp: stamp}
+	ft.mu.Unlock()
+}
+
+// trackFlow is track for flow mode: the retransmit must rebuild the
+// flow data frame, so the flow id rides in the flight.
+func (ft *flightTable) trackFlow(seq, flow uint64, dst uint8, stamp uint64) {
+	ft.mu.Lock()
+	ft.pending[seq] = &flight{dst: dst, stamp: stamp, flow: flow, isFlow: true}
 	ft.mu.Unlock()
 }
 

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestUsageErrorsExitTwo pins the exit-code contract: every invalid flag
+// combination — including the flow-mode ones — exits 2 (usage error)
+// before touching the network, never 1 (runtime failure).
+func TestUsageErrorsExitTwo(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "lcfload")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building lcfload: %v\n%s", err, out)
+	}
+	cases := [][]string{
+		{"-n", "0"},
+		{"-load", "1.5"},
+		{"-slots", "0"},
+		{"-retries", "-1"},
+		{"-pattern", "nonexistent"},
+		{"-flows", "-1"},
+		{"-flows", "10", "-flow-skew", "-0.5"},
+		{"-flow-skew", "1.2"}, // flow-mode tuning without -flows
+	}
+	for _, args := range cases {
+		err := exec.Command(bin, args...).Run()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+			t.Errorf("lcfload %v: %v, want exit status 2", args, err)
+		}
+	}
+}

@@ -203,6 +203,14 @@ func renderTimeline(w io.Writer, evs []obs.Event) {
 			fmt.Fprintf(w, "%-8d spec: %d hit %d missed %d repaired\n", ev.Slot, ev.Hits, ev.Misses, ev.Repairs)
 			continue
 		}
+		if ev.Kind == "flow" {
+			if ev.Disp == "rejected" {
+				fmt.Fprintf(w, "%-8d flow: %#x rejected (table full)\n", ev.Slot, ev.Flow)
+			} else {
+				fmt.Fprintf(w, "%-8d flow: %#x %s → port %d\n", ev.Slot, ev.Flow, ev.Disp, ev.Port)
+			}
+			continue
+		}
 		var pairs []string
 		for _, g := range ev.Grants {
 			switch {

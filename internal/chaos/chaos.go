@@ -128,6 +128,14 @@ type Report struct {
 	SpecMisses  int64
 	SpecRepairs int64
 
+	// Flow-tier accounting, nonzero only for RunFlows: steering-table
+	// admissions, idle-epoch evictions, rehomes off down ports, and
+	// AdmitFlow calls refused because the table was full.
+	FlowsInserted   int64
+	FlowsEvicted    int64
+	FlowsRebalanced int64
+	FlowRejections  int64
+
 	Flaps, Stucks, Kills int // fault episodes injected
 }
 

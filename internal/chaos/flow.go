@@ -1,0 +1,250 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/conserve"
+	"repro/internal/flowtable"
+	"repro/internal/rng"
+	rt "repro/internal/runtime"
+	"repro/internal/traffic"
+)
+
+// FlowConfig parameterizes a flow-churn chaos run: the engine storm of
+// RunEngine with every admission routed through the flow front tier
+// (runtime.AdmitFlow), a Zipf-skewed flow population larger than the
+// steering table, and the idle-eviction epoch clock ticking mid-storm.
+// The run checks, on top of RunEngine's invariants:
+//
+//   - Steering isolation: an admitted frame never lands on a down input,
+//     and a resident flow never moves off a live port (rehome may move it
+//     off a down one under the drop pairing; hold never moves it).
+//   - Table accounting, every slot: resident == inserted − evicted.
+//   - Eviction never strands a frame: the conservation ledger stays exact
+//     across every sweep — eviction forgets steering state, not frames.
+type FlowConfig struct {
+	Config
+
+	// Flows is the steering-table capacity. Default 512 — small relative
+	// to the population so the table actually cycles under churn.
+	Flows int
+	// FlowShards overrides the table's shard count (0 = table default).
+	FlowShards int
+	// Population is the distinct flow-id universe offered. Default
+	// 4×Flows, so eviction pressure is real.
+	Population int
+	// FlowPolicy is the steering policy name. Default po2.
+	FlowPolicy string
+	// Skew is the Zipf popularity exponent. Default 1 (classic
+	// elephants and mice).
+	Skew float64
+	// EpochEvery advances the eviction epoch every this many slots;
+	// default 64. FlowIdle is the eviction threshold in epochs; default 3.
+	EpochEvery int64
+	FlowIdle   uint32
+}
+
+func (c *FlowConfig) normalizeFlow() error {
+	if err := c.normalize(); err != nil {
+		return err
+	}
+	if c.Flows == 0 {
+		c.Flows = 512
+	}
+	if c.Population == 0 {
+		c.Population = 4 * c.Flows
+	}
+	if c.FlowPolicy == "" {
+		c.FlowPolicy = flowtable.PolicyPo2
+	}
+	if c.Skew == 0 {
+		c.Skew = 1
+	}
+	if c.EpochEvery == 0 {
+		c.EpochEvery = 64
+	}
+	if c.FlowIdle == 0 {
+		c.FlowIdle = 3
+	}
+	return nil
+}
+
+// RunFlows drives a flow-enabled lockstep engine through cfg.Slots slots
+// of seeded chaos and flow churn. Like RunEngine it returns the first
+// invariant violation as an error with the seed embedded for replay.
+func RunFlows(cfg FlowConfig) (*Report, error) {
+	if err := cfg.normalizeFlow(); err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	sch, err := newScheduler(cfg.Scheduler, n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan := newSchedule(&cfg.Config)
+	rep := &Report{Slots: cfg.Slots}
+
+	var grantErr error
+	e, err := rt.New(rt.Config{
+		N:           n,
+		Scheduler:   sch,
+		VOQCap:      cfg.VOQCap,
+		OutCap:      cfg.OutCap,
+		FaultPolicy: cfg.Policy,
+		Flows:       cfg.Flows,
+		FlowPolicy:  cfg.FlowPolicy,
+		FlowShards:  cfg.FlowShards,
+		FlowSeed:    cfg.Seed,
+		OnSlot: func(ev rt.SlotEvent) {
+			if grantErr == nil {
+				grantErr = plan.checkMatch(ev.Slot, ev.Match)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	zipf := traffic.NewZipf(cfg.Population, cfg.Skew, cfg.Seed^0xF10F)
+	admitRng := rng.NewPCG32(cfg.Seed, 0xAD)
+	rehome := cfg.Policy == rt.DropStranded
+	// Driver-side stickiness ledger: flow → last admitted port. Cleared
+	// after every eviction sweep (an evicted flow may legitimately be
+	// re-steered anywhere on return).
+	stick := make(map[uint64]int)
+	st := e.Stats()
+	var seq uint64
+	for slot := int64(0); slot < cfg.Slots; slot++ {
+		if err := plan.advance(e, rep); err != nil {
+			return rep, err
+		}
+
+		// Offered load: n flow admissions per slot, each with prob Load.
+		// The switch, not the driver, picks the input port.
+		for k := 0; k < n; k++ {
+			if !admitRng.Bool(cfg.Load) {
+				continue
+			}
+			id := uint64(zipf.Next())
+			dst := admitRng.Intn(n)
+			seq++
+			port, aerr := e.AdmitFlow(id, dst, seq, 0)
+			if port >= 0 {
+				// Steering resolved (even if the admission itself then
+				// failed — Steer's rehome is a side effect that sticks).
+				// A move off the previous port is legal only under the
+				// rehome pairing and only while that port is down right
+				// now: the lazy rehome happens inside this very call, and
+				// the engine's fault state mirrors the plan between slots.
+				if prev, ok := stick[id]; ok && prev != port && !(rehome && plan.inDown[prev]) {
+					return rep, fmt.Errorf("chaos: slot %d: flow %d moved %d→%d with input %d up (seed %d)",
+						slot, id, prev, port, prev, cfg.Seed)
+				}
+				stick[id] = port
+			}
+			switch {
+			case aerr == nil:
+				if plan.inDown[port] {
+					return rep, fmt.Errorf("chaos: slot %d: flow %d admitted at down input %d (seed %d)",
+						slot, id, port, cfg.Seed)
+				}
+			case errors.Is(aerr, rt.ErrBackpressure):
+				rep.Backpressured++
+			case errors.Is(aerr, flowtable.ErrTableFull):
+				if port != -1 {
+					return rep, fmt.Errorf("chaos: slot %d: rejected flow %d got port %d, want -1 (seed %d)",
+						slot, id, port, cfg.Seed)
+				}
+				rep.FlowRejections++
+			case errors.Is(aerr, rt.ErrPortDown):
+				// Legal only when the flow's sticky input or the frame's
+				// destination output is actually down.
+				if !(plan.outDown[dst] || (port >= 0 && plan.inDown[port])) {
+					return rep, fmt.Errorf("chaos: slot %d: AdmitFlow(%d,%d) = %v with port %d and links up (seed %d)",
+						slot, id, dst, aerr, port, cfg.Seed)
+				}
+				rep.Rejected++
+			default:
+				return rep, fmt.Errorf("chaos: slot %d: AdmitFlow(%d,%d) = %v (seed %d)",
+					slot, id, dst, aerr, cfg.Seed)
+			}
+		}
+
+		e.Tick()
+		if grantErr != nil {
+			return rep, grantErr
+		}
+
+		for j := 0; j < n; j++ {
+			if plan.cond[j] == stuckOut || plan.cond[j] == dead {
+				continue
+			}
+			for {
+				select {
+				case <-e.Output(j):
+					rep.Consumed++
+					continue
+				default:
+				}
+				break
+			}
+		}
+
+		// The churn clock: advance the epoch and sweep idle flows
+		// mid-storm. Conservation below must survive every sweep.
+		if (slot+1)%cfg.EpochEvery == 0 {
+			e.AdvanceFlowEpoch()
+			if e.EvictIdleFlows(cfg.FlowIdle) > 0 {
+				stick = make(map[uint64]int, len(stick))
+			}
+		}
+
+		terms := conserve.Terms{
+			Scope:     "flow",
+			Slot:      slot,
+			Injected:  st.Admitted.Value(),
+			Delivered: st.Delivered.Value(),
+			Dropped:   st.DroppedFault.Value(),
+			Resident:  st.Backlog.Value(),
+		}
+		if err := terms.Check(); err != nil {
+			return rep, fmt.Errorf("chaos: %w (seed %d)", err, cfg.Seed)
+		}
+		fst := e.Flows().Stats()
+		if fst.Resident != fst.Inserted-fst.Evicted {
+			return rep, fmt.Errorf("chaos: slot %d: flow ledger broken: resident %d != inserted %d - evicted %d (seed %d)",
+				slot, fst.Resident, fst.Inserted, fst.Evicted, cfg.Seed)
+		}
+		if terms.Resident > rep.MaxBacklog {
+			rep.MaxBacklog = terms.Resident
+		}
+	}
+
+	e.Close()
+	for j := 0; j < n; j++ {
+		for range e.Output(j) {
+			rep.Consumed++
+		}
+	}
+	rep.Admitted = st.Admitted.Value()
+	rep.Delivered = st.Delivered.Value()
+	rep.Dropped = st.DroppedFault.Value()
+	rep.Undrained = st.Undrained.Value()
+	fst := e.Flows().Stats()
+	rep.FlowsInserted = fst.Inserted
+	rep.FlowsEvicted = fst.Evicted
+	rep.FlowsRebalanced = fst.Rebalanced
+	shutdown := conserve.Terms{
+		Scope:     "flow shutdown",
+		Slot:      cfg.Slots,
+		Injected:  rep.Admitted,
+		Delivered: rep.Consumed,
+		Dropped:   rep.Dropped,
+		Resident:  rep.Undrained,
+	}
+	if err := shutdown.Check(); err != nil {
+		return rep, fmt.Errorf("chaos: %w (seed %d)", err, cfg.Seed)
+	}
+	return rep, nil
+}

@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"testing"
+
+	rt "repro/internal/runtime"
+)
+
+// TestFlowChaos10k is the flow tier's acceptance storm: 10k slots of
+// link flaps, stuck consumers and client kills with every frame admitted
+// through AdmitFlow, a Zipf population four times the table capacity,
+// and idle-eviction sweeps every 64 slots. RunFlows asserts per-slot
+// frame conservation, the flow ledger (resident == inserted − evicted),
+// steering isolation (no admit onto a down input) and stickiness (a
+// resident flow never moves off a live port); a returned error is an
+// invariant violation. The satellite claims pinned here: po2 never picks
+// a down port, sticky flows survive flaps under hold, and eviction never
+// strands a frame.
+func TestFlowChaos10k(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy rt.FaultPolicy
+	}{
+		{"hold", rt.HoldStranded},
+		{"drop", rt.DropStranded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := FlowConfig{Config: Config{N: 8, Slots: 10_000, Seed: 0xC0FFEE, Policy: tc.policy}}
+			rep, err := RunFlows(cfg)
+			if err != nil {
+				reportSeed(t, cfg.Config, err)
+			}
+			if rep.Flaps == 0 || rep.Stucks == 0 || rep.Kills == 0 {
+				t.Fatalf("fault schedule too quiet: %+v", rep)
+			}
+			if rep.Admitted == 0 || rep.Consumed == 0 {
+				t.Fatalf("no traffic flowed: %+v", rep)
+			}
+			if rep.FlowsInserted == 0 {
+				t.Fatal("no flows were ever admitted to the steering table")
+			}
+			if rep.FlowsEvicted == 0 {
+				t.Fatal("idle-eviction sweeps never fired — churn not exercised")
+			}
+			if tc.policy == rt.HoldStranded {
+				if rep.Dropped != 0 {
+					t.Fatalf("hold policy dropped %d frames", rep.Dropped)
+				}
+				if rep.FlowsRebalanced != 0 {
+					t.Fatalf("hold pairing rehomed %d flows — KeepOnDown must pin them", rep.FlowsRebalanced)
+				}
+				// Sticky flows on a down port must bounce with ErrPortDown
+				// until the flap clears, preserving per-flow order.
+				if rep.Rejected == 0 {
+					t.Fatal("no sticky flow ever bounced off its down port across 10k chaotic slots")
+				}
+			}
+			if tc.policy == rt.DropStranded {
+				if rep.Dropped == 0 {
+					t.Fatal("drop policy dropped nothing across 10k chaotic slots")
+				}
+				if rep.FlowsRebalanced == 0 {
+					t.Fatal("drop pairing never rehomed a flow off a down port")
+				}
+			}
+			t.Logf("report: %+v", rep)
+		})
+	}
+}
+
+// TestFlowChaosTableFull runs the storm with a tiny table against a much
+// larger population and a long idle threshold, so ErrTableFull is the
+// common case: rejections must be counted, return port -1 (asserted in
+// RunFlows), and never disturb frame conservation.
+func TestFlowChaosTableFull(t *testing.T) {
+	cfg := FlowConfig{
+		Config:     Config{N: 8, Slots: 3_000, Seed: 0xF00D, Policy: rt.HoldStranded},
+		Flows:      64,
+		FlowShards: 1,
+		Population: 4096,
+		EpochEvery: 512,
+		FlowIdle:   8,
+	}
+	rep, err := RunFlows(cfg)
+	if err != nil {
+		reportSeed(t, cfg.Config, err)
+	}
+	if rep.FlowRejections == 0 {
+		t.Fatalf("a 64-flow table under a 4096-flow population never filled: %+v", rep)
+	}
+	if rep.Admitted == 0 || rep.Consumed == 0 {
+		t.Fatalf("no traffic flowed: %+v", rep)
+	}
+	t.Logf("report: %+v", rep)
+}
+
+// TestFlowChaosPolicies sweeps every registered steering policy through
+// a shorter storm — the invariants inside RunFlows are policy-agnostic
+// and must hold for hash and least exactly as for po2.
+func TestFlowChaosPolicies(t *testing.T) {
+	for _, policy := range []string{"hash", "least", "po2"} {
+		t.Run(policy, func(t *testing.T) {
+			cfg := FlowConfig{
+				Config:     Config{N: 8, Slots: 3_000, Seed: 0xBEEF, Policy: rt.DropStranded},
+				FlowPolicy: policy,
+			}
+			rep, err := RunFlows(cfg)
+			if err != nil {
+				reportSeed(t, cfg.Config, err)
+			}
+			if rep.FlowsInserted == 0 || rep.Admitted == 0 {
+				t.Fatalf("policy %s moved no traffic: %+v", policy, rep)
+			}
+		})
+	}
+}
+
+// TestFlowChaosDeterminism pins replayability: two runs with the same
+// seed produce byte-identical reports, and a different seed diverges.
+func TestFlowChaosDeterminism(t *testing.T) {
+	cfg := FlowConfig{Config: Config{N: 8, Slots: 2_000, Seed: 0xD0E, Policy: rt.DropStranded}}
+	a, err := RunFlows(cfg)
+	if err != nil {
+		reportSeed(t, cfg.Config, err)
+	}
+	b, err := RunFlows(cfg)
+	if err != nil {
+		reportSeed(t, cfg.Config, err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed diverged:\n a = %+v\n b = %+v", *a, *b)
+	}
+	cfg.Seed = 0xD0F
+	c, err := RunFlows(cfg)
+	if err != nil {
+		reportSeed(t, cfg.Config, err)
+	}
+	if *a == *c {
+		t.Fatal("different seeds produced identical reports — schedule not seed-driven")
+	}
+}

@@ -132,6 +132,8 @@ func FrameLen(typ byte) int {
 		return NackLen
 	case TypeFabricData:
 		return FabricDataLen
+	case TypeFlowData:
+		return FlowDataLen
 	default:
 		return 0
 	}

@@ -151,6 +151,42 @@ func FuzzDecodeFabricData(f *testing.F) {
 	})
 }
 
+func FuzzFlowDataRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), uint8(255), uint64(1)<<63, ^uint64(0))
+	f.Add(uint64(0xDEADBEEF), uint8(7), uint64(123456789), uint64(42))
+	f.Fuzz(func(t *testing.T, flow uint64, dst uint8, seq, stamp uint64) {
+		d := FlowData{Flow: flow, Dst: dst, Seq: seq, Stamp: stamp}
+		back, err := DecodeFlowData(d.Encode())
+		if err != nil {
+			t.Fatalf("encoded flow frame %+v does not decode: %v", d, err)
+		}
+		if back != d {
+			t.Fatalf("flow frame round trip mutated the packet: sent %+v, got %+v", d, back)
+		}
+	})
+}
+
+// FuzzDecodeFlowData is the decode direction: arbitrary bytes must be
+// rejected with an error or round-trip bit-exactly — never panic, never
+// mis-accept (the same contract as FuzzDecodeConfig).
+func FuzzDecodeFlowData(f *testing.F) {
+	f.Add(FlowData{Flow: 9, Dst: 2, Seq: 11, Stamp: 4}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{TypeFlowData})
+	f.Add(bytes.Repeat([]byte{0xFF}, FlowDataLen))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		d, err := DecodeFlowData(frame)
+		if err != nil {
+			return
+		}
+		re := d.Encode()
+		if !bytes.Equal(re, frame) {
+			t.Fatalf("accepted frame %x re-encodes to %x", frame, re)
+		}
+	})
+}
+
 func FuzzNackRoundTrip(f *testing.F) {
 	f.Add(uint64(0))
 	f.Add(^uint64(0))

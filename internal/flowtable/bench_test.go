@@ -1,0 +1,126 @@
+package flowtable
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// Benchmarks for the Steer hot path at production residency. The issue
+// targets 0 allocs/op and <100ns per lookup at 10^6 resident flows;
+// CI's bench job records these into results/bench_pr9.json. The smoke
+// tier (FLOWBENCH_SMOKE-free runs use 10^6; CI's quick pass uses 10^5
+// via BenchmarkFlowSteerSmoke) keeps the job fast while the committed
+// record pins the full population.
+
+func benchPorts(n int) *fakePorts {
+	pv := newFakePorts(n)
+	for p := 0; p < n; p++ {
+		pv.set(p, int64(p*3%17)) // static, uneven backlogs
+	}
+	return pv
+}
+
+func benchTable(b *testing.B, policy string, flows int) *Table {
+	b.Helper()
+	tbl, err := New(Config{Ports: benchPorts(64), Capacity: flows, Policy: policy, Seed: 0x9e3779b97f4a7c15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for id := uint64(0); id < uint64(flows); id++ {
+		if _, _, err := tbl.Steer(id); err != nil {
+			b.Fatalf("preload flow %d: %v", id, err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	return tbl
+}
+
+// BenchmarkFlowSteerHit measures the resident-flow lookup (the
+// steady-state path: every frame after a flow's first) at 10^6 resident
+// flows, for each policy. Policy choice is irrelevant on hits — the
+// spread documents that stickiness makes the policies converge.
+func BenchmarkFlowSteerHit(b *testing.B) {
+	for _, policy := range Names() {
+		b.Run(fmt.Sprintf("%s/flows=1M", policy), func(b *testing.B) {
+			const flows = 1 << 20
+			tbl := benchTable(b, policy, flows)
+			var id uint64
+			for i := 0; i < b.N; i++ {
+				id = (id + 0x9e3779b9) & (flows - 1) // stride over residents
+				tbl.Steer(id)
+			}
+		})
+	}
+}
+
+// BenchmarkFlowSteerAdmit measures the miss path (new-flow admission:
+// probe to empty slot + policy decision) with 10^6 flows resident, by
+// alternating admit and evict of a fresh id so residency stays fixed.
+func BenchmarkFlowSteerAdmit(b *testing.B) {
+	for _, policy := range Names() {
+		b.Run(fmt.Sprintf("%s/flows=1M", policy), func(b *testing.B) {
+			const flows = 1 << 20
+			tbl := benchTable(b, policy, flows)
+			for i := 0; i < b.N; i++ {
+				id := uint64(flows) + uint64(i)
+				if _, _, err := tbl.Steer(id); err != nil {
+					b.Fatal(err)
+				}
+				tbl.Evict(id)
+			}
+		})
+	}
+}
+
+// BenchmarkFlowSteerParallel measures contended throughput: GOMAXPROCS
+// goroutines steering a shared 10^6-flow population through the
+// lock-striped shards (po2 policy — the deployment default).
+func BenchmarkFlowSteerParallel(b *testing.B) {
+	const flows = 1 << 20
+	tbl := benchTable(b, PolicyPo2, flows)
+	var ctr atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		id := ctr.Add(0x9e3779b97f4a7c15)
+		for pb.Next() {
+			id = (id + 0x9e3779b9) & (flows - 1)
+			tbl.Steer(id)
+		}
+	})
+}
+
+// BenchmarkFlowSteerSmoke is the CI quick tier: 10^5 resident flows,
+// po2 — cheap enough for the -benchtime=1x smoke in the test job while
+// still exercising preload, hit and admit paths.
+func BenchmarkFlowSteerSmoke(b *testing.B) {
+	const flows = 100_000
+	tbl := benchTable(b, PolicyPo2, flows)
+	var id uint64
+	for i := 0; i < b.N; i++ {
+		id++
+		tbl.Steer(id % flows)
+	}
+}
+
+// BenchmarkFlowEvictIdle measures a full idle sweep over 10^6 resident
+// flows (the background eviction cost the epoch clock amortizes).
+func BenchmarkFlowEvictIdle(b *testing.B) {
+	const flows = 1 << 20
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tbl, err := New(Config{Ports: benchPorts(64), Capacity: flows, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id := uint64(0); id < flows; id++ {
+			tbl.Steer(id)
+		}
+		tbl.AdvanceEpoch()
+		tbl.AdvanceEpoch()
+		b.StartTimer()
+		if n := tbl.EvictIdle(1); n != flows {
+			b.Fatalf("evicted %d, want %d", n, flows)
+		}
+	}
+}

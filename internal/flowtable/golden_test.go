@@ -1,0 +1,62 @@
+package flowtable
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Names() golden file")
+
+// TestNamesGolden locks the public steering-policy name list, exactly
+// like the datapath and scheduler registries' golden tests: adding,
+// renaming or removing a policy must come with a deliberate update of
+// testdata/names.golden (go test ./internal/flowtable -update), because
+// these names are public API — the -flow-policy flags of lcfd and
+// lcfload, EXPERIMENTS.md E31 and OBSERVABILITY.md all refer to them.
+func TestNamesGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "names.golden")
+	got := strings.Join(Names(), "\n") + "\n"
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("steering policy name list drifted from %s:\n got: %v\nwant: %v\n"+
+			"if the change is intentional, regenerate with: go test ./internal/flowtable -update",
+			goldenPath, Names(), strings.Fields(string(want)))
+	}
+}
+
+// TestNewPolicyRejectsUnknown pins the self-explanatory error contract:
+// a -flow-policy typo must fail fast and enumerate the registry.
+func TestNewPolicyRejectsUnknown(t *testing.T) {
+	if _, err := NewPolicy("p2c"); err == nil {
+		t.Fatal("NewPolicy accepted an unknown policy name")
+	} else {
+		for _, name := range Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("error does not enumerate policy %q: %v", name, err)
+			}
+		}
+	}
+	for _, name := range append(Names(), "") {
+		pol, err := NewPolicy(name)
+		if err != nil || pol == nil {
+			t.Fatalf("NewPolicy(%q) = %v, %v", name, pol, err)
+		}
+		if name != "" && pol.Name() != name {
+			t.Fatalf("NewPolicy(%q).Name() = %q", name, pol.Name())
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package flowtable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Policy chooses the input port for a newly admitted flow. Pick is
+// called on the Steer hot path under a shard lock, so implementations
+// must be allocation-free and cheap; h is the flow's (already mixed)
+// full-avalanche hash, pv the live port state. Pick must return a port
+// whose link is up whenever any port is up; if every port is down it
+// falls back to the pure-hash choice so the sticky assignment is at
+// least deterministic.
+type Policy interface {
+	// Name returns the registered policy name.
+	Name() string
+	// Pick selects the input port for a new flow with hash h.
+	Pick(h uint64, pv PortView) int
+}
+
+// The registered steering policies:
+//
+//   - hash: pure consistent hashing — the flow's hash picks a port
+//     directly, skipping over down ports. Stateless and perfectly
+//     sticky, but blind to load: a popularity skew lands hot flows
+//     together.
+//   - least: least-backlogged — scan every up port and take the
+//     smallest live VOQ backlog (first such port on ties, which biases
+//     toward low ports only when backlogs tie — rare under load).
+//     Optimal placement per decision but O(n) per new flow, and
+//     herd-prone: concurrent admissions all see the same minimum.
+//   - po2: power-of-two-choices — hash the flow to two independent
+//     candidate ports and take the less backlogged. O(1) per decision
+//     with the classic exponential improvement in max load over pure
+//     hashing (Mitzenmacher), and no herding because candidate pairs
+//     are flow-specific.
+const (
+	PolicyHash  = "hash"
+	PolicyLeast = "least"
+	PolicyPo2   = "po2"
+)
+
+// NewPolicy returns the named steering policy ("" means hash). Unknown
+// names list the registry, so a -flow-policy typo fails fast and
+// self-explains.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", PolicyHash:
+		return hashPolicy{}, nil
+	case PolicyLeast:
+		return leastPolicy{}, nil
+	case PolicyPo2:
+		return po2Policy{}, nil
+	default:
+		return nil, fmt.Errorf("flowtable: unknown steering policy %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names returns the registered steering policy names, sorted. The set
+// is pinned by the golden test (testdata/names.golden), like the
+// datapath registry's.
+func Names() []string {
+	names := []string{PolicyHash, PolicyLeast, PolicyPo2}
+	sort.Strings(names)
+	return names
+}
+
+// portFor reduces a hash to a port index. The high half of the mixed
+// hash is used (the low bits already address shard and bucket), via the
+// multiply-shift range reduction — no modulo, no bias worth measuring
+// at n ≤ 2^16.
+func portFor(h uint64, n int) int {
+	return int((h >> 32) * uint64(n) >> 32)
+}
+
+// firstUpFrom returns the first up port at or cyclically after p, or
+// p itself if every port is down (the deterministic fallback).
+func firstUpFrom(p int, pv PortView) int {
+	n := pv.N()
+	for i := 0; i < n; i++ {
+		q := p + i
+		if q >= n {
+			q -= n
+		}
+		if pv.Up(q) {
+			return q
+		}
+	}
+	return p
+}
+
+type hashPolicy struct{}
+
+func (hashPolicy) Name() string { return PolicyHash }
+
+func (hashPolicy) Pick(h uint64, pv PortView) int {
+	return firstUpFrom(portFor(h, pv.N()), pv)
+}
+
+type leastPolicy struct{}
+
+func (leastPolicy) Name() string { return PolicyLeast }
+
+func (leastPolicy) Pick(h uint64, pv PortView) int {
+	n := pv.N()
+	best, bestBacklog := -1, int64(0)
+	for p := 0; p < n; p++ {
+		if !pv.Up(p) {
+			continue
+		}
+		b := pv.Backlog(p)
+		if best == -1 || b < bestBacklog {
+			best, bestBacklog = p, b
+		}
+	}
+	if best == -1 {
+		return portFor(h, n) // all down: deterministic fallback
+	}
+	return best
+}
+
+type po2Policy struct{}
+
+func (po2Policy) Name() string { return PolicyPo2 }
+
+func (po2Policy) Pick(h uint64, pv PortView) int {
+	n := pv.N()
+	// Two independent candidates from disjoint hash bits; remix the
+	// second so a small n doesn't correlate them.
+	a := firstUpFrom(portFor(h, n), pv)
+	b := firstUpFrom(portFor(mix(h), n), pv)
+	if !pv.Up(a) {
+		return a // every port down: both fallbacks equal-ish, pick one
+	}
+	if a == b {
+		return a
+	}
+	if pv.Backlog(b) < pv.Backlog(a) {
+		return b
+	}
+	return a
+}

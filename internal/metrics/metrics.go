@@ -244,6 +244,16 @@ func (f *FlowMatrix) JainIndex(keep func(i, j int) bool) float64 {
 			k++
 		}
 	}
+	return JainFromMoments(k, sum, sumSq)
+}
+
+// JainFromMoments computes Jain's fairness index (Σx)²/(k·Σx²) from the
+// first two moments of k throughput observations — the streaming form,
+// so callers iterating a large population (the flow table's per-flow
+// service counters) can fold moments on the fly instead of materializing
+// a slice. Returns 1 for an empty or all-zero population (degenerate:
+// nobody is being treated unfairly when nobody is served).
+func JainFromMoments(k int, sum, sumSq float64) float64 {
 	if k == 0 || sumSq == 0 {
 		return 1
 	}

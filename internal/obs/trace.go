@@ -44,6 +44,15 @@ type Grant struct {
 // mis-speculation next to the validated matching it shrank. Slots with
 // zero misses emit no spec event — under healthy speculation the trace
 // stays pure slot decisions.
+//
+// Kind == "flow" marks a flow-tier steering decision (runtime.Config
+// .Flows): Flow is the 64-bit flow id, Port the input port it was
+// steered to (-1 when the table refused it), and Disp the disposition —
+// "new" for a fresh admission, "rebalanced" for a resident flow moved
+// off a down port, "rejected" for a full-table refusal. Sticky hits
+// (the steady-state per-frame path) are deliberately not traced: flow
+// events record decisions, so the ring holds the interesting
+// transitions instead of drowning in per-frame repeats.
 type Event struct {
 	Slot      int64   `json:"slot"`
 	Requested int     `json:"requested"`
@@ -58,6 +67,9 @@ type Event struct {
 	Hits    int `json:"hits,omitempty"`
 	Misses  int `json:"misses,omitempty"`
 	Repairs int `json:"repairs,omitempty"`
+
+	Flow uint64 `json:"flow,omitempty"`
+	Disp string `json:"disp,omitempty"`
 }
 
 // Link directions for EmitFault.
@@ -65,6 +77,28 @@ const (
 	DirInput  = "input"
 	DirOutput = "output"
 )
+
+// Flow-steering dispositions for EmitFlow. The values are the wire
+// encoding packed into the ring's aux word; the strings are the Disp
+// labels a drain reports.
+const (
+	FlowNew uint8 = iota
+	FlowRebalanced
+	FlowRejected
+)
+
+func flowDispString(d uint8) string {
+	switch d {
+	case FlowNew:
+		return "new"
+	case FlowRebalanced:
+		return "rebalanced"
+	case FlowRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("disp(%d)", d)
+	}
+}
 
 // traceSlot is one preallocated ring entry. Every field is accessed
 // atomically so a concurrent drain is race-free; the seq field is a
@@ -74,17 +108,18 @@ const (
 type traceSlot struct {
 	seq    atomic.Uint64
 	slot   atomic.Int64
-	counts atomic.Uint64   // requested<<32 | ngrants
-	aux    atomic.Uint64   // packed fault or spec record, 0 for slot-decision entries
+	counts atomic.Uint64   // requested<<32 | ngrants (flow events: the 64-bit flow id)
+	aux    atomic.Uint64   // packed fault, spec or flow record, 0 for slot-decision entries
 	grants []atomic.Uint64 // packed Grant records, capacity n
 }
 
 // The aux word's kind flags: bit 63 marks a fault record, bit 62 a spec
-// record; the zero word means "slot decision". The flags are disjoint so
-// a reader branches on one load.
+// record, bit 61 a flow-steering record; the zero word means "slot
+// decision". The flags are disjoint so a reader branches on one load.
 const (
 	auxFault = uint64(1) << 63
 	auxSpec  = uint64(1) << 62
+	auxFlow  = uint64(1) << 61
 )
 
 // packFault packs a link-state transition into one word: the fault flag,
@@ -109,6 +144,14 @@ func packSpec(hits, misses, repairs int) uint64 {
 		uint64(uint16(misses))<<16 | uint64(uint16(repairs))
 }
 
+// packFlow packs a steering decision's port and disposition into the
+// aux word (the 64-bit flow id itself rides in the counts word). A
+// rejected flow has no port; the port field then carries the all-ones
+// sentinel.
+func packFlow(port int, disp uint8) uint64 {
+	return auxFlow | uint64(uint16(port))<<16 | uint64(disp)
+}
+
 // packGrant packs a grant into one word: in(16) out(16) choices+1(16)
 // rule(8). Choices is offset by one so the "unknown" sentinel -1 packs
 // to zero.
@@ -127,15 +170,19 @@ func unpackGrant(g uint64) Grant {
 }
 
 // Tracer is a bounded, preallocated, lock-free ring of slot-decision
-// events. One goroutine (the arbiter) emits; any goroutine may Drain or
-// toggle concurrently. Emit performs atomic stores into preallocated
-// entries only — zero heap allocations — and a disabled tracer costs
-// exactly one atomic load per Emit, which is why the emit hooks can stay
-// compiled into the slot loop unconditionally.
+// events. Any goroutine may emit, Drain or toggle concurrently: each
+// emitter claims a ring slot with one fetch-add on pos, and the
+// per-entry sequence lock makes a half-written entry detectable (a
+// drain skips it). The arbiter is still the only emitter of slot/fault/
+// spec records; the flow tier emits its steering events from whatever
+// goroutine called AdmitFlow. Emit performs atomic stores into
+// preallocated entries only — zero heap allocations — and a disabled
+// tracer costs exactly one atomic load per Emit, which is why the emit
+// hooks can stay compiled into the slot loop unconditionally.
 type Tracer struct {
 	n       int
 	enabled atomic.Bool
-	pos     atomic.Uint64 // events emitted since construction
+	pos     atomic.Uint64 // ring slots claimed since construction
 	ring    []traceSlot
 }
 
@@ -174,15 +221,14 @@ func (t *Tracer) Emitted() int64 { return int64(t.pos.Load()) }
 
 // Emit records one slot decision: the request cardinality, the matching,
 // and — when ex is non-nil — the rule and choice count behind each grant.
-// Nil-safe and cheap when disabled (one atomic load). Emit is single-
-// writer: it must not be called concurrently with itself (the drivers'
-// arbiter/slot-loop goroutine is the only emitter), but Drain and the
-// enable toggles may run concurrently.
+// Nil-safe and cheap when disabled (one atomic load). Safe for
+// concurrent use with every other emitter, Drain and the enable toggles:
+// the fetch-add on pos gives each emitter a private ring slot.
 func (t *Tracer) Emit(slot int64, requested int, m *matching.Match, ex sched.Explainer) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
-	w := t.pos.Load()
+	w := t.pos.Add(1) - 1
 	e := &t.ring[w%uint64(len(t.ring))]
 	e.seq.Store(2*w + 1)
 	e.slot.Store(slot)
@@ -203,7 +249,6 @@ func (t *Tracer) Emit(slot int64, requested int, m *matching.Match, ex sched.Exp
 	}
 	e.counts.Store(uint64(uint32(requested))<<32 | uint64(uint16(ngrants)))
 	e.seq.Store(2*w + 2)
-	t.pos.Store(w + 1)
 }
 
 // EmitGrants records one slot decision from a per-output grant vector —
@@ -217,7 +262,7 @@ func (t *Tracer) EmitGrants(slot int64, requested int, g *sched.GrantSet) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
-	w := t.pos.Load()
+	w := t.pos.Add(1) - 1
 	e := &t.ring[w%uint64(len(t.ring))]
 	e.seq.Store(2*w + 1)
 	e.slot.Store(slot)
@@ -234,7 +279,6 @@ func (t *Tracer) EmitGrants(slot int64, requested int, g *sched.GrantSet) {
 	}
 	e.counts.Store(uint64(uint32(requested))<<32 | uint64(uint16(ngrants)))
 	e.seq.Store(2*w + 2)
-	t.pos.Store(w + 1)
 }
 
 // EmitFault records a link-state transition (port's input or output link
@@ -247,14 +291,13 @@ func (t *Tracer) EmitFault(slot int64, port int, dir string, up bool) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
-	w := t.pos.Load()
+	w := t.pos.Add(1) - 1
 	e := &t.ring[w%uint64(len(t.ring))]
 	e.seq.Store(2*w + 1)
 	e.slot.Store(slot)
 	e.counts.Store(0)
 	e.aux.Store(packFault(port, dir, up))
 	e.seq.Store(2*w + 2)
-	t.pos.Store(w + 1)
 }
 
 // EmitSpec records a pipelined slot's speculation outcome — hits, misses
@@ -267,14 +310,34 @@ func (t *Tracer) EmitSpec(slot int64, hits, misses, repairs int) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
-	w := t.pos.Load()
+	w := t.pos.Add(1) - 1
 	e := &t.ring[w%uint64(len(t.ring))]
 	e.seq.Store(2*w + 1)
 	e.slot.Store(slot)
 	e.counts.Store(0)
 	e.aux.Store(packSpec(hits, misses, repairs))
 	e.seq.Store(2*w + 2)
-	t.pos.Store(w + 1)
+}
+
+// EmitFlow records a flow-tier steering decision: flow id, chosen input
+// port (-1 for a rejected flow) and disposition (FlowNew,
+// FlowRebalanced, FlowRejected). Unlike the slot/fault/spec emitters it
+// runs on admission goroutines, concurrently with the arbiter's own
+// emits — the fetch-add slot claim makes that safe. The flow id rides
+// in the entry's counts word; port and disposition pack into aux with
+// the flow kind flag. Nil-safe, one atomic load when disabled, zero
+// heap allocations.
+func (t *Tracer) EmitFlow(slot int64, flow uint64, port int, disp uint8) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	w := t.pos.Add(1) - 1
+	e := &t.ring[w%uint64(len(t.ring))]
+	e.seq.Store(2*w + 1)
+	e.slot.Store(slot)
+	e.counts.Store(flow)
+	e.aux.Store(packFlow(port, disp))
+	e.seq.Store(2*w + 2)
 }
 
 // Drain returns the ring's current window of events, oldest first. It
@@ -321,6 +384,18 @@ func (t *Tracer) Drain() []Event {
 			ev.Hits = int(uint16(f >> 32))
 			ev.Misses = int(uint16(f >> 16))
 			ev.Repairs = int(uint16(f))
+			if e.seq.Load() != s1 {
+				continue
+			}
+			evs = append(evs, ev)
+			continue
+		} else if f&auxFlow != 0 {
+			// The counts word carries the flow id, not requested/matched.
+			ev.Kind = "flow"
+			ev.Requested, ev.Matched = 0, 0
+			ev.Flow = counts
+			ev.Port = int(int16(uint16(f >> 16)))
+			ev.Disp = flowDispString(uint8(f))
 			if e.seq.Load() != s1 {
 				continue
 			}

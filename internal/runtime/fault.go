@@ -184,31 +184,35 @@ func (e *Engine) sweepStranded() {
 	drop := e.cfg.FaultPolicy == DropStranded
 	dropped, stranded := 0, 0
 	for i := 0; i < e.n; i++ {
+		di := 0 // frames flushed from input i this sweep
 		mu := &e.inMu[i]
 		mu.Lock()
 		if e.dp.InputDown(i) {
 			if drop {
 				row := e.dp.OccupiedRow(i)
 				for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
-					dropped += e.dp.FlushVOQ(i, j, e.cfg.OnDropped)
+					di += e.dp.FlushVOQ(i, j, e.cfg.OnDropped)
 				}
 			} else {
 				stranded += e.dp.InputBacklog(i)
 			}
-			mu.Unlock()
-			continue
-		}
-		for j := 0; j < e.n; j++ {
-			if !e.dp.OutputDown(j) || !e.dp.HasBacklog(i, j) {
-				continue
-			}
-			if drop {
-				dropped += e.dp.FlushVOQ(i, j, e.cfg.OnDropped)
-			} else {
-				stranded += e.dp.Len(i, j)
+		} else {
+			for j := 0; j < e.n; j++ {
+				if !e.dp.OutputDown(j) || !e.dp.HasBacklog(i, j) {
+					continue
+				}
+				if drop {
+					di += e.dp.FlushVOQ(i, j, e.cfg.OnDropped)
+				} else {
+					stranded += e.dp.Len(i, j)
+				}
 			}
 		}
 		mu.Unlock()
+		if di > 0 {
+			e.met.PerInputBacklog[i].Add(int64(-di))
+			dropped += di
+		}
 	}
 	if dropped > 0 {
 		e.met.DroppedFault.Add(int64(dropped))

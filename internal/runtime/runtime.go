@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/datapath"
+	"repro/internal/flowtable"
 	"repro/internal/matching"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -184,6 +185,22 @@ type Config struct {
 	// a sharded engine must be Closed to release its pool.
 	Shards int
 
+	// Flows > 0 enables the flow-aware front tier (internal/flowtable):
+	// a consistent-hash table sized for this many concurrent flows that
+	// AdmitFlow uses to steer 64-bit flow ids onto input ports, so
+	// millions of client flows can share the n-port device. 0 (the
+	// default) disables the tier; AdmitFlow then returns ErrNoFlowTable.
+	Flows int
+	// FlowPolicy names the steering policy for new flows — "hash",
+	// "least" or "po2" (see flowtable.Names). "" means hash. Setting it
+	// without Flows is a config error (the policy would steer nothing).
+	FlowPolicy string
+	// FlowShards overrides the flow table's lock-stripe count (0 means
+	// the flowtable default). Tests use 1 to force probe clusters.
+	FlowShards int
+	// FlowSeed perturbs the flow-id hash (restart spreading).
+	FlowSeed uint64
+
 	// SlotPeriod > 0 selects live mode: Start runs the arbiter on a
 	// ticker with this period. 0 selects lockstep mode: the caller drives
 	// slots via Tick.
@@ -262,6 +279,12 @@ func (c *Config) normalize() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("runtime: negative shard count %d", c.Shards)
 	}
+	if c.Flows < 0 {
+		return fmt.Errorf("runtime: negative flow capacity %d", c.Flows)
+	}
+	if c.Flows == 0 && c.FlowPolicy != "" {
+		return fmt.Errorf("runtime: FlowPolicy %q set without Flows (enable the flow tier with Flows > 0)", c.FlowPolicy)
+	}
 	return nil
 }
 
@@ -292,6 +315,11 @@ type Engine struct {
 	// pool is the shard worker pool for the snapshot/dispatch phases.
 	spec specState
 	pool shardPool
+
+	// flows is the flow-aware front tier (see flow.go), nil unless
+	// Config.Flows > 0. Its steering policies read the engine's live
+	// per-input backlog gauges and link-state atomics through flowView.
+	flows *flowtable.Table
 
 	met Stats
 
@@ -349,6 +377,15 @@ type Stats struct {
 	PerInputBackpressured []metrics.Counter
 	PerOutputDelivered    []metrics.Counter
 
+	// PerInputBacklog mirrors each input's VOQ backlog as a lock-free
+	// gauge: +1 on admission, -1 on delivery, -k on a stranded-VOQ
+	// flush — exactly the three sites that move the global Backlog
+	// gauge. It exists for the flow tier's steering policies, which read
+	// per-port backlog on every new-flow decision and must not take
+	// input locks the way the scrape-path lcf_input_backlog_frames
+	// gauge does.
+	PerInputBacklog []metrics.Gauge
+
 	// VOQDepth samples every non-empty VOQ's length once per slot;
 	// MatchSize records the matching cardinality of every slot (the
 	// paper's match-size distribution, Figure 5 territory); SlotLatency
@@ -397,11 +434,35 @@ func New(cfg Config) (*Engine, error) {
 		PerInputAdmitted:      make([]metrics.Counter, n),
 		PerInputBackpressured: make([]metrics.Counter, n),
 		PerOutputDelivered:    make([]metrics.Counter, n),
+		PerInputBacklog:       make([]metrics.Gauge, n),
 		// Depth buckets 1,2,4,…,VOQCap; match-size buckets 0..n (one per
 		// possible cardinality); latency buckets 1µs…~4ms.
 		VOQDepth:    metrics.NewLiveHistogram(metrics.ExponentialBounds(1, 2, depthBuckets(cfg.VOQCap))),
 		MatchSize:   metrics.NewLiveHistogram(metrics.LinearBounds(0, 1, n+1)),
 		SlotLatency: metrics.NewLiveHistogram(metrics.ExponentialBounds(1000, 2, 13)),
+	}
+	if cfg.Flows > 0 {
+		// Rehome follows the fault policy: under hold, stranded frames
+		// survive an outage in place, so the flow must stay with them
+		// (KeepOnDown); under drop there is nothing to reorder around and
+		// moving the flow restores service (RehomeOnDown). See the
+		// flowtable.RehomePolicy docs.
+		rehome := flowtable.KeepOnDown
+		if cfg.FaultPolicy == DropStranded {
+			rehome = flowtable.RehomeOnDown
+		}
+		tbl, err := flowtable.New(flowtable.Config{
+			Ports:    flowView{e},
+			Capacity: cfg.Flows,
+			Shards:   cfg.FlowShards,
+			Policy:   cfg.FlowPolicy,
+			Rehome:   rehome,
+			Seed:     cfg.FlowSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.flows = tbl
 	}
 	return e, nil
 }
@@ -485,6 +546,7 @@ func (e *Engine) Admit(src, dst int, seq, stamp uint64) error {
 	ok := e.dp.Enqueue(src, dst, f)
 	if ok {
 		e.met.Backlog.Add(1)
+		e.met.PerInputBacklog[src].Add(1)
 	}
 	mu.Unlock()
 	if !ok {
@@ -786,6 +848,7 @@ func (e *Engine) dispatchRange(g *sched.GrantSet, lo, hi int, now int64, spec bo
 			e.met.Delivered.Inc()
 			e.met.PerOutputDelivered[j].Inc()
 			e.met.Backlog.Add(-1)
+			e.met.PerInputBacklog[i].Add(-1)
 		default:
 			// Unreachable while the output mask holds (consumers only
 			// drain, so a channel with room at snapshot time still has

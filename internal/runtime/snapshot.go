@@ -52,6 +52,10 @@ type Snapshot struct {
 	// never fired are omitted.
 	GrantsByRule map[string]int64 `json:"grants_by_rule,omitempty"`
 
+	// Flows is the flow tier's counters (Config.Flows > 0); omitted on
+	// engines without a flow table.
+	Flows *FlowSnapshot `json:"flows,omitempty"`
+
 	// MatchRatio is cumulative matched grants over cumulative request
 	// bits — the live matched/requested efficiency of the scheduler.
 	MatchRatio float64 `json:"match_ratio"`
@@ -98,6 +102,7 @@ func (e *Engine) Snapshot() Snapshot {
 		VOQDepth:      m.VOQDepth.Snapshot(),
 		MatchSize:     m.MatchSize.Snapshot(),
 		SlotLatencyNs: m.SlotLatency.Snapshot(),
+		Flows:         e.flowSnapshot(),
 	}
 	for rule := sched.GrantRule(0); rule < sched.NumGrantRules; rule++ {
 		if v := m.GrantsByRule[rule].Value(); v > 0 {

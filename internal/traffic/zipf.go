@@ -1,0 +1,53 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Zipf samples flow ranks from a Zipf popularity distribution:
+// P(rank r) ∝ 1/(r+1)^s over ranks 0..k-1, rank 0 most popular. It is
+// the standard skew model for flow popularity in a switch's offered
+// traffic — a handful of elephant flows carry most frames while a long
+// tail of mice stays nearly idle — and drives the flow-mode load of
+// cmd/lcfload and the E31 steering study (EXPERIMENTS.md).
+//
+// s = 0 degenerates to uniform popularity; s = 1 is the classic Zipf
+// law. The sampler precomputes the cumulative weight table once
+// (O(k) memory, ~8 MB at one million flows) and draws by binary search
+// (O(log k) per sample), deterministic per seed like every generator in
+// this package.
+type Zipf struct {
+	cum []float64 // cum[r] = sum of weights of ranks 0..r
+	r   *rng.PCG32
+}
+
+// NewZipf returns a Zipf sampler over k ranks with skew exponent s ≥ 0,
+// seeded deterministically.
+func NewZipf(k int, s float64, seed uint64) *Zipf {
+	if k <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive Zipf rank count %d", k))
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic(fmt.Sprintf("traffic: Zipf skew %g must be finite and >= 0", s))
+	}
+	z := &Zipf{cum: make([]float64, k), r: rng.New(seed)}
+	total := 0.0
+	for rank := 0; rank < k; rank++ {
+		total += math.Pow(float64(rank+1), -s)
+		z.cum[rank] = total
+	}
+	return z
+}
+
+// K returns the rank count.
+func (z *Zipf) K() int { return len(z.cum) }
+
+// Next draws a rank in [0, K()).
+func (z *Zipf) Next() int {
+	u := z.r.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
+}

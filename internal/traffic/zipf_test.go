@@ -1,0 +1,66 @@
+package traffic
+
+import (
+	"testing"
+)
+
+func TestZipfBoundsAndDeterminism(t *testing.T) {
+	const k, samples = 1000, 20000
+	a, b := NewZipf(k, 1.0, 42), NewZipf(k, 1.0, 42)
+	if a.K() != k {
+		t.Fatalf("K() = %d, want %d", a.K(), k)
+	}
+	for i := 0; i < samples; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("sample %d diverged across equal seeds: %d != %d", i, ra, rb)
+		}
+		if ra < 0 || ra >= k {
+			t.Fatalf("sample %d out of range: %d", i, ra)
+		}
+	}
+}
+
+// TestZipfSkew pins the shape: under s=1 the head ranks carry far more
+// probability than a uniform split, and s=0 degenerates to uniform.
+func TestZipfSkew(t *testing.T) {
+	const k, samples = 1000, 200000
+	headShare := func(s float64) float64 {
+		z := NewZipf(k, s, 7)
+		head := 0
+		for i := 0; i < samples; i++ {
+			if z.Next() < k/100 { // top 1% of ranks
+				head++
+			}
+		}
+		return float64(head) / samples
+	}
+	if got := headShare(0); got < 0.005 || got > 0.02 {
+		t.Errorf("uniform head share = %.4f, want ≈ 0.01", got)
+	}
+	// At s=1 over 1000 ranks the top 1% carries sum(1/r, r≤10)/sum(1/r,
+	// r≤1000) ≈ 0.39 of the mass.
+	if got := headShare(1); got < 0.3 || got > 0.5 {
+		t.Errorf("zipf(1) head share = %.4f, want ≈ 0.39", got)
+	}
+	// Higher skew concentrates harder.
+	if h1, h2 := headShare(1), headShare(1.5); h2 <= h1 {
+		t.Errorf("skew 1.5 head share %.4f not above skew 1's %.4f", h2, h1)
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		k int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %g) did not panic", tc.k, tc.s)
+				}
+			}()
+			NewZipf(tc.k, tc.s, 1)
+		}()
+	}
+}

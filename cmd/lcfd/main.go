@@ -19,6 +19,12 @@
 //     and admits the frame there. A full VOQ or a full steering table
 //     answers with the same nack frame. GET /flows serves the tier's
 //     counters and per-flow fairness summary.
+//   - With -classes, the client may send class data frames labelled with
+//     a class index (and optionally a per-frame deadline budget): the
+//     frame waits in the (input, output) PIFO ranking tier
+//     (internal/pifo) in the order the -rank function decides, and SLO
+//     outcomes surface as lcf_class_* metrics and kind=class trace
+//     events.
 //   - Frames matched to output port j are delivered, src filled in, over
 //     the connection that owns port j (each connection is both input and
 //     output port of the same index, as in Clint's host↔switch star).
@@ -41,6 +47,7 @@
 //	lcfd                                  # lcf_central_rr, n=16, :9416
 //	lcfd -sched islip -slot 100us
 //	lcfd -flows 1000000 -flow-policy po2  # flow-steered admission
+//	lcfd -classes rt:0:4:16,bulk:2:1 -rank deadline   # PIFO service classes
 //	curl localhost:9417/flows | jq .fairness.jain
 //	curl localhost:9417/metrics | jq .engine.match_ratio
 //	curl -H 'Accept: text/plain' localhost:9417/metrics   # Prometheus
@@ -71,6 +78,7 @@ import (
 	"repro/internal/flowtable"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	rt "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sched/registry"
@@ -100,6 +108,9 @@ func main() {
 		flowPolicy = flag.String("flow-policy", "", "flow steering policy: "+strings.Join(flowtable.Names(), ", ")+" (default hash; requires -flows)")
 		flowEpoch  = flag.Duration("flow-epoch", time.Second, "period of the flow idle-eviction epoch clock (requires -flows)")
 		flowIdle   = flag.Uint("flow-idle", 60, "epochs a flow may sit idle before eviction; 0 keeps flows forever (requires -flows)")
+		classSpec  = flag.String("classes", "", "service classes as name[:priority[:weight[:slo_slots]]],... — enables the PIFO ranking tier in front of the VOQs (empty disables)")
+		rankName   = flag.String("rank", "", "class rank function: "+strings.Join(pifo.Names(), ", ")+" (default fifo; requires -classes)")
+		classQCap  = flag.Int("classqcap", 0, "per-(input,output) PIFO capacity (default -voqcap; requires -classes)")
 	)
 	flag.Parse()
 	if *n <= 0 || *n > clint.NumPorts {
@@ -156,6 +167,24 @@ func main() {
 			}
 		})
 	}
+	var classes []pifo.Class
+	if *classSpec != "" {
+		var err error
+		if classes, err = pifo.ParseClasses(*classSpec); err != nil {
+			fatalUsage("-classes: %v", err)
+		}
+		if *classQCap < 0 {
+			fatalUsage("-classqcap must be >= 0 (got %d)", *classQCap)
+		}
+	} else {
+		// Class-tier tuning without the tier is a misconfiguration too.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "rank", "classqcap":
+				fatalUsage("-%s requires -classes", f.Name)
+			}
+		})
+	}
 
 	// The CICQ datapath runs its own distributed least-choice arbiters;
 	// a central scheduler has nothing to schedule there.
@@ -180,6 +209,7 @@ func main() {
 		PreallocVOQs: *prealloc, Tracer: tracer, FaultPolicy: policy,
 		Pipeline: *pipeline, Shards: *shards,
 		Flows: *flows, FlowPolicy: *flowPolicy,
+		Classes: classes, Rank: *rankName, ClassQCap: *classQCap,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -537,6 +567,38 @@ func (s *server) readLoop(c *client) {
 				errors.Is(err, rt.ErrPortDown), errors.Is(err, flowtable.ErrTableFull):
 				// A full steering table reads exactly like a full VOQ from
 				// the host's side: backpressure on Seq, retry later.
+				s.nack(c, d.Seq)
+			case errors.Is(err, rt.ErrClosed):
+				return
+			default:
+				return
+			}
+		case clint.TypeClassData:
+			d, err := clint.DecodeClassData(frame)
+			if err != nil {
+				s.protocolErrors.Inc()
+				return
+			}
+			// The wire deadline is a relative slot budget; a value that
+			// does not fit int64 cannot be compared against the slot
+			// counter, so it falls back to the class default like 0.
+			budget := int64(d.Deadline)
+			if budget < 0 {
+				budget = 0
+			}
+			err = s.engine.AdmitClass(c.port, int(d.Dst), int(d.Class), d.Seq, d.Stamp, budget)
+			switch {
+			case err == nil:
+			case errors.Is(err, rt.ErrNoClasses), errors.Is(err, rt.ErrBadClass):
+				// Class frames toward a classless daemon — or naming a class
+				// the daemon was not configured with — are a configuration
+				// mismatch, not load: nacking would invite an infinite retry.
+				s.protocolErrors.Inc()
+				return
+			case errors.Is(err, rt.ErrBackpressure), errors.Is(err, rt.ErrBadPort),
+				errors.Is(err, rt.ErrPortDown):
+				// A full PIFO reads exactly like a full VOQ from the host's
+				// side: backpressure on Seq, retry later.
 				s.nack(c, d.Seq)
 			case errors.Is(err, rt.ErrClosed):
 				return

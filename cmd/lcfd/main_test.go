@@ -18,6 +18,7 @@ import (
 	"repro/internal/clint"
 	"repro/internal/datapath"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	rt "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sched/registry"
@@ -76,6 +77,28 @@ func newTestServerFlows(t *testing.T, flows int, policy string) *server {
 		t.Fatal(err)
 	}
 	engine, err := rt.New(rt.Config{N: n, Scheduler: s, Flows: flows, FlowPolicy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(engine, n)
+	srv.registry = srv.buildRegistry()
+	return srv
+}
+
+// newTestServerClasses is newTestServer with the PIFO class tier
+// enabled, mirroring -classes/-rank.
+func newTestServerClasses(t *testing.T, rank string) *server {
+	t.Helper()
+	const n = 4
+	s, err := registry.New("lcf_central_rr", n, sched.Options{Iterations: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := pifo.ParseClasses("rt:0:4:16,bulk:2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := rt.New(rt.Config{N: n, Scheduler: s, Classes: classes, Rank: rank})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,6 +415,91 @@ func TestReadLoopFlowFrames(t *testing.T) {
 	}
 }
 
+// TestReadLoopClassFrames drives class data frames through the
+// wire-facing read loop: each frame is admitted into the PIFO tier at
+// the connection's port with its class label, and the same frames
+// against a classless daemon are a protocol error (configuration
+// mismatch, not backpressure), as is an out-of-range class index.
+func TestReadLoopClassFrames(t *testing.T) {
+	srv := newTestServerClasses(t, "strict")
+	host, sw := net.Pipe()
+	defer host.Close()
+	c := &client{conn: sw, outbox: make(chan []byte, 16), gone: make(chan struct{})}
+	if p := srv.assign(c); p != 0 {
+		t.Fatalf("assign = %d", p)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.readLoop(c)
+		close(done)
+	}()
+
+	const frames = 24
+	for k := 0; k < frames; k++ {
+		f := clint.ClassData{Class: uint8(k % 2), Dst: uint8(k % 4), Seq: uint64(k)}
+		if _, err := host.Write(f.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host.Close() // EOF retires the read loop once every frame is consumed
+	<-done
+
+	snap := srv.engine.Snapshot()
+	if snap.Admitted != frames {
+		t.Fatalf("admitted %d frames, want %d", snap.Admitted, frames)
+	}
+	if snap.Classes == nil {
+		t.Fatal("Snapshot.Classes nil after class admissions")
+	}
+	var byClass int64
+	for _, cs := range snap.Classes.Classes {
+		byClass += cs.Admitted
+	}
+	if byClass != frames {
+		t.Fatalf("class ledger admitted %d, want %d", byClass, frames)
+	}
+
+	// An out-of-range class index on a class-enabled daemon: protocol error.
+	host2, sw2 := net.Pipe()
+	defer host2.Close()
+	c2 := &client{conn: sw2, outbox: make(chan []byte, 16), gone: make(chan struct{})}
+	srv.release(c)
+	if p := srv.assign(c2); p != 0 {
+		t.Fatalf("reassign = %d", p)
+	}
+	done2 := make(chan struct{})
+	go func() {
+		srv.readLoop(c2)
+		close(done2)
+	}()
+	if _, err := host2.Write(clint.ClassData{Class: 9, Dst: 1, Seq: 1}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	<-done2
+	if got := srv.protocolErrors.Value(); got != 1 {
+		t.Fatalf("protocol errors = %d, want 1", got)
+	}
+
+	// The same wire bytes against a classless daemon: protocol error.
+	plain := newTestServer(t, 0)
+	host3, sw3 := net.Pipe()
+	defer host3.Close()
+	c3 := &client{conn: sw3, outbox: make(chan []byte, 16), gone: make(chan struct{})}
+	plain.assign(c3)
+	done3 := make(chan struct{})
+	go func() {
+		plain.readLoop(c3)
+		close(done3)
+	}()
+	if _, err := host3.Write(clint.ClassData{Class: 0, Dst: 1, Seq: 1}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	<-done3
+	if got := plain.protocolErrors.Value(); got != 1 {
+		t.Fatalf("protocol errors = %d, want 1", got)
+	}
+}
+
 // TestPortReclaim pins the disconnect/reconnect link-state contract:
 // release fails the departed client's links so the arbiter stops wasting
 // grants on an unconsumed output, and a later assign on the same port
@@ -516,6 +624,8 @@ func TestMetricsDocumented(t *testing.T) {
 	registered := newTestServer(t, 64).registry.Names()
 	registered = append(registered, newTestServerDP(t, 64, datapath.CICQ).registry.Names()...)
 	registered = append(registered, newTestServerFlows(t, 1024, "po2").registry.Names()...)
+	// ... and a class-enabled engine adds the lcf_class_* tier.
+	registered = append(registered, newTestServerClasses(t, "deadline").registry.Names()...)
 
 	// Documented names are backticked `lcf_*`/`cicq_*` tokens. Histogram
 	// series suffixes (_bucket/_sum/_count) and label-carrying examples

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// jitter is a lock-free seeded splitmix64 stream. The retransmit timers
+// and the per-connection redial loops all draw from it concurrently;
+// the fetch-add step makes every draw race-free without a mutex, and
+// the seed keeps a run reproducible end to end (the draws interleave
+// nondeterministically under real timers, but the stream itself is
+// fixed by -seed).
+type jitter struct{ state atomic.Uint64 }
+
+func newJitter(seed uint64) *jitter {
+	j := &jitter{}
+	j.state.Store(seed)
+	return j
+}
+
+func (j *jitter) next() uint64 {
+	x := j.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// retryDelay returns the backoff before the attempt-th retry (attempt ≥
+// 1): exponential from base, capped at max, with equal-jitter spread —
+// the delay is drawn uniformly from [d/2, d]. A bare doubling backoff
+// keeps every port's retries phase-locked to the shared NACK burst that
+// triggered them, so each wave of retransmits lands on the switch as
+// one synchronized storm; the jitter decorrelates the ports, and the
+// cap stops a deep retry chain from shifting into hour-long sleeps
+// (attempt counts beyond 62 used to overflow the shifted duration
+// entirely).
+func retryDelay(base, max time.Duration, attempt int, rnd uint64) time.Duration {
+	if base <= 0 || max <= 0 {
+		return 0
+	}
+	if base > max {
+		base = max
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d <<= 1
+		if d <= 0 { // doubled past the int64 range
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rnd%uint64(half+1))
+}

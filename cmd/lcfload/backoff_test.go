@@ -1,0 +1,100 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayEnvelope pins the backoff contract: the delay before
+// the attempt-th retry is drawn from [d/2, d] where d is the capped
+// exponential min(base<<(attempt-1), max). The old code computed the
+// bare shift with no cap and no jitter, so every port that shared a
+// NACK burst retried in lockstep and deep chains slept for hours.
+func TestRetryDelayEnvelope(t *testing.T) {
+	const base = 2 * time.Millisecond
+	const max = 250 * time.Millisecond
+	j := newJitter(7)
+	for attempt := 1; attempt <= 64; attempt++ {
+		want := base << (attempt - 1)
+		if attempt >= 8 || want > max || want <= 0 { // 2ms<<7 = 256ms > cap
+			want = max
+		}
+		for i := 0; i < 100; i++ {
+			got := retryDelay(base, max, attempt, j.next())
+			if got < want/2 || got > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+}
+
+// TestRetryDelayNoOverflow drives the attempt count far past the
+// 62-shift mark where the pre-fix doubling wrapped negative.
+func TestRetryDelayNoOverflow(t *testing.T) {
+	const max = time.Second
+	for _, attempt := range []int{62, 63, 64, 100, 1 << 20, math.MaxInt} {
+		d := retryDelay(time.Millisecond, max, attempt, 0xDEADBEEF)
+		if d <= 0 || d > max {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, max)
+		}
+	}
+}
+
+// TestRetryDelayDeterministic: the same draw yields the same delay, so
+// a seeded run's backoff schedule is reproducible.
+func TestRetryDelayDeterministic(t *testing.T) {
+	for attempt := 1; attempt <= 10; attempt++ {
+		a := retryDelay(2*time.Millisecond, 250*time.Millisecond, attempt, 0x12345678)
+		b := retryDelay(2*time.Millisecond, 250*time.Millisecond, attempt, 0x12345678)
+		if a != b {
+			t.Fatalf("attempt %d: %v != %v for identical draws", attempt, a, b)
+		}
+	}
+}
+
+// TestRetryDelayJitterSpreads: distinct draws must actually spread
+// within the envelope — a constant return would pass the envelope test
+// while still phase-locking the retry storm the fix is about.
+func TestRetryDelayJitterSpreads(t *testing.T) {
+	j := newJitter(1)
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		seen[retryDelay(2*time.Millisecond, 250*time.Millisecond, 3, j.next())] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("200 draws produced only %d distinct delays; jitter is not spreading", len(seen))
+	}
+}
+
+func TestRetryDelayEdgeCases(t *testing.T) {
+	if d := retryDelay(0, time.Second, 3, 1); d != 0 {
+		t.Fatalf("zero base: got %v, want 0", d)
+	}
+	if d := retryDelay(time.Second, 0, 3, 1); d != 0 {
+		t.Fatalf("zero max: got %v, want 0", d)
+	}
+	// base above max clamps to max rather than inverting the envelope.
+	d := retryDelay(time.Second, time.Millisecond, 1, 42)
+	if d < time.Millisecond/2 || d > time.Millisecond {
+		t.Fatalf("base>max: got %v, want within [%v, %v]", d, time.Millisecond/2, time.Millisecond)
+	}
+}
+
+// TestJitterConcurrent exercises the lock-free stream under the race
+// detector the way the retransmit timers and redial loops share it.
+func TestJitterConcurrent(t *testing.T) {
+	j := newJitter(99)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				j.next()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

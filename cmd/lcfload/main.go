@@ -23,11 +23,19 @@
 // sticky input port. A full steering table nacks exactly like a full
 // VOQ, so the retransmit path is shared.
 //
+// With -class-mix the generator drives the switch's PIFO service-class
+// tier (lcfd -classes) instead: each frame is labelled with a class
+// index drawn from the given relative weights ("8,1,1" sends 80% class
+// 0), and the switch ranks it against its class policy before the VOQs.
+// The switch-side report then breaks deliveries, drops and SLO
+// violations out per class.
+//
 // Usage:
 //
 //	lcfload -pattern uniform -load 0.8
 //	lcfload -addr switch:9416 -pattern hotspot -load 0.6 -slots 20000
 //	lcfload -flows 100000 -flow-skew 1.1 -slots 20000   # flow mode
+//	lcfload -class-mix 8,1,1 -slots 20000               # class mode
 //
 // Expected output (lcfd with defaults on the same host):
 //
@@ -42,9 +50,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,10 +80,12 @@ func main() {
 		hotfrac      = flag.Float64("hotfrac", 0.5, "traffic fraction to the hot port (hotspot pattern)")
 		drain        = flag.Duration("drain", 3*time.Second, "give up on in-flight frames this long after the last delivery progress")
 		retries      = flag.Int("retries", 3, "retransmit attempts per frame after a NACK before counting it dropped")
-		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "first retransmit backoff, doubling per attempt")
+		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "first retransmit backoff, doubling per attempt (jittered; see -retry-backoff-max)")
+		retryMax     = flag.Duration("retry-backoff-max", 250*time.Millisecond, "cap on the exponential retransmit/redial backoff")
 		metricsURL   = flag.String("metrics", "", "lcfd metrics URL (e.g. http://127.0.0.1:9417/metrics); scraped after the run for the switch-side view")
 		flows        = flag.Int("flows", 0, "distinct flow ids to offer through the switch's flow front tier (0 = classic per-port data frames; the daemon needs -flows too)")
 		flowSkew     = flag.Float64("flow-skew", 1.0, "Zipf skew exponent of the flow popularity distribution (0 = uniform; requires -flows)")
+		classMix     = flag.String("class-mix", "", "per-class traffic weights w0,w1,... by class index — send class data frames through the switch's PIFO tier (the daemon needs -classes too; mutually exclusive with -flows)")
 	)
 	flag.Parse()
 	// Flag validation failures are usage errors: exit 2, distinct from
@@ -89,6 +102,9 @@ func main() {
 	if *retries < 0 || *retryBackoff <= 0 {
 		fatalUsage("-retries must be >= 0 and -retry-backoff positive")
 	}
+	if *retryMax < *retryBackoff {
+		fatalUsage("-retry-backoff-max %v is below -retry-backoff %v", *retryMax, *retryBackoff)
+	}
 	if *flows < 0 {
 		fatalUsage("-flows must be >= 0 (got %d)", *flows)
 	}
@@ -104,6 +120,17 @@ func main() {
 			}
 		})
 	}
+	var mix *classPicker
+	if *classMix != "" {
+		if *flows > 0 {
+			fatalUsage("-class-mix and -flows are mutually exclusive (a frame carries a flow id or a class label, not both)")
+		}
+		ws, err := parseClassMix(*classMix)
+		if err != nil {
+			fatalUsage("%v", err)
+		}
+		mix = newClassPicker(ws, *seed^0xc1a55)
+	}
 	gen, err := buildGenerator(*pattern, *n, *load, *burst, *hotfrac, *seed)
 	if err != nil {
 		fatalUsage("%v", err)
@@ -114,6 +141,9 @@ func main() {
 		// must not perturb the per-port arrival sequences.
 		zipf = traffic.NewZipf(*flows, *flowSkew, *seed^0xf10f10f1)
 	}
+	// The retry/redial jitter stream, independent of the arrival and
+	// class-pick streams for the same reason.
+	jit := newJitter(*seed ^ 0x5eedbacc)
 
 	conns := make([]*portConn, *n)
 	for i := range conns {
@@ -161,15 +191,18 @@ func main() {
 			dropped.Add(1)
 			return
 		}
-		delay := *retryBackoff << (fl.attempts - 1)
+		delay := retryDelay(*retryBackoff, *retryMax, fl.attempts, jit.next())
 		time.AfterFunc(delay, func() {
 			if shuttingDown.Load() {
 				return
 			}
 			var buf []byte
-			if fl.isFlow {
+			switch {
+			case fl.isFlow:
 				buf = clint.FlowData{Flow: fl.flow, Dst: fl.dst, Seq: seq, Stamp: fl.stamp}.Encode()
-			} else {
+			case fl.isClass:
+				buf = clint.ClassData{Class: fl.class, Dst: fl.dst, Seq: seq, Stamp: fl.stamp}.Encode()
+			default:
 				buf = clint.Data{Dst: fl.dst, Seq: seq, Stamp: fl.stamp}.Encode()
 			}
 			if err := c.send(buf); err != nil {
@@ -189,7 +222,7 @@ func main() {
 			buf := make([]byte, 64)
 			for {
 				if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-					if shuttingDown.Load() || !c.redial(*addr, &shuttingDown) {
+					if shuttingDown.Load() || !c.redial(*addr, &shuttingDown, jit) {
 						return
 					}
 					reconnects.Add(1)
@@ -203,7 +236,7 @@ func main() {
 				frame := buf[:flen]
 				frame[0] = hdr[0]
 				if _, err := io.ReadFull(c.r, frame[1:]); err != nil {
-					if shuttingDown.Load() || !c.redial(*addr, &shuttingDown) {
+					if shuttingDown.Load() || !c.redial(*addr, &shuttingDown, jit) {
 						return
 					}
 					reconnects.Add(1)
@@ -245,6 +278,7 @@ func main() {
 	var seq uint64
 	frame := make([]byte, clint.DataLen)
 	flowFrame := make([]byte, clint.FlowDataLen)
+	classFrame := make([]byte, clint.ClassDataLen)
 	start := time.Now()
 	ticker := time.NewTicker(*slot)
 	for t := 0; t < *slots; t++ {
@@ -257,14 +291,22 @@ func main() {
 			seq++
 			stamp := uint64(time.Now().UnixNano())
 			wire := frame
-			if zipf != nil {
+			switch {
+			case zipf != nil:
 				// Flow mode: the connection is transport only — the switch
 				// steers the frame to an input port by its flow id.
 				id := uint64(zipf.Next())
 				clint.FlowData{Flow: id, Dst: uint8(dst), Seq: seq, Stamp: stamp}.EncodeTo(flowFrame)
 				flights.trackFlow(seq, id, uint8(dst), stamp)
 				wire = flowFrame
-			} else {
+			case mix != nil:
+				// Class mode: label the frame; the switch ranks it in its
+				// (input, output) PIFO. Deadline 0 = the class's own budget.
+				class := mix.pick()
+				clint.ClassData{Class: class, Dst: uint8(dst), Seq: seq, Stamp: stamp}.EncodeTo(classFrame)
+				flights.trackClass(seq, class, uint8(dst), stamp)
+				wire = classFrame
+			default:
 				clint.Data{Dst: uint8(dst), Seq: seq, Stamp: stamp}.EncodeTo(frame)
 				flights.track(seq, uint8(dst), stamp)
 			}
@@ -323,6 +365,9 @@ func main() {
 	if zipf != nil {
 		flowMode = fmt.Sprintf(" flows=%d skew=%.2f", *flows, *flowSkew)
 	}
+	if mix != nil {
+		flowMode = fmt.Sprintf(" class-mix=%s", *classMix)
+	}
 	fmt.Printf("lcfload: n=%d pattern=%s load=%.2f slots=%d slot=%v%s elapsed=%v\n",
 		*n, *pattern, *load, *slots, *slot, flowMode, elapsed.Round(time.Millisecond))
 	fmt.Printf("sent %d frames (offered %.3f/port/slot), delivered %d, nacked %d, retransmitted %d, dropped %d, unaccounted %d\n",
@@ -339,11 +384,11 @@ func main() {
 		mean := latencyStream.Mean()
 		max := latencyStream.Max()
 		latencyMu.Unlock()
-		fmt.Printf("end-to-end latency: mean %v p50 %v p95 %v p99 %v max %v\n",
+		fmt.Printf("end-to-end latency: mean %v p50 %s p95 %s p99 %s max %v\n",
 			time.Duration(mean).Round(10*time.Microsecond),
-			time.Duration(latency.Quantile(0.50)).Round(10*time.Microsecond),
-			time.Duration(latency.Quantile(0.95)).Round(10*time.Microsecond),
-			time.Duration(latency.Quantile(0.99)).Round(10*time.Microsecond),
+			quantileLabel(latency, 0.50),
+			quantileLabel(latency, 0.95),
+			quantileLabel(latency, 0.99),
 			time.Duration(max).Round(10*time.Microsecond))
 	}
 	if *metricsURL != "" {
@@ -355,6 +400,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lcfload: %d frames unaccounted for %v after last progress\n", lost, *drain)
 		os.Exit(1)
 	}
+}
+
+// quantileLabel renders one latency quantile for the report.
+// LiveHistogram.Quantile returns +Inf when the quantile falls in the
+// overflow bucket — beyond the histogram's top bound — and formatting
+// that as a Duration used to print a garbage negative number that read
+// like a real (and excellent) p99. Overflow is reported as an explicit
+// lower bound instead.
+func quantileLabel(h *metrics.LiveHistogram, q float64) string {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		bounds := h.Snapshot().Bounds
+		top := time.Duration(bounds[len(bounds)-1])
+		return fmt.Sprintf(">%v", top.Round(10*time.Microsecond))
+	}
+	return time.Duration(v).Round(10 * time.Microsecond).String()
 }
 
 // reportSwitchSide scrapes lcfd's Prometheus exposition and prints the
@@ -405,8 +466,29 @@ func reportSwitchSide(url string) error {
 		fmt.Printf("flow tier: %.0f resident, %.0f steered (%.0f new, %.0f rejected), backlog imbalance %.2f\n",
 			resident, steered, admitted, rejected, imbalance)
 	}
+	// The class tier's view, when the daemon runs one: one line per
+	// configured class, keyed off the delivered counter (present for
+	// every class from startup, even at zero).
+	var classes []string
+	for key := range s {
+		if m := classSeriesRE.FindStringSubmatch(key); m != nil {
+			classes = append(classes, m[1])
+		}
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		label := `{class="` + name + `"}`
+		admitted, _ := s.Value("lcf_class_admitted_total" + label)
+		delivered, _ := s.Value("lcf_class_delivered_total" + label)
+		dropped, _ := s.Value("lcf_class_dropped_total" + label)
+		violations, _ := s.Value("lcf_class_slo_violations_total" + label)
+		fmt.Printf("class %s: %.0f admitted, %.0f delivered, %.0f dropped, %.0f SLO violations\n",
+			name, admitted, delivered, dropped, violations)
+	}
 	return nil
 }
+
+var classSeriesRE = regexp.MustCompile(`^lcf_class_delivered_total\{class="([^"]+)"\}$`)
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "lcfload: "+format+"\n", args...)
@@ -435,6 +517,8 @@ type flight struct {
 	stamp    uint64
 	flow     uint64 // flow id; meaningful only when isFlow
 	isFlow   bool   // retransmit as a flow data frame
+	class    uint8  // class index; meaningful only when isClass
+	isClass  bool   // retransmit as a class data frame
 	attempts int
 }
 
@@ -458,6 +542,14 @@ func (ft *flightTable) track(seq uint64, dst uint8, stamp uint64) {
 func (ft *flightTable) trackFlow(seq, flow uint64, dst uint8, stamp uint64) {
 	ft.mu.Lock()
 	ft.pending[seq] = &flight{dst: dst, stamp: stamp, flow: flow, isFlow: true}
+	ft.mu.Unlock()
+}
+
+// trackClass is track for class mode: the class label rides in the
+// flight so the retransmit rebuilds the same class data frame.
+func (ft *flightTable) trackClass(seq uint64, class, dst uint8, stamp uint64) {
+	ft.mu.Lock()
+	ft.pending[seq] = &flight{dst: dst, stamp: stamp, class: class, isClass: true}
 	ft.mu.Unlock()
 }
 
@@ -532,13 +624,12 @@ func (c *portConn) close() {
 // connections). A different assignment means the release hasn't landed
 // yet — hand the connection back and try again. Called only from the
 // receiver goroutine, which owns the read side.
-func (c *portConn) redial(addr string, shuttingDown *atomic.Bool) bool {
-	backoff := 10 * time.Millisecond
-	for attempt := 0; attempt < 10 && !shuttingDown.Load(); attempt++ {
-		time.Sleep(backoff)
-		if backoff < 500*time.Millisecond {
-			backoff *= 2
-		}
+func (c *portConn) redial(addr string, shuttingDown *atomic.Bool, jit *jitter) bool {
+	for attempt := 1; attempt <= 10 && !shuttingDown.Load(); attempt++ {
+		// Same capped, jittered exponential as the retransmit path: after
+		// a daemon restart every port redials at once, and bare doubling
+		// would keep all n SYNs phase-locked through every attempt.
+		time.Sleep(retryDelay(10*time.Millisecond, 500*time.Millisecond, attempt, jit.next()))
 		nc, err := dialPort(addr)
 		if err != nil {
 			continue

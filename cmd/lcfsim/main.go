@@ -28,6 +28,7 @@ import (
 
 	lcf "repro"
 	"repro/internal/asciiplot"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -406,10 +407,23 @@ func runHistogram(cfg lcf.SweepConfig) {
 		if err != nil {
 			fatal("%v", err)
 		}
-		fmt.Printf("%-20s %8.2f %8d %8d %8d %10.0f\n", name,
-			res.Delay.Mean(), res.Hist.Quantile(0.5), res.Hist.Quantile(0.95),
-			res.Hist.Quantile(0.99), res.Delay.Max())
+		fmt.Printf("%-20s %8.2f %8s %8s %8s %10.0f\n", name,
+			res.Delay.Mean(), histQuantile(res.Hist, 0.5), histQuantile(res.Hist, 0.95),
+			histQuantile(res.Hist, 0.99), res.Delay.Max())
 	}
+}
+
+// histQuantile renders one delay quantile for the distribution table.
+// A quantile that lands among overflow observations — delays beyond the
+// histogram's bucket range — used to print as the top bucket value,
+// which made a saturated scheduler's p99 read as a clean 4095 slots.
+// It prints as an explicit lower bound instead.
+func histQuantile(h *metrics.Histogram, q float64) string {
+	v, ok := h.QuantileOK(q)
+	if !ok {
+		return fmt.Sprintf(">%d", v)
+	}
+	return fmt.Sprintf("%d", v)
 }
 
 func runUnbalanced(cfg lcf.SweepConfig) {

@@ -211,6 +211,10 @@ func renderTimeline(w io.Writer, evs []obs.Event) {
 			}
 			continue
 		}
+		if ev.Kind == "class" {
+			fmt.Fprintf(w, "%-8d class: c%d → port %d SLO violated (latency %d slots)\n", ev.Slot, ev.Class, ev.Port, ev.Latency)
+			continue
+		}
 		var pairs []string
 		for _, g := range ev.Grants {
 			switch {

@@ -136,6 +136,13 @@ type Report struct {
 	FlowsRebalanced int64
 	FlowRejections  int64
 
+	// Class-tier accounting, nonzero only for RunClasses: per-class
+	// totals summed across classes (admissions through AdmitClass,
+	// frames dropped from PIFOs by fault sweeps, SLO violations).
+	ClassAdmitted   int64
+	ClassDropped    int64
+	ClassViolations int64
+
 	Flaps, Stucks, Kills int // fault episodes injected
 }
 

@@ -1,0 +1,260 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/conserve"
+	"repro/internal/pifo"
+	"repro/internal/rng"
+	rt "repro/internal/runtime"
+)
+
+// ClassConfig parameterizes a class-mix chaos run: the engine storm of
+// RunEngine with every admission routed through the PIFO service-class
+// tier (runtime.AdmitClass), a weighted class mix, and per-frame
+// deadline budgets in play. On top of RunEngine's invariants the run
+// checks, every slot:
+//
+//   - Class ledger: per class, admitted − delivered − dropped − queued
+//     (the frames that have left the PIFO but not yet the switch) is
+//     nonnegative and bounded by the engine's total backlog — a class
+//     counter can never run ahead of the frames that exist.
+//   - Classification integrity: the class tier's totals and the engine's
+//     frame conservation agree; a PIFO sweep under faults never loses or
+//     mints a frame.
+type ClassConfig struct {
+	Config
+
+	// Classes is the class-spec string (pifo.ParseClasses syntax).
+	// Default "rt:0:4:16,std:1:2:64,bulk:2:1" — three tiers with a tight
+	// real-time SLO, so violations actually occur under faults.
+	Classes string
+	// Rank is the PIFO rank function name; default deadline.
+	Rank string
+	// ClassQCap bounds each (input, output) PIFO; 0 = the runtime
+	// default. Kept small by the storm configs so PIFO backpressure
+	// fires alongside VOQ backpressure.
+	ClassQCap int
+	// Mix is the per-class admission weight by class index; default
+	// uniform. Entries beyond the class count are rejected by
+	// normalizeClass.
+	Mix []float64
+	// BudgetEvery stamps every k-th admitted frame with an explicit
+	// per-frame deadline budget (tighter than any class SLO) instead of
+	// the class default; 0 disables. Default 7.
+	BudgetEvery int
+}
+
+func (c *ClassConfig) normalizeClass() (classes []pifo.Class, err error) {
+	if err := c.normalize(); err != nil {
+		return nil, err
+	}
+	if c.Classes == "" {
+		c.Classes = "rt:0:4:16,std:1:2:64,bulk:2:1"
+	}
+	if c.Rank == "" {
+		c.Rank = pifo.RankDeadline
+	}
+	if c.BudgetEvery == 0 {
+		c.BudgetEvery = 7
+	}
+	classes, err = pifo.ParseClasses(c.Classes)
+	if err != nil {
+		return nil, err
+	}
+	if c.Mix == nil {
+		c.Mix = make([]float64, len(classes))
+		for i := range c.Mix {
+			c.Mix[i] = 1
+		}
+	}
+	if len(c.Mix) != len(classes) {
+		return nil, fmt.Errorf("chaos: mix names %d classes, spec has %d", len(c.Mix), len(classes))
+	}
+	return classes, nil
+}
+
+// RunClasses drives a class-enabled lockstep engine through cfg.Slots
+// slots of seeded chaos with every frame admitted through the PIFO
+// tier. Like RunEngine it returns the first invariant violation as an
+// error with the seed embedded for replay.
+func RunClasses(cfg ClassConfig) (*Report, error) {
+	classes, err := cfg.normalizeClass()
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	sch, err := newScheduler(cfg.Scheduler, n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan := newSchedule(&cfg.Config)
+	rep := &Report{Slots: cfg.Slots}
+
+	var grantErr error
+	e, err := rt.New(rt.Config{
+		N:           n,
+		Scheduler:   sch,
+		VOQCap:      cfg.VOQCap,
+		OutCap:      cfg.OutCap,
+		FaultPolicy: cfg.Policy,
+		Classes:     classes,
+		Rank:        cfg.Rank,
+		ClassQCap:   cfg.ClassQCap,
+		OnSlot: func(ev rt.SlotEvent) {
+			if grantErr == nil {
+				grantErr = plan.checkMatch(ev.Slot, ev.Match)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The class-pick stream is independent of the admit dice, so the
+	// offered arrival pattern matches RunEngine's for the same seed.
+	admitRng := rng.NewPCG32(cfg.Seed, 0xAD)
+	classRng := rng.NewPCG32(cfg.Seed, 0xC1A55)
+	var cum []float64
+	var total float64
+	for _, w := range cfg.Mix {
+		total += w
+		cum = append(cum, total)
+	}
+	pick := func() int {
+		r := classRng.Float64() * total
+		for c, b := range cum {
+			if r < b {
+				return c
+			}
+		}
+		return len(cum) - 1
+	}
+
+	st := e.Stats()
+	var seq uint64
+	var admits int
+	for slot := int64(0); slot < cfg.Slots; slot++ {
+		if err := plan.advance(e, rep); err != nil {
+			return rep, err
+		}
+
+		for i := 0; i < n; i++ {
+			if !admitRng.Bool(cfg.Load) {
+				continue
+			}
+			dst := admitRng.Intn(n)
+			class := pick()
+			seq++
+			admits++
+			var budget int64
+			if cfg.BudgetEvery > 0 && admits%cfg.BudgetEvery == 0 {
+				budget = 2 // tighter than any storm class's SLO
+			}
+			switch err := e.AdmitClass(i, dst, class, seq, 0, budget); {
+			case err == nil:
+			case errors.Is(err, rt.ErrBackpressure):
+				rep.Backpressured++
+			case errors.Is(err, rt.ErrPortDown) && (plan.inDown[i] || plan.outDown[dst]):
+				rep.Rejected++
+			default:
+				return rep, fmt.Errorf("chaos: slot %d: AdmitClass(%d,%d,c%d) = %v on healthy links (seed %d)",
+					slot, i, dst, class, err, cfg.Seed)
+			}
+		}
+
+		e.Tick()
+		if grantErr != nil {
+			return rep, grantErr
+		}
+
+		for j := 0; j < n; j++ {
+			if plan.cond[j] == stuckOut || plan.cond[j] == dead {
+				continue
+			}
+			for {
+				select {
+				case <-e.Output(j):
+					rep.Consumed++
+					continue
+				default:
+				}
+				break
+			}
+		}
+
+		terms := conserve.Terms{
+			Scope:     "class",
+			Slot:      slot,
+			Injected:  st.Admitted.Value(),
+			Delivered: st.Delivered.Value(),
+			Dropped:   st.DroppedFault.Value(),
+			Resident:  st.Backlog.Value(),
+		}
+		if err := terms.Check(); err != nil {
+			return rep, fmt.Errorf("chaos: %w (seed %d)", err, cfg.Seed)
+		}
+		if terms.Resident > rep.MaxBacklog {
+			rep.MaxBacklog = terms.Resident
+		}
+
+		// The class ledger: per class, the frames that have left the
+		// PIFO but not the switch (admitted − delivered − dropped −
+		// queued) are VOQ/output-resident — nonnegative, and their sum
+		// bounded by the engine backlog. The driver is single-threaded
+		// between slots, so the counters are quiescent.
+		cs := e.Snapshot().Classes
+		if cs == nil {
+			return rep, fmt.Errorf("chaos: class tier vanished from snapshot (seed %d)", cfg.Seed)
+		}
+		var inVOQ int64
+		for _, c := range cs.Classes {
+			left := c.Admitted - c.Delivered - c.Dropped - c.Queued
+			if left < 0 {
+				return rep, fmt.Errorf("chaos: slot %d: class %s ledger negative: admitted %d < delivered %d + dropped %d + queued %d (seed %d)",
+					slot, c.Class, c.Admitted, c.Delivered, c.Dropped, c.Queued, cfg.Seed)
+			}
+			inVOQ += left
+		}
+		if inVOQ > terms.Resident {
+			return rep, fmt.Errorf("chaos: slot %d: classes claim %d VOQ-resident frames, engine backlog is %d (seed %d)",
+				slot, inVOQ, terms.Resident, cfg.Seed)
+		}
+	}
+
+	e.Close()
+	for j := 0; j < n; j++ {
+		for range e.Output(j) {
+			rep.Consumed++
+		}
+	}
+	rep.Admitted = st.Admitted.Value()
+	rep.Delivered = st.Delivered.Value()
+	rep.Dropped = st.DroppedFault.Value()
+	rep.Undrained = st.Undrained.Value()
+	cs := e.Snapshot().Classes
+	for c := range cs.Classes {
+		rep.ClassAdmitted += cs.Classes[c].Admitted
+		rep.ClassDropped += cs.Classes[c].Dropped
+		rep.ClassViolations += cs.Classes[c].Violations
+	}
+	shutdown := conserve.Terms{
+		Scope:     "class shutdown",
+		Slot:      cfg.Slots,
+		Injected:  rep.Admitted,
+		Delivered: rep.Consumed,
+		Dropped:   rep.Dropped,
+		Resident:  rep.Undrained,
+	}
+	if err := shutdown.Check(); err != nil {
+		return rep, fmt.Errorf("chaos: %w (seed %d)", err, cfg.Seed)
+	}
+	// Every engine admission went through AdmitClass, so the tier's
+	// per-class totals must sum to the engine's.
+	if rep.ClassAdmitted != rep.Admitted {
+		return rep, fmt.Errorf("chaos: class tier admitted %d, engine %d (seed %d)",
+			rep.ClassAdmitted, rep.Admitted, cfg.Seed)
+	}
+	return rep, nil
+}

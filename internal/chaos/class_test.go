@@ -1,0 +1,99 @@
+package chaos
+
+import (
+	"testing"
+
+	rt "repro/internal/runtime"
+)
+
+// TestClassChaos10k is the class tier's acceptance storm: 10k slots of
+// link flaps, stuck consumers and client kills with every frame
+// admitted through AdmitClass under a skewed three-class mix and
+// per-frame deadline budgets in play. RunClasses asserts per-slot frame
+// conservation, the per-class ledger (a class counter never runs ahead
+// of the frames that exist), grant isolation and full shutdown
+// accounting; a returned error is an invariant violation. CI runs this
+// package under -race, so the concurrent admit/tick/drain paths of the
+// PIFO tier are exercised as well as the ledgers.
+func TestClassChaos10k(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy rt.FaultPolicy
+	}{
+		{"hold", rt.HoldStranded},
+		{"drop", rt.DropStranded},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ClassConfig{
+				Config: Config{N: 8, Slots: 10_000, Seed: 0xC1A55ED, Policy: tc.policy},
+				// Real-time heavy mix so the tight SLO class carries
+				// enough traffic for violations to be inevitable under
+				// stuck consumers.
+				Mix: []float64{4, 2, 1},
+			}
+			rep, err := RunClasses(cfg)
+			if err != nil {
+				reportSeed(t, cfg.Config, err)
+			}
+			if rep.Flaps == 0 || rep.Stucks == 0 || rep.Kills == 0 {
+				t.Fatalf("fault schedule too quiet: %+v", rep)
+			}
+			if rep.Admitted == 0 || rep.Consumed == 0 {
+				t.Fatalf("no traffic flowed: %+v", rep)
+			}
+			if rep.ClassViolations == 0 {
+				t.Fatal("a 16-slot SLO under 10k slots of faults never missed — deadlines not exercised")
+			}
+			if tc.policy == rt.HoldStranded {
+				if rep.Dropped != 0 || rep.ClassDropped != 0 {
+					t.Fatalf("hold policy dropped frames: %+v", rep)
+				}
+			}
+			if tc.policy == rt.DropStranded {
+				if rep.Dropped == 0 {
+					t.Fatal("drop policy dropped nothing across 10k chaotic slots")
+				}
+				if rep.ClassDropped == 0 {
+					t.Fatal("no PIFO-resident frame was ever swept by a fault — class drop path not exercised")
+				}
+			}
+			t.Logf("report: %+v", rep)
+		})
+	}
+}
+
+// TestClassChaosRanks sweeps every registered rank function through a
+// shorter storm — the invariants inside RunClasses are rank-agnostic.
+func TestClassChaosRanks(t *testing.T) {
+	for _, rank := range []string{"fifo", "strict", "wfq", "deadline"} {
+		t.Run(rank, func(t *testing.T) {
+			cfg := ClassConfig{
+				Config: Config{N: 8, Slots: 3_000, Seed: 0xBADC1A5, Policy: rt.DropStranded},
+				Rank:   rank,
+			}
+			rep, err := RunClasses(cfg)
+			if err != nil {
+				reportSeed(t, cfg.Config, err)
+			}
+			if rep.ClassAdmitted == 0 {
+				t.Fatalf("rank %s moved no traffic: %+v", rank, rep)
+			}
+		})
+	}
+}
+
+// TestClassChaosDeterminism pins replayability for the class storm.
+func TestClassChaosDeterminism(t *testing.T) {
+	cfg := ClassConfig{Config: Config{N: 8, Slots: 2_000, Seed: 0xD1CE, Policy: rt.DropStranded}}
+	a, err := RunClasses(cfg)
+	if err != nil {
+		reportSeed(t, cfg.Config, err)
+	}
+	b, err := RunClasses(cfg)
+	if err != nil {
+		reportSeed(t, cfg.Config, err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed diverged:\n a = %+v\n b = %+v", *a, *b)
+	}
+}

@@ -134,6 +134,8 @@ func FrameLen(typ byte) int {
 		return FabricDataLen
 	case TypeFlowData:
 		return FlowDataLen
+	case TypeClassData:
+		return ClassDataLen
 	default:
 		return 0
 	}

@@ -187,6 +187,42 @@ func FuzzDecodeFlowData(f *testing.F) {
 	})
 }
 
+func FuzzClassDataRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(0), uint8(0), uint64(0), uint64(0))
+	f.Add(uint8(255), ^uint64(0), uint8(255), uint64(1)<<63, ^uint64(0))
+	f.Add(uint8(2), uint64(64), uint8(7), uint64(123456789), uint64(42))
+	f.Fuzz(func(t *testing.T, class uint8, deadline uint64, dst uint8, seq, stamp uint64) {
+		d := ClassData{Class: class, Deadline: deadline, Dst: dst, Seq: seq, Stamp: stamp}
+		back, err := DecodeClassData(d.Encode())
+		if err != nil {
+			t.Fatalf("encoded class frame %+v does not decode: %v", d, err)
+		}
+		if back != d {
+			t.Fatalf("class frame round trip mutated the packet: sent %+v, got %+v", d, back)
+		}
+	})
+}
+
+// FuzzDecodeClassData is the decode direction: arbitrary bytes must be
+// rejected with an error or round-trip bit-exactly — never panic, never
+// mis-accept (the same contract as FuzzDecodeConfig).
+func FuzzDecodeClassData(f *testing.F) {
+	f.Add(ClassData{Class: 1, Deadline: 16, Dst: 2, Seq: 11, Stamp: 4}.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{TypeClassData})
+	f.Add(bytes.Repeat([]byte{0xFF}, ClassDataLen))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		d, err := DecodeClassData(frame)
+		if err != nil {
+			return
+		}
+		re := d.Encode()
+		if !bytes.Equal(re, frame) {
+			t.Fatalf("accepted frame %x re-encodes to %x", frame, re)
+		}
+	})
+}
+
 func FuzzNackRoundTrip(f *testing.F) {
 	f.Add(uint64(0))
 	f.Add(^uint64(0))

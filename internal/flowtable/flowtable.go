@@ -153,14 +153,24 @@ type shard struct {
 	mu       sync.Mutex
 	ents     []entry
 	used     int
-	steered  uint64    // Steer calls that resolved a port (hit or insert)
-	inserted uint64    // new flows admitted (steering decisions made)
-	_        [2]uint64 // pad to keep neighbouring shard locks off one cache line
+	steered  uint64 // Steer calls that resolved a port (hit or insert)
+	inserted uint64 // new flows admitted (steering decisions made)
+	evicted  uint64 // flows removed (idle sweeps + explicit Evict)
+	_        uint64 // pad to keep neighbouring shard locks off one cache line
 }
 
 // Stats is a snapshot of the table's counters, folded across shards by
-// the Stats method. Resident == Inserted - Evicted at quiescence; under
-// concurrent steering the totals are momentarily consistent per shard.
+// the Stats method.
+//
+// Invariant: Resident == Inserted - Evicted, per shard, at every
+// instant. All three counters mutate only under the shard's lock, in
+// the same critical section as the bucket write they describe (Steer's
+// insert does used++ and inserted++ together; every deletion does
+// used-- and evicted++ together), so a Stats fold — which takes each
+// shard lock in turn — can never observe a shard where they disagree.
+// The cross-shard totals may mix locked snapshots taken at slightly
+// different times, but since the identity holds in each addend it holds
+// in the sum.
 type Stats struct {
 	Resident   int64 // flows currently in the table
 	Steered    int64 // Steer calls that resolved a port (hit or insert)
@@ -183,10 +193,10 @@ type Table struct {
 	seed      uint64
 	maxProbe  int
 	epoch     atomic.Uint32
-	// Rare-path counters (fault rebalances, full-table rejections,
-	// eviction sweeps) stay table-level atomics: they never fire on the
-	// steady-state hit path, so sharing a line costs nothing.
-	evicted    atomic.Int64
+	// Rare-path counters (fault rebalances, full-table rejections) stay
+	// table-level atomics: they never fire on the steady-state hit path,
+	// so sharing a line costs nothing. Eviction counts live per shard —
+	// see the Stats invariant.
 	rebalanced atomic.Int64
 	rejected   atomic.Int64
 }
@@ -281,7 +291,6 @@ func (t *Table) PolicyName() string { return t.policy.Name() }
 // shard lock briefly in turn — a scrape path, not a hot path.
 func (t *Table) Stats() Stats {
 	st := Stats{
-		Evicted:    t.evicted.Load(),
 		Rebalanced: t.rebalanced.Load(),
 		Rejected:   t.rejected.Load(),
 	}
@@ -291,6 +300,7 @@ func (t *Table) Stats() Stats {
 		st.Resident += int64(s.used)
 		st.Steered += int64(s.steered)
 		st.Inserted += int64(s.inserted)
+		st.Evicted += int64(s.evicted)
 		s.mu.Unlock()
 	}
 	return st
@@ -440,11 +450,32 @@ func (t *Table) EvictIdle(maxIdle uint32) int {
 		s.mu.Lock()
 		for i := 0; i <= int(t.slotMask); {
 			e := &s.ents[i]
-			if e.port == emptyPort || now-e.epoch <= maxIdle {
+			if e.port == emptyPort {
+				i++
+				continue
+			}
+			// now was loaded once, before the sweep, but entries keep
+			// being stamped by concurrent Steers that read the live
+			// epoch. If AdvanceEpoch fires mid-sweep, a flow admitted
+			// after it carries e.epoch == now+1, and the unsigned age
+			// now-e.epoch wraps to ~2^32 — the freshest flow in the
+			// table reads as the stalest and is evicted on the spot.
+			// An entry stamped "ahead" of the sweep's view is by
+			// definition freshly touched; treat its age as zero. The
+			// half-range test distinguishes genuine wrap-ahead (a few
+			// epochs, from the race) from a genuinely ancient entry:
+			// real idle ages are bounded by table lifetime in epochs,
+			// far below 2^31.
+			age := now - e.epoch
+			if age > math.MaxUint32/2 {
+				age = 0
+			}
+			if age <= maxIdle {
 				i++
 				continue
 			}
 			s.deleteAt(uint64(i), t)
+			s.evicted++
 			total++
 			// The backward shift may have moved another entry into slot
 			// i — re-examine it before advancing. (An entry shifted here
@@ -452,9 +483,6 @@ func (t *Table) EvictIdle(maxIdle uint32) int {
 			// idle test is idempotent.)
 		}
 		s.mu.Unlock()
-	}
-	if total > 0 {
-		t.evicted.Add(int64(total))
 	}
 	return total
 }
@@ -474,8 +502,8 @@ func (t *Table) Evict(id uint64) bool {
 		}
 		if e.id == id {
 			s.deleteAt(i, t)
+			s.evicted++
 			s.mu.Unlock()
-			t.evicted.Add(1)
 			return true
 		}
 		i = (i + 1) & t.slotMask

@@ -138,11 +138,25 @@ func (h *Histogram) Count(v int64) int64 {
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded values.
-// Overflow observations are treated as the maximum bucket value. With no
-// observations it returns 0.
+// When the quantile falls among overflow observations the result is the
+// maximum bucket value — a floor, not the true quantile. Callers that
+// must distinguish "p99 is the top bucket" from "p99 is beyond every
+// bucket" (any report quoting a tail latency) should use QuantileOK and
+// label the overflow case. With no observations it returns 0.
 func (h *Histogram) Quantile(q float64) int64 {
+	v, _ := h.QuantileOK(q)
+	return v
+}
+
+// QuantileOK is Quantile with an explicit overflow signal: ok is false
+// when the requested quantile lands in the overflow count, in which
+// case the returned value (the maximum bucket value) is only a lower
+// bound on the true quantile. Quantile used to silently return the max
+// bucket here, which flattened reported p99s to the bucket range just
+// as the tail blew past it — the exact regime tail reports exist for.
+func (h *Histogram) QuantileOK(q float64) (v int64, ok bool) {
 	if h.total == 0 {
-		return 0
+		return 0, true
 	}
 	if q < 0 {
 		q = 0
@@ -158,10 +172,10 @@ func (h *Histogram) Quantile(q float64) int64 {
 	for v, c := range h.counts {
 		cum += c
 		if cum >= target {
-			return int64(v)
+			return int64(v), true
 		}
 	}
-	return int64(len(h.counts) - 1)
+	return int64(len(h.counts) - 1), false
 }
 
 // FlowMatrix tracks per-(input,output) packet counts, from which the

@@ -156,6 +156,46 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileOverflow pins the overflow contract: a quantile
+// that lands among overflow observations reports ok=false and the max
+// bucket value as a lower bound. The old Quantile silently returned the
+// max bucket, so a tail that blew past the range read as a clean p99
+// exactly when the distribution was at its worst.
+func TestHistogramQuantileOverflow(t *testing.T) {
+	h := NewHistogram(10)
+	for v := int64(0); v < 10; v++ {
+		h.Add(v) // 10 in-range observations
+	}
+	for i := 0; i < 90; i++ {
+		h.Add(1000) // 90 overflow observations
+	}
+	// p50 and beyond all land in the overflow mass.
+	if v, ok := h.QuantileOK(0.5); ok || v != 9 {
+		t.Fatalf("QuantileOK(0.5) = %d, %v; want 9, false", v, ok)
+	}
+	if v, ok := h.QuantileOK(0.99); ok || v != 9 {
+		t.Fatalf("QuantileOK(0.99) = %d, %v; want 9, false", v, ok)
+	}
+	// p05 is still resolved by real buckets.
+	if v, ok := h.QuantileOK(0.05); !ok || v != 4 {
+		t.Fatalf("QuantileOK(0.05) = %d, %v; want 4, true", v, ok)
+	}
+	// Quantile keeps its lower-bound behavior for existing callers.
+	if h.Quantile(0.99) != 9 {
+		t.Fatalf("Quantile(0.99) = %d, want 9", h.Quantile(0.99))
+	}
+	// No overflow: every quantile is ok.
+	clean := NewHistogram(10)
+	clean.Add(3)
+	if v, ok := clean.QuantileOK(1); !ok || v != 3 {
+		t.Fatalf("clean QuantileOK(1) = %d, %v; want 3, true", v, ok)
+	}
+	// Empty histogram: 0, ok (nothing was lost).
+	if v, ok := NewHistogram(5).QuantileOK(0.5); !ok || v != 0 {
+		t.Fatalf("empty QuantileOK = %d, %v; want 0, true", v, ok)
+	}
+}
+
 func TestHistogramValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

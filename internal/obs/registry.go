@@ -84,14 +84,23 @@ func escapeHelp(h string) string {
 	return strings.ReplaceAll(h, "\n", `\n`)
 }
 
+// HistogramSample is one labelled member of a histogram vector family:
+// the rendered label pair list (built with Labels) shared by every
+// series the member emits, plus its snapshot.
+type HistogramSample struct {
+	Labels   string
+	Snapshot metrics.HistogramSnapshot
+}
+
 // metric is one registered metric family: a name, help text, type, and a
 // collect function invoked at exposition time (the cold path — collection
 // may allocate freely).
 type metric struct {
-	name, help string
-	typ        MetricType
-	collect    func() []Sample                  // counter/gauge families
-	histogram  func() metrics.HistogramSnapshot // histogram families
+	name, help   string
+	typ          MetricType
+	collect      func() []Sample                  // counter/gauge families
+	histogram    func() metrics.HistogramSnapshot // histogram families
+	histogramVec func() []HistogramSample         // labelled histogram families
 }
 
 // Registry is an ordered set of metric families rendered on demand. It is
@@ -152,6 +161,14 @@ func (r *Registry) Histogram(name, help string, fn func() metrics.HistogramSnaps
 	r.add(metric{name: name, help: help, typ: TypeHistogram, histogram: fn})
 }
 
+// HistogramVec registers a labelled histogram family; fn returns one
+// HistogramSample per label set. Each member renders the same
+// _bucket/_sum/_count series as Histogram, with the member's labels on
+// every line (joined with le on the bucket series).
+func (r *Registry) HistogramVec(name, help string, fn func() []HistogramSample) {
+	r.add(metric{name: name, help: help, typ: TypeHistogram, histogramVec: fn})
+}
+
 // Names returns every registered family name, in registration order.
 // Histogram families report their base name (the _bucket/_sum/_count
 // series derive from it).
@@ -199,7 +216,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, m := range r.metrics {
 		b.Reset()
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, escapeHelp(m.help), m.name, m.typ)
-		if m.typ == TypeHistogram {
+		if m.histogramVec != nil {
+			for _, hs := range m.histogramVec() {
+				writeLabelledHistogram(&b, m.name, hs.Labels, hs.Snapshot)
+			}
+		} else if m.typ == TypeHistogram {
 			writeHistogram(&b, m.name, m.histogram())
 		} else {
 			for _, s := range m.collect() {
@@ -230,4 +251,19 @@ func writeHistogram(b *strings.Builder, name string, s metrics.HistogramSnapshot
 	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Total)
 	fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(s.Sum))
 	fmt.Fprintf(b, "%s_count %d\n", name, s.Total)
+}
+
+// writeLabelledHistogram renders one member of a histogram vector: the
+// same cumulative-bucket translation as writeHistogram, with the
+// member's label set prefixed onto every series (and joined with le on
+// the bucket lines).
+func writeLabelledHistogram(b *strings.Builder, name, labels string, s metrics.HistogramSnapshot) {
+	var cum int64
+	for k, bound := range s.Bounds {
+		cum += s.Counts[k]
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, labels, formatValue(bound), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, s.Total)
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, formatValue(s.Sum))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, s.Total)
 }

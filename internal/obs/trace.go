@@ -53,6 +53,14 @@ type Grant struct {
 // (the steady-state per-frame path) are deliberately not traced: flow
 // events record decisions, so the ring holds the interesting
 // transitions instead of drowning in per-frame repeats.
+//
+// Kind == "class" marks a service-class SLO violation (runtime.Config
+// .Classes): a class-tier frame crossed the fabric after its deadline
+// slot. Class is the class index into the engine's class list, Port the
+// output it was delivered to, and Latency its admission-to-delivery
+// time in slots. On-time deliveries emit nothing — like spec events,
+// class events annotate only the slots where the tier failed its
+// contract, so the ring survives sustained healthy traffic.
 type Event struct {
 	Slot      int64   `json:"slot"`
 	Requested int     `json:"requested"`
@@ -70,6 +78,9 @@ type Event struct {
 
 	Flow uint64 `json:"flow,omitempty"`
 	Disp string `json:"disp,omitempty"`
+
+	Class   int   `json:"class,omitempty"`
+	Latency int64 `json:"latency,omitempty"`
 }
 
 // Link directions for EmitFault.
@@ -114,12 +125,14 @@ type traceSlot struct {
 }
 
 // The aux word's kind flags: bit 63 marks a fault record, bit 62 a spec
-// record, bit 61 a flow-steering record; the zero word means "slot
-// decision". The flags are disjoint so a reader branches on one load.
+// record, bit 61 a flow-steering record, bit 60 a class SLO-violation
+// record; the zero word means "slot decision". The flags are disjoint
+// so a reader branches on one load.
 const (
 	auxFault = uint64(1) << 63
 	auxSpec  = uint64(1) << 62
 	auxFlow  = uint64(1) << 61
+	auxClass = uint64(1) << 60
 )
 
 // packFault packs a link-state transition into one word: the fault flag,
@@ -150,6 +163,14 @@ func packSpec(hits, misses, repairs int) uint64 {
 // sentinel.
 func packFlow(port int, disp uint8) uint64 {
 	return auxFlow | uint64(uint16(port))<<16 | uint64(disp)
+}
+
+// packClass packs an SLO-violation record's output port and class index
+// into the aux word (the latency in slots rides in the counts word).
+// The class index fits a byte — the wire format and ValidateClasses cap
+// the class list at 255.
+func packClass(class, port int) uint64 {
+	return auxClass | uint64(uint16(port))<<16 | uint64(uint8(class))
 }
 
 // packGrant packs a grant into one word: in(16) out(16) choices+1(16)
@@ -340,6 +361,26 @@ func (t *Tracer) EmitFlow(slot int64, flow uint64, port int, disp uint8) {
 	e.seq.Store(2*w + 2)
 }
 
+// EmitClass records a service-class SLO violation: class index, output
+// port and the frame's admission-to-delivery latency in slots. Emitted
+// from the dispatch path — possibly a shard-pool worker — concurrently
+// with every other emitter, which the fetch-add slot claim makes safe.
+// The latency rides in the entry's counts word; class and port pack
+// into aux with the class kind flag. Nil-safe, one atomic load when
+// disabled, zero heap allocations.
+func (t *Tracer) EmitClass(slot int64, class, port int, latency int64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	w := t.pos.Add(1) - 1
+	e := &t.ring[w%uint64(len(t.ring))]
+	e.seq.Store(2*w + 1)
+	e.slot.Store(slot)
+	e.counts.Store(uint64(latency))
+	e.aux.Store(packClass(class, port))
+	e.seq.Store(2*w + 2)
+}
+
 // Drain returns the ring's current window of events, oldest first. It
 // does not consume: two immediate drains return the same window. Entries
 // being overwritten by a concurrent Emit are skipped (the window then has
@@ -396,6 +437,18 @@ func (t *Tracer) Drain() []Event {
 			ev.Flow = counts
 			ev.Port = int(int16(uint16(f >> 16)))
 			ev.Disp = flowDispString(uint8(f))
+			if e.seq.Load() != s1 {
+				continue
+			}
+			evs = append(evs, ev)
+			continue
+		} else if f&auxClass != 0 {
+			// The counts word carries the latency in slots.
+			ev.Kind = "class"
+			ev.Requested, ev.Matched = 0, 0
+			ev.Class = int(uint8(f))
+			ev.Port = int(uint16(f >> 16))
+			ev.Latency = int64(counts)
 			if e.seq.Load() != s1 {
 				continue
 			}

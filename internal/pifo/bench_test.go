@@ -1,0 +1,43 @@
+package pifo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPIFODecision measures the per-frame class-tier decision: one
+// Rank + Push + Pop + OnPop cycle against a half-full queue, per
+// registered ranker. This is the cost AdmitClass adds over Admit plus
+// the fill-phase pop, and the acceptance gate is 0 allocs/op (also
+// pinned deterministically by TestRankZeroAlloc).
+func BenchmarkPIFODecision(b *testing.B) {
+	classes := []Class{
+		{Name: "rt", Priority: 0, Weight: 4, SLOSlots: 16},
+		{Name: "quick", Priority: 1, Weight: 2, SLOSlots: 64},
+		{Name: "bulk", Priority: 2, Weight: 1},
+	}
+	for _, name := range Names() {
+		for _, depth := range []int{16, 256} {
+			b.Run(fmt.Sprintf("%s/depth%d", name, depth), func(b *testing.B) {
+				rk, err := NewRanker(name, classes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := NewQueue[uint64](depth)
+				for q.Len() < depth/2 {
+					ci := q.Len() % len(classes)
+					q.Push(uint64(ci), rk.Rank(ci, 0, int64(q.Len())))
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ci := i % len(classes)
+					now := int64(i)
+					q.Push(uint64(ci), rk.Rank(ci, now, now+classes[ci].SLOSlots))
+					_, rank, _ := q.Pop()
+					rk.OnPop(rank)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package pifo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Class is one service class of the programmable tier. The zero Weight
+// and SLOSlots are normalized at parse/validate time: every class gets
+// Weight ≥ 1, and SLOSlots == 0 means "no deadline" (the class rides on
+// priority or fair share alone).
+type Class struct {
+	// Name labels the class in metrics (`lcf_class_*{class=...}`),
+	// trace events and flags.
+	Name string
+	// Priority orders classes for the strict ranker: 0 is the most
+	// urgent. Also breaks ties for deadline-less frames under the
+	// deadline ranker.
+	Priority int
+	// Weight is the WFQ share: a weight-4 class drains 4× the frames of
+	// a weight-1 class under contention.
+	Weight int
+	// SLOSlots is the class's latency budget in slots: a frame admitted
+	// at slot t carries deadline t+SLOSlots, and delivery after the
+	// deadline counts as an SLO violation. 0 disables the deadline.
+	SLOSlots int64
+}
+
+// ParseClasses parses the `-classes` flag syntax: a comma-separated
+// list of `name[:priority[:weight[:slo]]]` entries, e.g.
+//
+//	rt:0:4:16,quick:1:2:64,bulk:2:1
+//
+// Omitted priority defaults to the entry's position, omitted weight to
+// 1, omitted slo to 0 (no deadline). Names must be unique, non-empty
+// and usable as a Prometheus label value ([a-z0-9_]+).
+func ParseClasses(spec string) ([]Class, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("pifo: empty class spec")
+	}
+	var classes []Class
+	seen := make(map[string]bool)
+	for i, ent := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(ent), ":")
+		if len(fields) > 4 {
+			return nil, fmt.Errorf("pifo: class %q: want name[:priority[:weight[:slo]]]", ent)
+		}
+		c := Class{Name: fields[0], Priority: i, Weight: 1}
+		if !validClassName(c.Name) {
+			return nil, fmt.Errorf("pifo: class name %q must match [a-z0-9_]+", c.Name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("pifo: duplicate class name %q", c.Name)
+		}
+		seen[c.Name] = true
+		var err error
+		if len(fields) > 1 && fields[1] != "" {
+			if c.Priority, err = strconv.Atoi(fields[1]); err != nil || c.Priority < 0 {
+				return nil, fmt.Errorf("pifo: class %q: bad priority %q", c.Name, fields[1])
+			}
+		}
+		if len(fields) > 2 && fields[2] != "" {
+			if c.Weight, err = strconv.Atoi(fields[2]); err != nil || c.Weight < 1 {
+				return nil, fmt.Errorf("pifo: class %q: bad weight %q (must be >= 1)", c.Name, fields[2])
+			}
+		}
+		if len(fields) > 3 && fields[3] != "" {
+			if c.SLOSlots, err = strconv.ParseInt(fields[3], 10, 64); err != nil || c.SLOSlots < 0 {
+				return nil, fmt.Errorf("pifo: class %q: bad slo %q (slots, must be >= 0)", c.Name, fields[3])
+			}
+		}
+		classes = append(classes, c)
+	}
+	return classes, ValidateClasses(classes)
+}
+
+// ValidateClasses checks a class list built in code (rather than parsed
+// from a flag): unique valid names and sane weights.
+func ValidateClasses(classes []Class) error {
+	if len(classes) == 0 {
+		return fmt.Errorf("pifo: no classes")
+	}
+	if len(classes) > 255 {
+		return fmt.Errorf("pifo: %d classes exceed the wire format's 255", len(classes))
+	}
+	seen := make(map[string]bool)
+	for _, c := range classes {
+		if !validClassName(c.Name) {
+			return fmt.Errorf("pifo: class name %q must match [a-z0-9_]+", c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("pifo: duplicate class name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight < 1 {
+			return fmt.Errorf("pifo: class %q: weight %d < 1", c.Name, c.Weight)
+		}
+		if c.Priority < 0 || c.SLOSlots < 0 {
+			return fmt.Errorf("pifo: class %q: negative priority or slo", c.Name)
+		}
+	}
+	return nil
+}
+
+func validClassName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package pifo
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Names() golden file")
+
+// TestNamesGolden locks the public rank-function name list, exactly like
+// the steering-policy and scheduler registries' golden tests: adding,
+// renaming or removing a ranker must come with a deliberate update of
+// testdata/names.golden (go test ./internal/pifo -update), because these
+// names are public API — `lcfd -rank`, EXPERIMENTS.md E32 and
+// OBSERVABILITY.md all refer to them.
+func TestNamesGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "names.golden")
+	got := strings.Join(Names(), "\n") + "\n"
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rank function name list drifted from %s:\n got: %v\nwant: %v\n"+
+			"if the change is intentional, regenerate with: go test ./internal/pifo -update",
+			goldenPath, Names(), strings.Fields(string(want)))
+	}
+}
+
+// TestNewRankerRejectsUnknown pins the self-explanatory error contract:
+// a -rank typo must fail fast and enumerate the registry.
+func TestNewRankerRejectsUnknown(t *testing.T) {
+	classes := []Class{{Name: "rt", Weight: 1}}
+	if _, err := NewRanker("edf", classes); err == nil {
+		t.Fatal("NewRanker accepted an unknown rank function")
+	} else {
+		for _, name := range Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("error does not enumerate ranker %q: %v", name, err)
+			}
+		}
+	}
+	for _, name := range append(Names(), "") {
+		rk, err := NewRanker(name, classes)
+		if err != nil || rk == nil {
+			t.Fatalf("NewRanker(%q) = %v, %v", name, rk, err)
+		}
+		if name != "" && rk.Name() != name {
+			t.Fatalf("NewRanker(%q).Name() = %q", name, rk.Name())
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package pifo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Ranker assigns the rank a frame carries into its PIFO queue. Lower
+// ranks dequeue first. Rank runs on the admission hot path under the
+// input's shard lock, so implementations must be allocation-free; a
+// Ranker instance serves exactly one queue (the WFQ ranker keeps
+// per-class virtual-time state), so the runtime builds one per
+// (input, output) pair via NewRanker.
+type Ranker interface {
+	// Name returns the registered ranker name.
+	Name() string
+	// Rank computes the rank for a frame of class index ci admitted at
+	// slot now carrying absolute deadline slot deadline (< 0 = none).
+	Rank(ci int, now, deadline int64) uint64
+	// OnPop observes the rank of every entry dequeued from this
+	// ranker's queue, letting virtual-time disciplines advance their
+	// clock. Stateless rankers ignore it.
+	OnPop(rank uint64)
+}
+
+// The registered rank functions:
+//
+//   - fifo: every frame ranks 0, so the PIFO degenerates to the queue's
+//     push-order tie-break — the classless baseline E32 compares
+//     against.
+//   - strict: rank = class priority. The lowest-priority-number class
+//     always drains first; lower classes see service only when every
+//     more-urgent PIFO ahead of the same VOQ is empty. Starvation is
+//     the point — pair with WFQ weights if that is not wanted.
+//   - wfq: start-time fair queuing on a per-queue virtual clock. Each
+//     class accumulates virtual finish times in steps of 2^16/weight,
+//     clamped forward to the clock on push so an idle class cannot
+//     hoard credit; the clock follows the rank of each dequeued entry.
+//     Classes share the link in weight proportion under contention.
+//   - deadline: earliest-deadline-first. Frames rank by absolute
+//     deadline slot; deadline-less frames rank behind every dated one,
+//     ordered by class priority then arrival.
+const (
+	RankFIFO     = "fifo"
+	RankStrict   = "strict"
+	RankWFQ      = "wfq"
+	RankDeadline = "deadline"
+)
+
+// NewRanker returns a fresh instance of the named rank function ("" means
+// fifo) for one queue over the given class list. Unknown names list the
+// registry, so a -rank typo fails fast and self-explains.
+func NewRanker(name string, classes []Class) (Ranker, error) {
+	if err := ValidateClasses(classes); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "", RankFIFO:
+		return fifoRanker{}, nil
+	case RankStrict:
+		return strictRanker{classes: classes}, nil
+	case RankWFQ:
+		return newWFQRanker(classes), nil
+	case RankDeadline:
+		return deadlineRanker{classes: classes}, nil
+	default:
+		return nil, fmt.Errorf("pifo: unknown rank function %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names returns the registered rank-function names, sorted. The set is
+// pinned by the golden test (testdata/names.golden), like the steering
+// policy and scheduler registries' — these names are public API
+// (`lcfd -rank`, EXPERIMENTS.md E32, OBSERVABILITY.md).
+func Names() []string {
+	names := []string{RankFIFO, RankStrict, RankWFQ, RankDeadline}
+	sort.Strings(names)
+	return names
+}
+
+type fifoRanker struct{}
+
+func (fifoRanker) Name() string                  { return RankFIFO }
+func (fifoRanker) Rank(int, int64, int64) uint64 { return 0 }
+func (fifoRanker) OnPop(uint64)                  {}
+
+type strictRanker struct{ classes []Class }
+
+func (r strictRanker) Name() string { return RankStrict }
+func (r strictRanker) Rank(ci int, _, _ int64) uint64 {
+	return uint64(r.classes[ci].Priority)
+}
+func (strictRanker) OnPop(uint64) {}
+
+// wfqScale is the fixed-point virtual-time unit: a weight-w class's
+// stride is wfqScale/w, so weight ratios up to 2^16 stay exact.
+const wfqScale = 1 << 16
+
+type wfqRanker struct {
+	classes []Class
+	stride  []uint64
+	finish  []uint64 // per-class virtual finish time
+	clock   uint64   // rank of the last dequeued entry
+}
+
+func newWFQRanker(classes []Class) *wfqRanker {
+	r := &wfqRanker{
+		classes: classes,
+		stride:  make([]uint64, len(classes)),
+		finish:  make([]uint64, len(classes)),
+	}
+	for i, c := range classes {
+		r.stride[i] = wfqScale / uint64(c.Weight)
+	}
+	return r
+}
+
+func (r *wfqRanker) Name() string { return RankWFQ }
+
+func (r *wfqRanker) Rank(ci int, _, _ int64) uint64 {
+	f := r.finish[ci]
+	if f < r.clock {
+		f = r.clock // an idle class re-enters at the current virtual time
+	}
+	f += r.stride[ci]
+	r.finish[ci] = f
+	return f
+}
+
+func (r *wfqRanker) OnPop(rank uint64) {
+	if rank > r.clock {
+		r.clock = rank
+	}
+}
+
+// deadlineNone ranks deadline-less frames behind every dated frame
+// while leaving headroom to order them by class priority.
+const deadlineNone = uint64(math.MaxUint64) >> 8
+
+type deadlineRanker struct{ classes []Class }
+
+func (r deadlineRanker) Name() string { return RankDeadline }
+
+func (r deadlineRanker) Rank(ci int, _, deadline int64) uint64 {
+	if deadline < 0 {
+		return deadlineNone + uint64(r.classes[ci].Priority)
+	}
+	return uint64(deadline)
+}
+
+func (deadlineRanker) OnPop(uint64) {}

@@ -191,7 +191,7 @@ func (e *Engine) sweepStranded() {
 			if drop {
 				row := e.dp.OccupiedRow(i)
 				for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
-					di += e.dp.FlushVOQ(i, j, e.cfg.OnDropped)
+					di += e.dp.FlushVOQ(i, j, e.classDropHook())
 				}
 			} else {
 				stranded += e.dp.InputBacklog(i)
@@ -202,11 +202,19 @@ func (e *Engine) sweepStranded() {
 					continue
 				}
 				if drop {
-					di += e.dp.FlushVOQ(i, j, e.cfg.OnDropped)
+					di += e.dp.FlushVOQ(i, j, e.classDropHook())
 				} else {
 					stranded += e.dp.Len(i, j)
 				}
 			}
+		}
+		// The class tier's PIFOs strand and flush exactly like the VOQs
+		// behind them (no-op when the tier is off or input i's PIFO row
+		// is empty).
+		if e.classes != nil && e.classes.pending[i].Value() > 0 {
+			cd, cs := e.classSweepInput(i, drop)
+			di += cd
+			stranded += cs
 		}
 		mu.Unlock()
 		if di > 0 {

@@ -214,6 +214,12 @@ func (e *Engine) tickPipelined() {
 		})
 	}
 
+	// Top up the VOQ heads from the class tier's PIFOs (no-op without
+	// classes) after this slot's dispatch and before the snapshot, so the
+	// matching computed during the next transmit window sees the freshly
+	// ranked heads.
+	e.classFill()
+
 	// Snapshot for the next slot's matching, after this slot's dispatch:
 	// the channel-room mask is computed post-send, and consumers only
 	// drain, so a grant computed against this mask still has room when it

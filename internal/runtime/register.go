@@ -128,6 +128,7 @@ func (e *Engine) Register(r *obs.Registry) {
 	})
 
 	e.registerFlow(r)
+	e.registerClasses(r)
 
 	r.Histogram("lcf_voq_depth", "Per-slot samples of every non-empty VOQ's backlog (frames).", m.VOQDepth.Snapshot)
 	r.Histogram("lcf_match_size", "Matching cardinality per slot (grants in the computed matching).", m.MatchSize.Snapshot)

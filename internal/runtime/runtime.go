@@ -72,6 +72,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	"repro/internal/sched"
 	"repro/internal/switchcore"
 )
@@ -99,6 +100,12 @@ type Frame struct {
 	// Admitted and Departed are the engine slots the frame entered its VOQ
 	// and crossed the fabric.
 	Admitted, Departed int64
+	// Class indexes Config.Classes for frames admitted through the class
+	// tier (AdmitClass); -1 for classless frames. Deadline is the
+	// absolute slot the frame's SLO expires at, -1 when none — delivery
+	// past it counts in the class's SLO-violation counter.
+	Class    int
+	Deadline int64
 }
 
 // SlotEvent is the per-slot view handed to Config.OnSlot (lockstep
@@ -201,6 +208,20 @@ type Config struct {
 	// FlowSeed perturbs the flow-id hash (restart spreading).
 	FlowSeed uint64
 
+	// Classes, when non-empty, enables the programmable service-class
+	// tier (internal/pifo): a bounded PIFO priority queue per
+	// (input, output) pair in front of the VOQs, fed by AdmitClass and
+	// drained into the VOQ heads in rank order each tick. Empty (the
+	// default) disables the tier; AdmitClass then returns ErrNoClasses.
+	Classes []pifo.Class
+	// Rank names the rank function programming the PIFOs — "fifo",
+	// "strict", "wfq" or "deadline" (see pifo.Names). "" means fifo.
+	// Setting it without Classes is a config error.
+	Rank string
+	// ClassQCap bounds each per-pair PIFO (0 means VOQCap). AdmitClass
+	// returns ErrBackpressure when the target PIFO is full.
+	ClassQCap int
+
 	// SlotPeriod > 0 selects live mode: Start runs the arbiter on a
 	// ticker with this period. 0 selects lockstep mode: the caller drives
 	// slots via Tick.
@@ -285,6 +306,27 @@ func (c *Config) normalize() error {
 	if c.Flows == 0 && c.FlowPolicy != "" {
 		return fmt.Errorf("runtime: FlowPolicy %q set without Flows (enable the flow tier with Flows > 0)", c.FlowPolicy)
 	}
+	if len(c.Classes) == 0 {
+		if c.Rank != "" {
+			return fmt.Errorf("runtime: Rank %q set without Classes (enable the class tier with a class list)", c.Rank)
+		}
+		if c.ClassQCap != 0 {
+			return fmt.Errorf("runtime: ClassQCap %d set without Classes", c.ClassQCap)
+		}
+	} else {
+		if err := pifo.ValidateClasses(c.Classes); err != nil {
+			return err
+		}
+		if _, err := pifo.NewRanker(c.Rank, c.Classes); err != nil {
+			return err
+		}
+		if c.ClassQCap == 0 {
+			c.ClassQCap = c.VOQCap
+		}
+		if c.ClassQCap < 0 {
+			return fmt.Errorf("runtime: negative class queue capacity %d", c.ClassQCap)
+		}
+	}
 	return nil
 }
 
@@ -320,6 +362,11 @@ type Engine struct {
 	// Config.Flows > 0. Its steering policies read the engine's live
 	// per-input backlog gauges and link-state atomics through flowView.
 	flows *flowtable.Table
+
+	// classes is the programmable service-class tier (see class.go), nil
+	// unless Config.Classes is set: per-pair PIFO queues in front of the
+	// VOQs, ranked by the configured pifo.Ranker.
+	classes *classTier
 
 	met Stats
 
@@ -464,6 +511,13 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.flows = tbl
 	}
+	if len(cfg.Classes) > 0 {
+		ct, err := newClassTier(n, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.classes = ct
+	}
 	return e, nil
 }
 
@@ -532,7 +586,7 @@ func (e *Engine) Admit(src, dst int, seq, stamp uint64) error {
 		e.met.RejectedPortDown.Inc()
 		return fmt.Errorf("%w: src %d dst %d", ErrPortDown, src, dst)
 	}
-	f := Frame{Src: src, Dst: dst, Seq: seq, Stamp: stamp, Admitted: e.slot.Load(), Departed: -1}
+	f := Frame{Src: src, Dst: dst, Seq: seq, Stamp: stamp, Admitted: e.slot.Load(), Departed: -1, Class: -1, Deadline: -1}
 	mu := &e.inMu[src]
 	mu.Lock()
 	// Re-check under the lock: Close sets the flag and then takes each
@@ -682,6 +736,11 @@ func (e *Engine) tick() {
 	// slot t, and a recovered one resumes service in the same slot.
 	e.applyFaults(now)
 	e.sweepStranded()
+
+	// Feed the VOQ heads from the class tier's PIFOs (no-op without
+	// classes) before the snapshot, so rank order decides this slot's
+	// requests.
+	e.classFill()
 
 	e.maskFullOutputs()
 	requested, masked, faulted := e.snapshotAll()
@@ -844,6 +903,9 @@ func (e *Engine) dispatchRange(g *sched.GrantSet, lo, hi int, now int64, spec bo
 			matched++
 			if spec {
 				hits++
+			}
+			if f.Class >= 0 && e.classes != nil {
+				e.observeClassDelivery(f, now)
 			}
 			e.met.Delivered.Inc()
 			e.met.PerOutputDelivered[j].Inc()

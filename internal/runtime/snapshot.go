@@ -56,6 +56,10 @@ type Snapshot struct {
 	// engines without a flow table.
 	Flows *FlowSnapshot `json:"flows,omitempty"`
 
+	// Classes is the service-class tier's counters (Config.Classes set);
+	// omitted on engines without the PIFO ranking tier.
+	Classes *ClassSnapshot `json:"classes,omitempty"`
+
 	// MatchRatio is cumulative matched grants over cumulative request
 	// bits — the live matched/requested efficiency of the scheduler.
 	MatchRatio float64 `json:"match_ratio"`
@@ -103,6 +107,7 @@ func (e *Engine) Snapshot() Snapshot {
 		MatchSize:     m.MatchSize.Snapshot(),
 		SlotLatencyNs: m.SlotLatency.Snapshot(),
 		Flows:         e.flowSnapshot(),
+		Classes:       e.classSnapshot(),
 	}
 	for rule := sched.GrantRule(0); rule < sched.NumGrantRules; rule++ {
 		if v := m.GrantsByRule[rule].Value(); v > 0 {
